@@ -1,0 +1,166 @@
+// Package api defines the public vocabulary of the Pie serving system:
+// resource handles, model traits, token distributions, and the future type
+// returned by asynchronous inferlet API calls.
+//
+// The design follows §4 of the paper: Pie views an LLM forward pass as a
+// three-stage pipeline (embed → forward → sample) over two explicitly
+// managed resources — Embed (one token's embedding slot) and KvPage (a
+// fixed-capacity page of KV-cache entries, PagedAttention-style). Handles
+// are opaque pointers into a virtual, per-inferlet resource address space;
+// the control layer owns the virtual→physical mapping.
+package api
+
+import "errors"
+
+// Embed is a handle to a single token-embedding slot.
+type Embed uint64
+
+// KvPage is a handle to one KV-cache page holding up to PageSize tokens.
+type KvPage uint64
+
+// Queue identifies a command queue. All inference-layer API calls are
+// issued against a queue; the batch scheduler uses queues to infer
+// dependencies and priorities (§5.2).
+type Queue uint64
+
+// ModelID names a servable model (e.g. "llama-1b").
+type ModelID string
+
+// Trait names a capability set a model implements (§4.4). Traits form a
+// DAG via supertraits; inferlets query them at runtime to adapt.
+type Trait string
+
+// The traits defined by the paper (Table 1) plus the fused-operation
+// extension trait used for the Table 3 opportunity-cost ablation.
+const (
+	TraitCore       Trait = "core"        // runtime APIs: args, messaging, queues
+	TraitAllocate   Trait = "allocate"    // embed/kvpage allocation, export/import
+	TraitForward    Trait = "forward"     // forward pass + KV masking (supertrait: allocate)
+	TraitInputText  Trait = "input_text"  // embed_txt (supertraits: allocate, forward)
+	TraitInputImage Trait = "input_image" // embed_img (supertraits: allocate, forward)
+	TraitTokenize   Trait = "tokenize"    // tokenize/detokenize/vocab (supertrait: input_text)
+	TraitOutputText Trait = "output_text" // get_next_dist (supertrait: allocate)
+	TraitAdapter    Trait = "adapter"     // forward_with_adapter (supertrait: forward)
+	TraitFused      Trait = "fused"       // forward_with_sampling — monolithic-style fused ops
+)
+
+// Supertraits returns the traits a trait directly depends on.
+func Supertraits(t Trait) []Trait {
+	switch t {
+	case TraitForward:
+		return []Trait{TraitAllocate}
+	case TraitInputText, TraitInputImage:
+		return []Trait{TraitAllocate, TraitForward}
+	case TraitTokenize:
+		return []Trait{TraitInputText}
+	case TraitOutputText:
+		return []Trait{TraitAllocate}
+	case TraitAdapter:
+		return []Trait{TraitForward}
+	case TraitFused:
+		return []Trait{TraitForward, TraitOutputText}
+	}
+	return nil
+}
+
+// ModelInfo describes a servable model as reported by available_models.
+type ModelInfo struct {
+	ID        ModelID
+	Params    string // human-readable parameter count, e.g. "8B"
+	PageSize  int    // tokens per KvPage
+	VocabSize int
+	Traits    []Trait
+	Adapters  []string // registered LoRA-style adapters
+}
+
+// HasTrait reports whether the model implements t.
+func (m ModelInfo) HasTrait(t Trait) bool {
+	for _, x := range m.Traits {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Dist is a next-token probability distribution truncated to the top-K
+// vocabulary entries (§4.2: Pie truncates to bound transfer cost; K is
+// configurable, default 256). Tokens are ordered by descending probability.
+type Dist struct {
+	Tokens []int
+	Probs  []float32
+}
+
+// ArgMax returns the most probable token. It panics on an empty Dist.
+func (d Dist) ArgMax() int {
+	if len(d.Tokens) == 0 {
+		panic("api: ArgMax of empty Dist")
+	}
+	return d.Tokens[0]
+}
+
+// Prob returns the probability mass of token id inside the truncated
+// distribution, or 0 if id was truncated away.
+func (d Dist) Prob(id int) float32 {
+	for i, t := range d.Tokens {
+		if t == id {
+			return d.Probs[i]
+		}
+	}
+	return 0
+}
+
+// Future is the completion handle returned by asynchronous API calls.
+// Get blocks the calling inferlet (cooperatively — the runtime keeps
+// serving other inferlets) until the result is available.
+type Future[T any] interface {
+	Get() (T, error)
+	Done() bool
+}
+
+// ForwardArgs bundles the arguments of the forward API (§4.2).
+//
+// The call reads attention context from InputKv (respecting token-level
+// mask bits), consumes InputEmb (each slot carries an explicit sequence
+// position assigned by embed_txt), appends the new tokens' KV entries to
+// OutputKv if non-empty, and writes the transformer outputs of the last
+// len(OutputEmb) input tokens into OutputEmb.
+//
+// Mask, when non-nil, is an explicit boolean attention matrix with one row
+// per input embedding and one column per context token followed by one
+// column per input embedding; true admits attention. When nil, a causal
+// mask is inferred from sequence positions.
+type ForwardArgs struct {
+	InputKv   []KvPage
+	InputEmb  []Embed
+	OutputKv  []KvPage
+	OutputEmb []Embed
+	Mask      [][]bool
+	Adapter   string // non-empty selects forward_with_adapter
+}
+
+// SampleSpec configures fused on-GPU sampling (forward_with_sampling,
+// TraitFused). Temperature <= 0 selects greedy decoding.
+type SampleSpec struct {
+	TopK        int
+	Temperature float32
+	Seed        uint64
+}
+
+// Message is a user↔inferlet or inferlet↔inferlet payload.
+type Message struct {
+	From string
+	Body string
+}
+
+// Errors shared across layers.
+var (
+	ErrNoSuchModel    = errors.New("pie: no such model")
+	ErrNoSuchTrait    = errors.New("pie: model does not implement trait")
+	ErrBadHandle      = errors.New("pie: invalid or foreign resource handle")
+	ErrOutOfResources = errors.New("pie: resource pool exhausted")
+	ErrTerminated     = errors.New("pie: inferlet terminated by resource policy")
+	ErrNoSuchExport   = errors.New("pie: no exported resource with that name")
+	ErrBadArgument    = errors.New("pie: invalid API argument")
+	ErrQueueClosed    = errors.New("pie: command queue closed")
+)

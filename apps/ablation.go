@@ -1,0 +1,202 @@
+package apps
+
+import (
+	"pie/api"
+	"pie/inferlet"
+	"pie/support"
+)
+
+// FusedCompletionParams configures TextCompletionFused.
+type FusedCompletionParams struct {
+	Common
+	Prompt    string `json:"prompt"`
+	MaxTokens int    `json:"max_tokens"`
+	// FuseEmbed also folds token embedding into the forward kernel
+	// (full monolithic pipeline); otherwise embed_txt stays separate.
+	FuseEmbed bool `json:"fuse_embed"`
+}
+
+// TextCompletionFused is the Table 3 ablation program: it decodes with
+// forward_with_sampling (TraitFused), emulating the monolithic pipeline's
+// fused sampling (and optionally fused embedding) to measure the
+// opportunity cost of Pie's decomposed APIs.
+func TextCompletionFused() inferlet.Program {
+	return inferlet.Program{
+		Name:       "text_completion_fused",
+		BinarySize: 129 << 10,
+		Run: func(s inferlet.Session) error {
+			var p FusedCompletionParams
+			if err := decodeParams(s, &p); err != nil {
+				return err
+			}
+			if p.Prompt == "" {
+				p.Prompt = "Hello, "
+			}
+			if p.MaxTokens <= 0 {
+				p.MaxTokens = 32
+			}
+			m, err := modelInfo(s, p.Model)
+			if err != nil {
+				return err
+			}
+			q, err := s.CreateQueue(m.ID)
+			if err != nil {
+				return err
+			}
+			tf, err := s.Tokenize(q, p.Prompt)
+			if err != nil {
+				return err
+			}
+			prom, err := tf.Get()
+			if err != nil {
+				return err
+			}
+			limit := len(prom) + p.MaxTokens
+			pages, err := s.AllocKvPages(q, (limit+m.PageSize-1)/m.PageSize)
+			if err != nil {
+				return err
+			}
+			gen, err := s.AllocEmbeds(q, 1)
+			if err != nil {
+				return err
+			}
+			spec := api.SampleSpec{TopK: 1, Seed: p.Seed}
+
+			// Prefill with fused sampling: one call yields the first token.
+			pos := make([]int, len(prom))
+			for i := range pos {
+				pos[i] = i
+			}
+			promEmb, err := s.AllocEmbeds(q, len(prom))
+			if err != nil {
+				return err
+			}
+			if _, err := s.EmbedText(q, prom, pos, promEmb); err != nil {
+				return err
+			}
+			tokF, err := s.ForwardSampled(q, api.ForwardArgs{
+				InputEmb: promEmb, OutputKv: pages, OutputEmb: gen,
+			}, nil, nil, spec)
+			if err != nil {
+				return err
+			}
+			toks, err := tokF.Get()
+			if err != nil {
+				return err
+			}
+			cur := toks[0]
+			out := []int{cur}
+			s.ReportOutputTokens(1)
+			if err := s.DeallocEmbeds(q, promEmb); err != nil {
+				return err
+			}
+
+			for i := len(prom); len(out) < p.MaxTokens; i++ {
+				args := api.ForwardArgs{InputKv: pages, OutputKv: pages, OutputEmb: gen}
+				var inline []int
+				var inlinePos []int
+				if p.FuseEmbed {
+					inline = []int{cur}
+					inlinePos = []int{i}
+				} else {
+					if _, err := s.EmbedText(q, []int{cur}, []int{i}, gen); err != nil {
+						return err
+					}
+					args.InputEmb = gen
+				}
+				tf, err := s.ForwardSampled(q, args, inline, inlinePos, spec)
+				if err != nil {
+					return err
+				}
+				ts, err := tf.Get()
+				if err != nil {
+					return err
+				}
+				cur = ts[len(ts)-1]
+				out = append(out, cur)
+				s.ReportOutputTokens(1)
+			}
+			text, err := mustText(s, q, out)
+			if err != nil {
+				return err
+			}
+			s.Send(text)
+			return nil
+		},
+	}
+}
+
+func mustText(s inferlet.Session, q api.Queue, ids []int) (string, error) {
+	f, err := s.Detokenize(q, ids)
+	if err != nil {
+		return "", err
+	}
+	return f.Get()
+}
+
+// PrefixTreeParams configures PrefixTree.
+type PrefixTreeParams struct {
+	Common
+	Prompt       string `json:"prompt"`
+	Branches     int    `json:"branches"`
+	BranchTokens int    `json:"branch_tokens"`
+}
+
+// PrefixTree is SGLang-style branching generation (the "PrefixTree" entry
+// of Fig. 8): fork n continuations off one shared prompt, decode them in
+// lockstep, and return all branches. The shared prefix's pages are never
+// duplicated (RadixAttention-equivalent, as a program).
+func PrefixTree() inferlet.Program {
+	return inferlet.Program{
+		Name:       "prefix_tree",
+		BinarySize: 134 << 10,
+		Run: func(s inferlet.Session) error {
+			var p PrefixTreeParams
+			if err := decodeParams(s, &p); err != nil {
+				return err
+			}
+			if p.Prompt == "" {
+				p.Prompt = "Consider three different answers: "
+			}
+			if p.Branches <= 0 {
+				p.Branches = 4
+			}
+			if p.BranchTokens <= 0 {
+				p.BranchTokens = 16
+			}
+			m, err := modelInfo(s, p.Model)
+			if err != nil {
+				return err
+			}
+			root, err := support.NewContext(s, m)
+			if err != nil {
+				return err
+			}
+			if err := root.Fill(p.Prompt); err != nil {
+				return err
+			}
+			kids, err := root.Fork(p.Branches)
+			if err != nil {
+				return err
+			}
+			samplers := make([]support.Sampler, p.Branches)
+			for i := range samplers {
+				samplers[i] = &support.TopK{K: 8, Temperature: 0.9, Seed: p.Seed + uint64(i)}
+			}
+			res, err := support.ParallelGenerate(kids, support.GenOpts{MaxTokens: p.BranchTokens}, samplers)
+			if err != nil {
+				return err
+			}
+			for i, r := range res {
+				s.Send(r.Text)
+				if err := kids[i].Drop(); err != nil {
+					return err
+				}
+			}
+			if err := root.Sync(); err != nil {
+				return err
+			}
+			return root.Drop()
+		},
+	}
+}

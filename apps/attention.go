@@ -1,0 +1,185 @@
+package apps
+
+import (
+	"fmt"
+
+	"pie/inferlet"
+	"pie/support"
+)
+
+// Attention-level techniques (§7.2): built entirely on mask_kvpage and
+// token-level page control — features the paper notes had never been
+// implemented in vLLM or SGLang because they require invasive memory-
+// manager changes, yet are ~50 lines of application code here.
+
+// SinkParams configures AttentionSink and WindowedAttention.
+type SinkParams struct {
+	Common
+	Prompt     string `json:"prompt"`
+	MaxTokens  int    `json:"max_tokens"`
+	SinkTokens int    `json:"sink_tokens"`
+	WindowSize int    `json:"window_size"`
+	ReleaseKv  bool   `json:"release_kv"` // free fully-evicted pages
+}
+
+// AttentionSink streams long generations with bounded attention: the
+// first SinkTokens stay visible forever (StreamingLLM's sinks), plus a
+// sliding window of the most recent WindowSize tokens; everything in
+// between is masked out and its pages optionally freed (Table 2: 60 LoC).
+func AttentionSink() inferlet.Program {
+	return sinkProgram("attention_sink", true)
+}
+
+// WindowedAttention is the sink-free variant: pure sliding window
+// (Longformer-style; Table 2: 60 LoC).
+func WindowedAttention() inferlet.Program {
+	return sinkProgram("windowed_attention", false)
+}
+
+func sinkProgram(name string, keepSink bool) inferlet.Program {
+	return inferlet.Program{
+		Name:       name,
+		BinarySize: 133 << 10,
+		Run: func(s inferlet.Session) error {
+			var p SinkParams
+			if err := decodeParams(s, &p); err != nil {
+				return err
+			}
+			if p.Prompt == "" {
+				p.Prompt = "A very long story begins here and keeps going "
+			}
+			if p.MaxTokens <= 0 {
+				p.MaxTokens = 96
+			}
+			if p.SinkTokens <= 0 {
+				p.SinkTokens = 4
+			}
+			if p.WindowSize <= 0 {
+				p.WindowSize = 32
+			}
+			sink := p.SinkTokens
+			if !keepSink {
+				sink = 0
+			}
+			m, err := modelInfo(s, p.Model)
+			if err != nil {
+				return err
+			}
+			ctx, err := support.NewContext(s, m)
+			if err != nil {
+				return err
+			}
+			defer ctx.Drop()
+			if err := ctx.Fill(p.Prompt); err != nil {
+				return err
+			}
+
+			evictedTo := sink // everything in [sink, evictedTo) is masked
+			var out []int
+			for len(out) < p.MaxTokens {
+				dist, err := ctx.NextDist()
+				if err != nil {
+					return err
+				}
+				tok := dist.ArgMax()
+				out = append(out, tok)
+				s.ReportOutputTokens(1)
+				if err := ctx.Append(tok); err != nil {
+					return err
+				}
+				// Evict anything that slid out of the window.
+				if horizon := ctx.Len() - p.WindowSize; horizon > evictedTo {
+					if err := ctx.MaskRange(evictedTo, horizon, true); err != nil {
+						return err
+					}
+					evictedTo = horizon
+					if p.ReleaseKv {
+						if _, err := ctx.ReleaseMaskedPages([][2]int{{sink, evictedTo}}); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			text, err := ctx.DecodeText(out[maxI(0, len(out)-16):])
+			if err != nil {
+				return err
+			}
+			s.Send(fmt.Sprintf("len=%d visible<=%d %s", ctx.Len(), sink+p.WindowSize+1, text))
+			return ctx.Sync()
+		},
+	}
+}
+
+// HierarchicalParams configures HierarchicalAttention.
+type HierarchicalParams struct {
+	Common
+	Blocks        []string `json:"blocks"`
+	NumBlocks     int      `json:"num_blocks"` // synthesized when Blocks empty
+	SummaryTokens int      `json:"summary_tokens"`
+	AnswerTokens  int      `json:"answer_tokens"`
+}
+
+// HierarchicalAttention processes a long document block by block: each
+// block is prefilled, summarized into a few tokens, and then its body KV
+// is masked away so the final answer attends only the per-block summaries
+// — tree-structured attention (Table 2: 42 LoC; AST-Trans-style).
+func HierarchicalAttention() inferlet.Program {
+	return inferlet.Program{
+		Name:       "hierarchical_attention",
+		BinarySize: 130 << 10,
+		Run: func(s inferlet.Session) error {
+			var p HierarchicalParams
+			if err := decodeParams(s, &p); err != nil {
+				return err
+			}
+			if p.SummaryTokens <= 0 {
+				p.SummaryTokens = 8
+			}
+			if p.AnswerTokens <= 0 {
+				p.AnswerTokens = 16
+			}
+			if len(p.Blocks) == 0 {
+				if p.NumBlocks <= 0 {
+					p.NumBlocks = 4
+				}
+				for i := 0; i < p.NumBlocks; i++ {
+					p.Blocks = append(p.Blocks,
+						fmt.Sprintf("section %d with many details about topic %d that matter ", i, i))
+				}
+			}
+			m, err := modelInfo(s, p.Model)
+			if err != nil {
+				return err
+			}
+			ctx, err := support.NewContext(s, m)
+			if err != nil {
+				return err
+			}
+			defer ctx.Drop()
+
+			for _, block := range p.Blocks {
+				bodyStart := ctx.Len()
+				if err := ctx.Fill(block); err != nil {
+					return err
+				}
+				bodyEnd := ctx.Len()
+				if _, err := ctx.Generate(support.GenOpts{MaxTokens: p.SummaryTokens}); err != nil {
+					return err
+				}
+				// Keep the summary tokens visible; hide the block body.
+				if err := ctx.MaskRange(bodyStart, bodyEnd, true); err != nil {
+					return err
+				}
+			}
+			if err := ctx.Fill(" overall: "); err != nil {
+				return err
+			}
+			res, err := ctx.Generate(support.GenOpts{MaxTokens: p.AnswerTokens})
+			if err != nil {
+				return err
+			}
+			s.Send(fmt.Sprintf("blocks=%d %s", len(p.Blocks), res.Text))
+			return ctx.Sync()
+		},
+	}
+}

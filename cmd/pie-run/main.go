@@ -1,0 +1,87 @@
+// Command pie-run launches a named inferlet on a fresh engine and prints
+// its messages and logs — the quickest way to poke at any Table 2 program.
+//
+// Usage:
+//
+//	pie-run text_completion '{"prompt":"Hello, ","max_tokens":12}'
+//	pie-run -mode timing -list
+//	pie-run ebnf '{"max_tokens":40}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"pie"
+	"pie/apps"
+)
+
+func main() {
+	mode := flag.String("mode", "full", "execution mode: full (real tensor math) or timing")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	list := flag.Bool("list", false, "list registered programs and exit")
+	flag.Parse()
+
+	cfg := pie.Config{Seed: *seed}
+	if *mode == "timing" {
+		cfg.Mode = pie.ModeTiming
+	}
+	e := pie.New(cfg)
+	e.MustRegister(apps.All()...)
+	e.RegisterTool("search.api", 40*time.Millisecond, func(string) string { return "search results" })
+	e.RegisterTool("code.exec", 80*time.Millisecond, func(string) string { return "exit 0" })
+	e.RegisterTool("fn.api", 30*time.Millisecond, func(string) string { return "ok" })
+
+	if *list {
+		var names []string
+		for _, p := range apps.All() {
+			names = append(names, p.Name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pie-run [-mode full|timing] <program> [json-params]")
+		os.Exit(2)
+	}
+	program := flag.Arg(0)
+	var args []string
+	if flag.NArg() > 1 {
+		args = []string{flag.Arg(1)}
+	}
+
+	err := e.RunClient(func() {
+		h, err := e.Launch(program, args...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "launch: %v\n", err)
+			return
+		}
+		runErr := h.Wait()
+		for {
+			msg, ok := h.TryRecv()
+			if !ok {
+				break
+			}
+			fmt.Printf("message: %s\n", msg)
+		}
+		for _, line := range h.Logs() {
+			fmt.Printf("log: %s\n", line)
+		}
+		cc, ic, tok := h.Stats()
+		fmt.Printf("virtual time: %v  control calls: %d  inference calls: %d  output tokens: %d\n",
+			e.Now(), cc, ic, tok)
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "inferlet error: %v\n", runErr)
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run: %v\n", err)
+		os.Exit(1)
+	}
+}

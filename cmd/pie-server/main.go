@@ -1,0 +1,176 @@
+// Command pie-server exposes a Pie engine over HTTP, mirroring the
+// paper's ILM front end: clients upload nothing (programs are registered
+// at startup) but can launch inferlets, exchange messages with them, and
+// inspect engine stats. The virtual clock runs in external mode: real
+// HTTP requests inject work, simulated time advances instantly between
+// them, and responses report virtual timings.
+//
+//	pie-server -addr :8080
+//	curl -X POST 'localhost:8080/launch?program=text_completion' \
+//	     -d '{"prompt":"Hello, ","max_tokens":8}'
+//	curl 'localhost:8080/recv?id=1'
+//	curl 'localhost:8080/wait?id=1'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pie"
+	"pie/apps"
+)
+
+type server struct {
+	engine *pie.Engine
+	mu     sync.Mutex
+	nextID int
+	runs   map[int]*pie.Handle
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	e := pie.New(pie.Config{Seed: *seed})
+	e.MustRegister(apps.All()...)
+	e.RegisterTool("search.api", 40*time.Millisecond, func(string) string { return "search results" })
+	e.RegisterTool("code.exec", 80*time.Millisecond, func(string) string { return "exit 0" })
+	e.RegisterTool("fn.api", 30*time.Millisecond, func(string) string { return "ok" })
+	e.Clock().EnableExternal()
+	go func() {
+		if err := e.Run(); err != nil {
+			log.Printf("engine: %v", err)
+		}
+	}()
+
+	s := &server{engine: e, runs: make(map[int]*pie.Handle)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/launch", s.launch)
+	mux.HandleFunc("/send", s.send)
+	mux.HandleFunc("/recv", s.recv)
+	mux.HandleFunc("/wait", s.wait)
+	mux.HandleFunc("/stats", s.stats)
+	mux.HandleFunc("/programs", s.programs)
+	log.Printf("pie-server listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// inject runs fn as a sim process and blocks the HTTP handler until done.
+func (s *server) inject(name string, fn func()) {
+	done := make(chan struct{})
+	s.engine.Clock().Inject(name, func() {
+		defer close(done)
+		fn()
+	})
+	<-done
+}
+
+func (s *server) launch(w http.ResponseWriter, r *http.Request) {
+	program := r.URL.Query().Get("program")
+	body, _ := io.ReadAll(r.Body)
+	var h *pie.Handle
+	var err error
+	s.inject("http:launch", func() {
+		if len(body) > 0 {
+			h, err = s.engine.Launch(program, string(body))
+		} else {
+			h, err = s.engine.Launch(program)
+		}
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.runs[id] = h
+	s.mu.Unlock()
+	writeJSON(w, map[string]interface{}{"id": id, "program": program})
+}
+
+func (s *server) handle(r *http.Request) (*pie.Handle, error) {
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		return nil, fmt.Errorf("bad id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown id %d", id)
+	}
+	return h, nil
+}
+
+func (s *server) send(w http.ResponseWriter, r *http.Request) {
+	h, err := s.handle(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, _ := io.ReadAll(r.Body)
+	s.inject("http:send", func() { h.Send(string(body)) })
+	writeJSON(w, map[string]string{"status": "sent"})
+}
+
+func (s *server) recv(w http.ResponseWriter, r *http.Request) {
+	h, err := s.handle(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var msg string
+	var recvErr error
+	s.inject("http:recv", func() { msg, recvErr = h.Recv().Get() })
+	if recvErr != nil {
+		http.Error(w, recvErr.Error(), http.StatusGone)
+		return
+	}
+	writeJSON(w, map[string]string{"message": msg})
+}
+
+func (s *server) wait(w http.ResponseWriter, r *http.Request) {
+	h, err := s.handle(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var runErr error
+	s.inject("http:wait", func() { runErr = h.Wait() })
+	cc, ic, tok := h.Stats()
+	resp := map[string]interface{}{
+		"logs": h.Logs(), "controlCalls": cc, "inferCalls": ic, "outputTokens": tok,
+		"virtualTime": s.engine.Now().String(),
+	}
+	if runErr != nil {
+		resp["error"] = runErr.Error()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.engine.Stats())
+}
+
+func (s *server) programs(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	for _, p := range apps.All() {
+		names = append(names, p.Name)
+	}
+	writeJSON(w, names)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

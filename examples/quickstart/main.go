@@ -1,0 +1,119 @@
+// Quickstart: the paper's §4.2 examples end to end — the three-line
+// support-library completion, and the same loop written against the raw
+// fine-grained API (alloc/embed/forward/sample), on a full-fidelity
+// engine with real (tiny-transformer) math.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pie"
+	"pie/api"
+	"pie/inferlet"
+	"pie/support"
+)
+
+func main() {
+	engine := pie.New(pie.Config{Seed: 42, Mode: pie.ModeFull})
+
+	// The high-level version: Context manages pages automatically (§6.3).
+	engine.MustRegister(inferlet.Program{
+		Name: "hello-simple", BinarySize: 64 << 10,
+		Run: func(s inferlet.Session) error {
+			ctx, err := support.NewContext(s, s.AvailableModels()[0])
+			if err != nil {
+				return err
+			}
+			if err := ctx.Fill("Hello, "); err != nil {
+				return err
+			}
+			res, err := ctx.Generate(support.GenOpts{MaxTokens: 10})
+			if err != nil {
+				return err
+			}
+			s.Send(res.Text)
+			return ctx.Sync()
+		},
+	})
+
+	// The same loop with raw handles: explicit embeds, KV pages, forwards,
+	// and host-side greedy sampling (the paper's §4.2 listing).
+	engine.MustRegister(inferlet.Program{
+		Name: "hello-raw", BinarySize: 129 << 10,
+		Run: func(s inferlet.Session) error {
+			m := s.AvailableModels()[0]
+			q, err := s.CreateQueue(m.ID)
+			if err != nil {
+				return err
+			}
+			promF, _ := s.Tokenize(q, "Hello, ")
+			prom, err := promF.Get()
+			if err != nil {
+				return err
+			}
+			tokLimit := len(prom) + 10
+
+			promEmb, _ := s.AllocEmbeds(q, len(prom))
+			genEmb, _ := s.AllocEmbeds(q, 1)
+			kv, _ := s.AllocKvPages(q, (tokLimit+m.PageSize-1)/m.PageSize)
+
+			pos := make([]int, len(prom))
+			for i := range pos {
+				pos[i] = i
+			}
+			s.EmbedText(q, prom, pos, promEmb)
+			s.Forward(q, api.ForwardArgs{InputEmb: promEmb, OutputKv: kv, OutputEmb: genEmb})
+
+			var out []int
+			for i := len(prom); i < tokLimit; i++ {
+				distF, _ := s.GetNextDist(q, genEmb[0])
+				dist, err := distF.Get()
+				if err != nil {
+					return err
+				}
+				gen := dist.ArgMax()
+				out = append(out, gen)
+				s.ReportOutputTokens(1)
+				s.EmbedText(q, []int{gen}, []int{i}, genEmb)
+				s.Forward(q, api.ForwardArgs{InputKv: kv, InputEmb: genEmb, OutputKv: kv, OutputEmb: genEmb})
+			}
+			textF, _ := s.Detokenize(q, out)
+			text, err := textF.Get()
+			if err != nil {
+				return err
+			}
+			s.Send(text)
+
+			s.DeallocEmbeds(q, promEmb)
+			s.DeallocEmbeds(q, genEmb)
+			s.DeallocKvPages(q, kv)
+			syncF, _ := s.Synchronize(q)
+			_, err = syncF.Get()
+			return err
+		},
+	})
+
+	err := engine.RunClient(func() {
+		for _, name := range []string{"hello-simple", "hello-raw"} {
+			t0 := engine.Now()
+			h, err := engine.Launch(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			msg, _ := h.Recv().Get()
+			if err := h.Wait(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s -> %q  (virtual %v)\n", name, msg, engine.Now()-t0)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := engine.Stats()
+	fmt.Printf("\nGPU kernels: %d  batches: %d  busy: %v\n", st.Kernels, st.Batches, st.GPUBusy)
+	fmt.Println("Both programs print identical text: the support library is sugar over the raw API.")
+}

@@ -1,0 +1,70 @@
+// Reasoning example: the deliberate prompting strategies of §7.2 —
+// Tree-of-Thought search with explicit branch pruning (forked KV pages
+// freed the moment a branch loses) and Skeleton-of-Thought's parallel
+// point expansion over one shared skeleton. Both run concurrently to show
+// hundreds of API calls from different inferlets batching onto one GPU.
+//
+//	go run ./examples/reasoning
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"pie"
+	"pie/apps"
+)
+
+func main() {
+	engine := pie.New(pie.Config{Seed: 11, Mode: pie.ModeFull})
+	engine.MustRegister(apps.All()...)
+
+	tot, _ := json.Marshal(apps.TreeParams{
+		Prompt: "Use the numbers 4 7 8 8 to make 24. ",
+		Depth:  3, Branch: 3, ThinkTokens: 12,
+	})
+	skot, _ := json.Marshal(apps.SkeletonParams{
+		Prompt: "Write about the history of computing. ",
+		Points: 4, SkeletonTokens: 12, ExpandTokens: 12,
+	})
+	rot, _ := json.Marshal(apps.RecursionParams{
+		Prompt: "Compute 48*37+95*12 step by step. ",
+		Depth:  2, Branch: 2, DivideTokens: 8, SolveTokens: 8,
+	})
+
+	err := engine.RunClient(func() {
+		t0 := engine.Now()
+		hTot, err := engine.Launch("tot", string(tot))
+		if err != nil {
+			log.Fatal(err)
+		}
+		hSkot, err := engine.Launch("skot", string(skot))
+		if err != nil {
+			log.Fatal(err)
+		}
+		hRot, err := engine.Launch("rot", string(rot))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, h := range []struct {
+			name   string
+			handle *pie.Handle
+		}{{"tree-of-thought", hTot}, {"skeleton-of-thought", hSkot}, {"recursion-of-thought", hRot}} {
+			msg, _ := h.handle.Recv().Get()
+			if err := h.handle.Wait(); err != nil {
+				log.Fatalf("%s: %v", h.name, err)
+			}
+			_, ic, tok := h.handle.Stats()
+			fmt.Printf("%-20s %3d output tokens, %4d inference calls -> %.48q\n", h.name, tok, ic, msg)
+		}
+		fmt.Printf("\nall three strategies finished in %v of virtual time\n", engine.Now()-t0)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := engine.Stats()
+	inUse, capacity := engine.PoolStats("llama-1b")
+	fmt.Printf("engine: %d kernels, avg batch %.1f (cross-inferlet batching)\n", st.Kernels, st.AvgBatch)
+	fmt.Printf("KV pages in use after completion: %d / %d (pruned branches freed their pages)\n", inUse, capacity)
+}

@@ -1,0 +1,174 @@
+// Package inferlet defines Pie's programming model (§4): inferlets are
+// user programs that orchestrate LLM generation end to end by issuing
+// fine-grained API calls against the serving system.
+//
+// An inferlet runs single-threaded inside a sandboxed, event-driven
+// runtime (the paper uses WebAssembly; this reproduction runs Go closures
+// under an equivalent cooperative sandbox — see internal/ilm). Concurrency
+// within an inferlet comes from asynchronous, non-blocking API calls that
+// return futures.
+//
+// The Session interface is the complete API surface of Table 1 — 42 entry
+// points split between the control layer (runtime, messaging, I/O; cheap,
+// handled without touching the GPU) and the inference layer
+// (embed/forward/sample and KV-cache operations, which flow through
+// command queues and the batch scheduler). See the README's API table for
+// the full inventory and trait assignment.
+package inferlet
+
+import (
+	"time"
+
+	"pie/api"
+)
+
+// Program is a deployable inferlet: the unit of service in Pie (the system
+// "elevates programs, not prompts, to the basic unit of service").
+type Program struct {
+	// Name registers the program with the Inferlet Lifecycle Manager.
+	Name string
+	// BinarySize is the size in bytes of the compiled Wasm artifact this
+	// program stands in for; it drives upload and JIT costs on cold
+	// launches (Fig. 9). Table 2 of the paper records the real sizes.
+	BinarySize int
+	// Run is the program body. A returned error is reported to the client
+	// that launched the inferlet.
+	Run func(s Session) error
+}
+
+// Subscription is a handle on a broadcast topic (subscribe).
+type Subscription interface {
+	// Recv resolves with the next message on the topic.
+	Recv() api.Future[string]
+	// Cancel detaches from the topic.
+	Cancel()
+}
+
+// Child is a handle on an inferlet spawned by another inferlet
+// (inter-inferlet workflows such as Agent-SWARM).
+type Child interface {
+	// Send delivers a message to the child's receive queue.
+	Send(msg string)
+	// Recv resolves with the child's next message to its parent.
+	Recv() api.Future[string]
+	// Wait resolves when the child finishes, with its error result.
+	Wait() api.Future[error]
+}
+
+// Session is the API an inferlet programs against. Methods that take an
+// api.Queue are processed by the inference layer via the batch scheduler;
+// the rest are handled directly by the control layer (§4, Table 1).
+type Session interface {
+	// --- Core runtime (control layer) ---
+
+	// GetArg returns the launch arguments.
+	GetArg() []string
+	// Send delivers a message to the client that launched this inferlet.
+	Send(msg string)
+	// Receive resolves with the next message from the client.
+	Receive() api.Future[string]
+	// Print emits a debug line through the runtime's log stream.
+	Print(msg string)
+	// InstanceID names this inferlet instance.
+	InstanceID() string
+	// Now returns the current time in the serving system's clock domain.
+	Now() time.Duration
+	// Sleep suspends the inferlet.
+	Sleep(d time.Duration)
+	// Yield lets other inferlets run.
+	Yield()
+	// Random returns sandboxed entropy (deterministic per instance).
+	Random() uint64
+	// ReportOutputTokens tells the runtime how many output tokens the
+	// application has accepted (instrumentation; Fig. 11).
+	ReportOutputTokens(n int)
+
+	// --- Integrated I/O and messaging (control layer, §4.3) ---
+
+	// HTTPGet performs an asynchronous HTTP GET against an external
+	// service.
+	HTTPGet(url string) api.Future[string]
+	// HTTPPost performs an asynchronous HTTP POST.
+	HTTPPost(url, body string) api.Future[string]
+	// Broadcast publishes to every subscriber of a topic.
+	Broadcast(topic, msg string)
+	// Subscribe attaches to a topic.
+	Subscribe(topic string) Subscription
+	// Spawn launches another inferlet and returns a handle to it.
+	Spawn(program string, args []string) (Child, error)
+
+	// --- Model discovery ---
+
+	// AvailableModels lists servable models.
+	AvailableModels() []api.ModelInfo
+	// AvailableTraits lists a model's traits.
+	AvailableTraits(m api.ModelID) ([]api.Trait, error)
+
+	// --- Command queues ---
+
+	// CreateQueue opens a command queue against a model.
+	CreateQueue(m api.ModelID) (api.Queue, error)
+	// SetQueuePriority hints the batch scheduler.
+	SetQueuePriority(q api.Queue, pri int) error
+	// Synchronize resolves when all previously enqueued calls complete.
+	Synchronize(q api.Queue) (api.Future[struct{}], error)
+
+	// --- Allocate trait ---
+
+	// AllocEmbeds allocates embedding slots.
+	AllocEmbeds(q api.Queue, n int) ([]api.Embed, error)
+	// DeallocEmbeds releases embedding slots (queue-ordered).
+	DeallocEmbeds(q api.Queue, ids []api.Embed) error
+	// AllocKvPages allocates KV-cache pages.
+	AllocKvPages(q api.Queue, n int) ([]api.KvPage, error)
+	// DeallocKvPages releases KV pages (queue-ordered).
+	DeallocKvPages(q api.Queue, ids []api.KvPage) error
+	// ExportKvPages publishes pages under a global name for other
+	// inferlets.
+	ExportKvPages(name string, ids []api.KvPage) error
+	// ImportKvPages maps another inferlet's exported pages (shared).
+	ImportKvPages(name string) ([]api.KvPage, error)
+	// HasExport probes the export registry.
+	HasExport(name string) bool
+	// ReleaseExport removes an export registration.
+	ReleaseExport(name string) error
+	// CopyKvPage copies KV entries token-by-token between pages.
+	CopyKvPage(q api.Queue, src, dst api.KvPage, srcOff, dstOff, n int) (api.Future[struct{}], error)
+
+	// --- Forward trait ---
+
+	// Forward runs the transformer pass described by args.
+	Forward(q api.Queue, args api.ForwardArgs) (api.Future[struct{}], error)
+	// ForwardWithAdapter is Forward with a LoRA adapter applied.
+	ForwardWithAdapter(q api.Queue, adapter string, args api.ForwardArgs) (api.Future[struct{}], error)
+	// ForwardSampled is the fused monolithic-style pipeline (TraitFused):
+	// optional inline embedding of token ids, forward, and on-GPU
+	// sampling in a single kernel. Used by the Table 3 ablation.
+	ForwardSampled(q api.Queue, args api.ForwardArgs, inlineTokens, inlinePos []int, spec api.SampleSpec) (api.Future[[]int], error)
+	// MaskKvPage sets token-level attention mask bits on a page.
+	MaskKvPage(q api.Queue, page api.KvPage, bits []bool) (api.Future[struct{}], error)
+
+	// --- InputText / InputImage traits ---
+
+	// EmbedText embeds token ids into slots at explicit positions.
+	EmbedText(q api.Queue, tokens, positions []int, dst []api.Embed) (api.Future[struct{}], error)
+	// EmbedImage embeds an image blob into slots.
+	EmbedImage(q api.Queue, blob []byte, positions []int, dst []api.Embed) (api.Future[struct{}], error)
+	// NumEmbedsNeeded sizes the slot allocation for an image.
+	NumEmbedsNeeded(m api.ModelID, imageBytes int) (int, error)
+
+	// --- Tokenize trait ---
+
+	// Tokenize converts text to token ids.
+	Tokenize(q api.Queue, text string) (api.Future[[]int], error)
+	// Detokenize converts token ids back to text.
+	Detokenize(q api.Queue, ids []int) (api.Future[string], error)
+	// GetVocabs retrieves the byte expansion of every vocabulary entry.
+	GetVocabs(q api.Queue) (api.Future[[][]byte], error)
+
+	// --- OutputText trait ---
+
+	// GetNextDist resolves with the truncated next-token distribution of
+	// an output embedding.
+	GetNextDist(q api.Queue, emb api.Embed) (api.Future[api.Dist], error)
+}

@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"time"
+
+	"pie/internal/netsim"
+	"pie/internal/sim"
+)
+
+// Client is the remote application script of Fig. 5 (left): all agent
+// logic lives here, and every LLM interaction pays a network round trip
+// to the engine plus whatever re-prefill the engine's cache cannot avoid.
+type Client struct {
+	Clock  *sim.Clock
+	Engine *Engine
+	Link   netsim.Link
+}
+
+// NewClient wires a client to an engine over a link with the given RTT.
+func NewClient(clock *sim.Clock, e *Engine, rtt time.Duration) *Client {
+	return &Client{Clock: clock, Engine: e, Link: netsim.Link{Clock: clock, RTT: rtt}}
+}
+
+// Generate performs one request round trip (front-end handling included).
+func (c *Client) Generate(prompt []int, maxTokens int, script []int) []int {
+	return netsim.RoundTrip(c.Link, func() []int {
+		c.Clock.Sleep(c.Engine.Config().PerRequestOverhead)
+		return c.Engine.Generate(prompt, maxTokens, script)
+	})
+}
+
+// GenerateOpts performs a request with engine-side features toggled.
+func (c *Client) GenerateOpts(r *Request) []int {
+	return netsim.RoundTrip(c.Link, func() []int {
+		c.Clock.Sleep(c.Engine.Config().PerRequestOverhead)
+		req := c.Engine.Submit(r)
+		_ = sim.Await(req.Done)
+		return req.Output
+	})
+}
+
+// GenerateFork is SGLang-style server-side fork/join: n continuations of
+// one shared prompt. The first request populates the radix tree before
+// the siblings are admitted, so they reuse the prefix KV.
+func (c *Client) GenerateFork(prompt []int, n, maxTokens int, scripts [][]int) [][]int {
+	return netsim.RoundTrip(c.Link, func() [][]int {
+		c.Clock.Sleep(c.Engine.Config().PerRequestOverhead)
+		reqs := make([]*Request, n)
+		script := func(i int) []int {
+			if i < len(scripts) {
+				return scripts[i]
+			}
+			return nil
+		}
+		reqs[0] = c.Engine.Submit(&Request{Prompt: prompt, MaxTokens: maxTokens, Script: script(0)})
+		if n > 1 && c.Engine.cfg.PrefixCache != "" {
+			// Wait for the shared prefix to land in the cache so the
+			// siblings hit it (RadixAttention's in-flight sharing).
+			for {
+				hit, _ := c.Engine.cache.match(prompt)
+				if hit >= len(prompt)/c.Engine.cfg.PageSize*c.Engine.cfg.PageSize {
+					break
+				}
+				if reqs[0].Done.Done() {
+					break
+				}
+				c.Clock.Sleep(2 * time.Millisecond)
+			}
+		}
+		for i := 1; i < n; i++ {
+			reqs[i] = c.Engine.Submit(&Request{Prompt: prompt, MaxTokens: maxTokens, Script: script(i)})
+		}
+		out := make([][]int, n)
+		for i, r := range reqs {
+			_ = sim.Await(r.Done)
+			out[i] = r.Output
+		}
+		return out
+	})
+}

@@ -1,0 +1,749 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pie/api"
+	"pie/internal/infer"
+	"pie/internal/model"
+	"pie/internal/sim"
+)
+
+// Controller is the heart of the control layer: it owns resource pools,
+// virtual address mappings, command queues, the export registry, and the
+// batch scheduler, and it routes completed batches back to inferlets.
+type Controller struct {
+	clock    *sim.Clock
+	backend  *infer.Backend
+	models   map[string]*infer.ModelRuntime
+	order    []string
+	pagePool map[string]*pool
+	embPool  map[string]*pool
+	exports  map[string]*exportEntry
+
+	instances map[uint64]*Instance
+	instSeq   uint64
+	queueSeq  uint64
+	callSeq   uint64
+
+	sched *Scheduler
+
+	// Stats.
+	Terminations int
+}
+
+// NewController wires a controller to its backend and models.
+func NewController(clock *sim.Clock, backend *infer.Backend, models []*infer.ModelRuntime, cfg SchedConfig) *Controller {
+	ctl := &Controller{
+		clock:     clock,
+		backend:   backend,
+		models:    make(map[string]*infer.ModelRuntime),
+		pagePool:  make(map[string]*pool),
+		embPool:   make(map[string]*pool),
+		exports:   make(map[string]*exportEntry),
+		instances: make(map[uint64]*Instance),
+	}
+	for _, rt := range models {
+		name := string(rt.Info.ID)
+		ctl.models[name] = rt
+		ctl.order = append(ctl.order, name)
+		ctl.pagePool[name] = newPool(rt.PageCapacity)
+		ctl.embPool[name] = newPool(rt.EmbedCapacity)
+	}
+	ctl.sched = newScheduler(clock, ctl, cfg)
+	backend.SetCompleteFunc(ctl.onBatchComplete)
+	backend.Device.SetIdleFunc(ctl.sched.onDeviceIdle)
+	return ctl
+}
+
+// Scheduler exposes the batch scheduler (for tests and stats).
+func (ctl *Controller) Scheduler() *Scheduler { return ctl.sched }
+
+// chargeControl prices a control-layer-handled API call in the caller's
+// process and bumps instrumentation.
+func (ctl *Controller) chargeControl(inst *Instance) {
+	inst.ControlCalls++
+	ctl.clock.Sleep(controlCallBase + time.Duration(len(ctl.instances))*controlCallPerInst)
+}
+
+// --- Instance lifecycle -------------------------------------------------
+
+// RegisterInstance creates the control-layer state for a new inferlet.
+// onKill runs when the FCFS contention policy terminates the instance.
+func (ctl *Controller) RegisterInstance(name string, proc *sim.Proc, onKill func(error)) *Instance {
+	ctl.instSeq++
+	inst := &Instance{
+		ID:         ctl.instSeq,
+		Name:       name,
+		CreatedSeq: ctl.instSeq,
+		Proc:       proc,
+		vEmbeds:    make(map[api.Embed]resRef),
+		vPages:     make(map[api.KvPage]resRef),
+		queues:     make(map[api.Queue]*cmdQueue),
+		onKill:     onKill,
+	}
+	ctl.instances[inst.ID] = inst
+	return inst
+}
+
+// ReleaseInstance frees every resource the instance holds: queues are
+// closed (pending calls fail), virtual mappings are dropped, and physical
+// references are released. Idempotent.
+func (ctl *Controller) ReleaseInstance(inst *Instance) {
+	if inst.dead {
+		return
+	}
+	inst.dead = true
+	for _, q := range inst.queues {
+		q.closed = true
+		for _, c := range q.pending {
+			c.Err = api.ErrTerminated
+			failCall(c)
+		}
+		q.pending = nil
+		ctl.sched.forgetQueue(q)
+	}
+	for _, ref := range inst.vEmbeds {
+		ctl.embPool[ref.model].release(ref.phys)
+	}
+	for _, ref := range inst.vPages {
+		ctl.pagePool[ref.model].release(ref.phys)
+	}
+	inst.vEmbeds = make(map[api.Embed]resRef)
+	inst.vPages = make(map[api.KvPage]resRef)
+	delete(ctl.instances, inst.ID)
+}
+
+// failCall resolves every completion future a call carries.
+func failCall(c *infer.Call) {
+	if c.Done != nil && !c.Done.Done() {
+		sim.Fire(c.Done)
+	}
+	if c.SyncFut != nil && !c.SyncFut.Done() {
+		sim.Fire(c.SyncFut)
+	}
+	if c.DistFut != nil && !c.DistFut.Done() {
+		c.DistFut.Fail(c.Err)
+	}
+	if c.TokFut != nil && !c.TokFut.Done() {
+		c.TokFut.Fail(c.Err)
+	}
+	if c.TextFut != nil && !c.TextFut.Done() {
+		c.TextFut.Fail(c.Err)
+	}
+	if c.VocabFut != nil && !c.VocabFut.Done() {
+		c.VocabFut.Fail(c.Err)
+	}
+	if c.FusedTok != nil && !c.FusedTok.Done() {
+		c.FusedTok.Fail(c.Err)
+	}
+}
+
+// ensurePages enforces the resource-contention policy (§5.2, §8): when a
+// KvPage allocation cannot be satisfied, the most recently created live
+// inferlets are terminated until enough pages are free. If the requester
+// itself is the newest, it is the victim and receives ErrTerminated.
+func (ctl *Controller) ensurePages(requester *Instance, modelName string, n int) error {
+	p := ctl.pagePool[modelName]
+	for p.available() < n {
+		victim := ctl.newestInstance()
+		if victim == nil {
+			return api.ErrOutOfResources
+		}
+		ctl.Terminations++
+		if victim == requester {
+			ctl.terminate(victim, errTerminated(n, modelName))
+			return errTerminated(n, modelName)
+		}
+		ctl.terminate(victim, errTerminated(n, modelName))
+		if p.available() >= n {
+			break
+		}
+	}
+	return nil
+}
+
+func (ctl *Controller) newestInstance() *Instance {
+	var newest *Instance
+	for _, inst := range ctl.instances {
+		if newest == nil || inst.CreatedSeq > newest.CreatedSeq {
+			newest = inst
+		}
+	}
+	return newest
+}
+
+func (ctl *Controller) terminate(inst *Instance, reason error) {
+	onKill := inst.onKill
+	ctl.ReleaseInstance(inst)
+	if onKill != nil {
+		onKill(reason)
+	}
+}
+
+// Instances returns the number of live instances.
+func (ctl *Controller) Instances() int { return len(ctl.instances) }
+
+// --- Model discovery ----------------------------------------------------
+
+// Models lists servable models in registration order (available_models).
+func (ctl *Controller) Models(inst *Instance) []api.ModelInfo {
+	ctl.chargeControl(inst)
+	out := make([]api.ModelInfo, 0, len(ctl.order))
+	for _, name := range ctl.order {
+		out = append(out, ctl.models[name].Info)
+	}
+	return out
+}
+
+// Traits reports a model's trait set (available_traits).
+func (ctl *Controller) Traits(inst *Instance, m api.ModelID) ([]api.Trait, error) {
+	ctl.chargeControl(inst)
+	rt, ok := ctl.models[string(m)]
+	if !ok {
+		return nil, api.ErrNoSuchModel
+	}
+	return append([]api.Trait(nil), rt.Info.Traits...), nil
+}
+
+// --- Queues ---------------------------------------------------------------
+
+// CreateQueue makes a command queue bound to a model (create_queue).
+func (ctl *Controller) CreateQueue(inst *Instance, m api.ModelID) (api.Queue, error) {
+	ctl.chargeControl(inst)
+	rt, ok := ctl.models[string(m)]
+	if !ok {
+		return 0, api.ErrNoSuchModel
+	}
+	ctl.queueSeq++
+	q := &cmdQueue{id: api.Queue(ctl.queueSeq), inst: inst, model: string(m), rt: rt}
+	inst.queues[q.id] = q
+	return q.id, nil
+}
+
+// SetQueuePriority hints the scheduler (set_queue_priority).
+func (ctl *Controller) SetQueuePriority(inst *Instance, qid api.Queue, pri int) error {
+	ctl.chargeControl(inst)
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return err
+	}
+	q.priority = pri
+	return nil
+}
+
+// Synchronize returns a signal that fires when every call enqueued on the
+// queue before this point has completed (synchronize).
+func (ctl *Controller) Synchronize(inst *Instance, qid api.Queue) (*sim.Signal, error) {
+	ctl.chargeControl(inst)
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.pending) == 0 && q.inflight == 0 {
+		s := sim.NewSignal(ctl.clock)
+		sim.Fire(s)
+		return s, nil
+	}
+	c := &infer.Call{Op: infer.OpSync, SyncFut: sim.NewSignal(ctl.clock)}
+	ctl.enqueue(q, c)
+	return c.SyncFut, nil
+}
+
+func (ctl *Controller) queue(inst *Instance, qid api.Queue) (*cmdQueue, error) {
+	q, ok := inst.queues[qid]
+	if !ok || q.closed {
+		return nil, api.ErrQueueClosed
+	}
+	return q, nil
+}
+
+// --- Allocation -----------------------------------------------------------
+
+// AllocEmbeds allocates n embedding slots (alloc_emb).
+func (ctl *Controller) AllocEmbeds(inst *Instance, qid api.Queue, n int) ([]api.Embed, error) {
+	ctl.chargeControl(inst)
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, api.ErrBadArgument
+	}
+	phys, ok := ctl.embPool[q.model].alloc(n)
+	if !ok {
+		return nil, api.ErrOutOfResources
+	}
+	out := make([]api.Embed, n)
+	for i, id := range phys {
+		inst.nextEmbed++
+		out[i] = inst.nextEmbed
+		inst.vEmbeds[out[i]] = resRef{model: q.model, phys: id}
+	}
+	return out, nil
+}
+
+// AllocPages allocates n KV pages (alloc_kvpage), applying the FCFS
+// contention policy on shortage.
+func (ctl *Controller) AllocPages(inst *Instance, qid api.Queue, n int) ([]api.KvPage, error) {
+	ctl.chargeControl(inst)
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, api.ErrBadArgument
+	}
+	if err := ctl.ensurePages(inst, q.model, n); err != nil {
+		return nil, err
+	}
+	phys, ok := ctl.pagePool[q.model].alloc(n)
+	if !ok {
+		return nil, api.ErrOutOfResources
+	}
+	out := make([]api.KvPage, n)
+	for i, id := range phys {
+		inst.nextPage++
+		out[i] = inst.nextPage
+		inst.vPages[out[i]] = resRef{model: q.model, phys: id}
+		// Fresh pages must arrive empty even if physically recycled.
+		ctl.models[q.model].Page(id).Reset()
+	}
+	return out, nil
+}
+
+// DeallocEmbeds releases embedding slots after prior queue ops complete
+// (dealloc_emb): it is a queue-ordered control op.
+func (ctl *Controller) DeallocEmbeds(inst *Instance, qid api.Queue, ids []api.Embed) error {
+	ctl.chargeControl(inst)
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return err
+	}
+	refs := make([]resRef, 0, len(ids))
+	for _, id := range ids {
+		ref, ok := inst.vEmbeds[id]
+		if !ok {
+			return api.ErrBadHandle
+		}
+		refs = append(refs, ref)
+		delete(inst.vEmbeds, id) // handle dies now; physical free is deferred
+	}
+	ctl.enqueue(q, &infer.Call{Op: infer.OpDealloc, ControlFn: func() {
+		for _, ref := range refs {
+			ctl.embPool[ref.model].release(ref.phys)
+		}
+	}})
+	return nil
+}
+
+// DeallocPages releases KV pages, queue-ordered (dealloc_kvpage).
+func (ctl *Controller) DeallocPages(inst *Instance, qid api.Queue, ids []api.KvPage) error {
+	ctl.chargeControl(inst)
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return err
+	}
+	refs := make([]resRef, 0, len(ids))
+	for _, id := range ids {
+		ref, ok := inst.vPages[id]
+		if !ok {
+			return api.ErrBadHandle
+		}
+		refs = append(refs, ref)
+		delete(inst.vPages, id)
+	}
+	ctl.enqueue(q, &infer.Call{Op: infer.OpDealloc, ControlFn: func() {
+		for _, ref := range refs {
+			ctl.pagePool[ref.model].release(ref.phys)
+		}
+	}})
+	return nil
+}
+
+// --- Export / import ------------------------------------------------------
+
+// ExportPages publishes the pages under a global name (export_kvpage). The
+// registry takes its own reference on each page, so the export outlives
+// the exporter.
+func (ctl *Controller) ExportPages(inst *Instance, name string, ids []api.KvPage) error {
+	ctl.chargeControl(inst)
+	if _, exists := ctl.exports[name]; exists {
+		return fmt.Errorf("%w: export name %q taken", api.ErrBadArgument, name)
+	}
+	entry := &exportEntry{}
+	for _, id := range ids {
+		ref, ok := inst.vPages[id]
+		if !ok {
+			return api.ErrBadHandle
+		}
+		if entry.model == "" {
+			entry.model = ref.model
+		} else if entry.model != ref.model {
+			return fmt.Errorf("%w: export mixes models", api.ErrBadArgument)
+		}
+		entry.phys = append(entry.phys, ref.phys)
+	}
+	for _, p := range entry.phys {
+		ctl.pagePool[entry.model].retain(p)
+	}
+	ctl.exports[name] = entry
+	return nil
+}
+
+// ImportPages maps an export into the caller's address space
+// (import_kvpage); the pages are shared, not copied.
+func (ctl *Controller) ImportPages(inst *Instance, name string) ([]api.KvPage, error) {
+	ctl.chargeControl(inst)
+	entry, ok := ctl.exports[name]
+	if !ok {
+		return nil, api.ErrNoSuchExport
+	}
+	out := make([]api.KvPage, len(entry.phys))
+	for i, p := range entry.phys {
+		ctl.pagePool[entry.model].retain(p)
+		inst.nextPage++
+		out[i] = inst.nextPage
+		inst.vPages[out[i]] = resRef{model: entry.model, phys: p}
+	}
+	return out, nil
+}
+
+// HasExport reports whether name is registered (used for cache probing).
+func (ctl *Controller) HasExport(inst *Instance, name string) bool {
+	ctl.chargeControl(inst)
+	_, ok := ctl.exports[name]
+	return ok
+}
+
+// ReleaseExport drops the registry's references (release_export).
+func (ctl *Controller) ReleaseExport(inst *Instance, name string) error {
+	ctl.chargeControl(inst)
+	entry, ok := ctl.exports[name]
+	if !ok {
+		return api.ErrNoSuchExport
+	}
+	for _, p := range entry.phys {
+		ctl.pagePool[entry.model].release(p)
+	}
+	delete(ctl.exports, name)
+	return nil
+}
+
+// --- Inference-layer calls -------------------------------------------------
+
+func (ctl *Controller) resolvePages(inst *Instance, q *cmdQueue, ids []api.KvPage) ([]*model.KvPage, error) {
+	out := make([]*model.KvPage, len(ids))
+	for i, id := range ids {
+		ref, ok := inst.vPages[id]
+		if !ok || ref.model != q.model {
+			return nil, api.ErrBadHandle
+		}
+		out[i] = q.rt.Page(ref.phys)
+	}
+	return out, nil
+}
+
+// newCall stamps common fields and instruments the instance.
+func (ctl *Controller) newCall(inst *Instance, op infer.Op) *infer.Call {
+	ctl.callSeq++
+	inst.InferCalls++
+	return &infer.Call{
+		Op:   op,
+		Seq:  ctl.callSeq,
+		Enq:  ctl.clock.Now(),
+		Inst: inst.ID,
+		Done: sim.NewSignal(ctl.clock),
+	}
+}
+
+// EmbedText schedules embed_txt: token ids into embedding slots with
+// explicit positions.
+func (ctl *Controller) EmbedText(inst *Instance, qid api.Queue, tokens, positions []int, dst []api.Embed) (*sim.Signal, error) {
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, err
+	}
+	slots, err := ctl.resolveEmbeds(inst, q, dst)
+	if err != nil {
+		return nil, err
+	}
+	c := ctl.newCall(inst, infer.OpEmbedText)
+	c.Model = q.rt
+	c.TokenIDs = append([]int(nil), tokens...)
+	c.Positions = append([]int(nil), positions...)
+	c.Outputs = slots
+	ctl.enqueue(q, c)
+	return c.Done, nil
+}
+
+// EmbedImage schedules embed_img.
+func (ctl *Controller) EmbedImage(inst *Instance, qid api.Queue, blob []byte, positions []int, dst []api.Embed) (*sim.Signal, error) {
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, err
+	}
+	if !q.rt.Info.HasTrait(api.TraitInputImage) {
+		return nil, api.ErrNoSuchTrait
+	}
+	slots, err := ctl.resolveEmbeds(inst, q, dst)
+	if err != nil {
+		return nil, err
+	}
+	c := ctl.newCall(inst, infer.OpEmbedImage)
+	c.Model = q.rt
+	c.Blob = blob
+	c.Positions = append([]int(nil), positions...)
+	c.Outputs = slots
+	ctl.enqueue(q, c)
+	return c.Done, nil
+}
+
+// Forward schedules the core transformer pass.
+func (ctl *Controller) Forward(inst *Instance, qid api.Queue, args api.ForwardArgs) (*sim.Signal, error) {
+	c, q, err := ctl.buildForward(inst, qid, args)
+	if err != nil {
+		return nil, err
+	}
+	ctl.enqueue(q, c)
+	return c.Done, nil
+}
+
+// ForwardSampled schedules forward_with_sampling (the fused monolithic-style
+// pipeline, TraitFused): optional inline token embedding, forward, and
+// on-GPU sampling, one kernel.
+func (ctl *Controller) ForwardSampled(inst *Instance, qid api.Queue, args api.ForwardArgs, inlineTokens, inlinePos []int, spec infer.SampleSpec) (*sim.Future[[]int], error) {
+	c, q, err := ctl.buildForward(inst, qid, args)
+	if err != nil {
+		return nil, err
+	}
+	if len(inlineTokens) > 0 {
+		if len(args.InputEmb) > 0 {
+			return nil, fmt.Errorf("%w: both InputEmb and inline tokens", api.ErrBadArgument)
+		}
+		c.FusedEmb = append([]int(nil), inlineTokens...)
+		c.FusedPos = append([]int(nil), inlinePos...)
+	}
+	c.Sample = &spec
+	c.FusedTok = sim.NewFuture[[]int](ctl.clock)
+	ctl.enqueue(q, c)
+	return c.FusedTok, nil
+}
+
+func (ctl *Controller) buildForward(inst *Instance, qid api.Queue, args api.ForwardArgs) (*infer.Call, *cmdQueue, error) {
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctxPages, err := ctl.resolvePages(inst, q, args.InputKv)
+	if err != nil {
+		return nil, nil, err
+	}
+	outPages, err := ctl.resolvePages(inst, q, args.OutputKv)
+	if err != nil {
+		return nil, nil, err
+	}
+	inputs, err := ctl.resolveEmbeds(inst, q, args.InputEmb)
+	if err != nil {
+		return nil, nil, err
+	}
+	outputs, err := ctl.resolveEmbeds(inst, q, args.OutputEmb)
+	if err != nil {
+		return nil, nil, err
+	}
+	if args.Adapter != "" && !q.rt.Info.HasTrait(api.TraitAdapter) {
+		return nil, nil, api.ErrNoSuchTrait
+	}
+	c := ctl.newCall(inst, infer.OpForward)
+	c.Model = q.rt
+	c.CtxPages = ctxPages
+	c.OutPages = outPages
+	c.Inputs = inputs
+	c.Outputs = outputs
+	c.Mask = args.Mask
+	c.Adapter = args.Adapter
+	return c, q, nil
+}
+
+// NextDist schedules get_next_dist.
+func (ctl *Controller) NextDist(inst *Instance, qid api.Queue, emb api.Embed) (*sim.Future[api.Dist], error) {
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, err
+	}
+	slots, err := ctl.resolveEmbeds(inst, q, []api.Embed{emb})
+	if err != nil {
+		return nil, err
+	}
+	c := ctl.newCall(inst, infer.OpNextDist)
+	c.Model = q.rt
+	c.DistOf = slots[0]
+	c.DistFut = sim.NewFuture[infer.DistResult](ctl.clock)
+	ctl.enqueue(q, c)
+
+	out := sim.NewFuture[api.Dist](ctl.clock)
+	ctl.clock.Go("dist-adapt", func() {
+		r, err := c.DistFut.Get()
+		if err != nil {
+			out.Fail(err)
+			return
+		}
+		out.Resolve(api.Dist{Tokens: r.Tokens, Probs: r.Probs})
+	})
+	return out, nil
+}
+
+// CopyKv schedules copy_kvpage: token-level copy between pages.
+func (ctl *Controller) CopyKv(inst *Instance, qid api.Queue, src, dst api.KvPage, srcOff, dstOff, n int) (*sim.Signal, error) {
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, err
+	}
+	pages, err := ctl.resolvePages(inst, q, []api.KvPage{src, dst})
+	if err != nil {
+		return nil, err
+	}
+	c := ctl.newCall(inst, infer.OpCopyKv)
+	c.Model = q.rt
+	c.SrcPage, c.DstPage = pages[0], pages[1]
+	c.SrcOff, c.DstOff, c.NumTokens = srcOff, dstOff, n
+	ctl.enqueue(q, c)
+	return c.Done, nil
+}
+
+// MaskKv schedules mask_kvpage: token-level attention mask bits.
+func (ctl *Controller) MaskKv(inst *Instance, qid api.Queue, page api.KvPage, bits []bool) (*sim.Signal, error) {
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, err
+	}
+	pages, err := ctl.resolvePages(inst, q, []api.KvPage{page})
+	if err != nil {
+		return nil, err
+	}
+	c := ctl.newCall(inst, infer.OpMaskKv)
+	c.Model = q.rt
+	c.MaskPage = pages[0]
+	c.MaskBits = append([]bool(nil), bits...)
+	ctl.enqueue(q, c)
+	return c.Done, nil
+}
+
+// Tokenize schedules tokenize.
+func (ctl *Controller) Tokenize(inst *Instance, qid api.Queue, text string) (*sim.Future[[]int], error) {
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, err
+	}
+	c := ctl.newCall(inst, infer.OpTokenize)
+	c.Model = q.rt
+	c.Text = text
+	c.TokFut = sim.NewFuture[[]int](ctl.clock)
+	ctl.enqueue(q, c)
+	return c.TokFut, nil
+}
+
+// Detokenize schedules detokenize.
+func (ctl *Controller) Detokenize(inst *Instance, qid api.Queue, ids []int) (*sim.Future[string], error) {
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, err
+	}
+	c := ctl.newCall(inst, infer.OpDetokenize)
+	c.Model = q.rt
+	c.TokenIDs = append([]int(nil), ids...)
+	c.TextFut = sim.NewFuture[string](ctl.clock)
+	ctl.enqueue(q, c)
+	return c.TextFut, nil
+}
+
+// GetVocabs schedules get_vocabs.
+func (ctl *Controller) GetVocabs(inst *Instance, qid api.Queue) (*sim.Future[[][]byte], error) {
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return nil, err
+	}
+	c := ctl.newCall(inst, infer.OpGetVocabs)
+	c.Model = q.rt
+	c.VocabFut = sim.NewFuture[[][]byte](ctl.clock)
+	ctl.enqueue(q, c)
+	return c.VocabFut, nil
+}
+
+func (ctl *Controller) resolveEmbeds(inst *Instance, q *cmdQueue, ids []api.Embed) ([]*model.EmbedSlot, error) {
+	out := make([]*model.EmbedSlot, len(ids))
+	for i, id := range ids {
+		ref, ok := inst.vEmbeds[id]
+		if !ok || ref.model != q.model {
+			return nil, api.ErrBadHandle
+		}
+		out[i] = q.rt.Embed(ref.phys)
+	}
+	return out, nil
+}
+
+// enqueue adds a call to its queue and pokes the scheduler.
+func (ctl *Controller) enqueue(q *cmdQueue, c *infer.Call) {
+	q.pending = append(q.pending, c)
+	ctl.sched.onEnqueue(q)
+}
+
+// onBatchComplete is the event dispatcher (§5.2 step 5): results arrived
+// from the inference layer; release queue ordering and keep dispatching.
+func (ctl *Controller) onBatchComplete(b *infer.Batch) {
+	for _, c := range b.Calls {
+		q := ctl.sched.queueOf(c)
+		if q != nil {
+			q.inflight--
+		}
+	}
+	seen := map[*cmdQueue]bool{}
+	for _, c := range b.Calls {
+		q := ctl.sched.queueOf(c)
+		ctl.sched.forgetCall(c)
+		if q != nil && !seen[q] {
+			seen[q] = true
+			ctl.drainControlOps(q)
+		}
+	}
+	ctl.sched.tryDispatch()
+}
+
+// drainControlOps executes queue-ordered control ops (dealloc, sync) that
+// have reached the head with nothing in flight ahead of them.
+func (ctl *Controller) drainControlOps(q *cmdQueue) {
+	for q.inflight == 0 {
+		h := q.head()
+		if h == nil || !h.Op.ControlSide() {
+			return
+		}
+		q.pop()
+		switch h.Op {
+		case infer.OpDealloc:
+			h.ControlFn()
+		case infer.OpSync:
+			sim.Fire(h.SyncFut)
+		}
+	}
+}
+
+// PoolStats reports page occupancy for a model (tests, Fig. 7 analysis).
+func (ctl *Controller) PoolStats(modelName string) (inUse, capacity int) {
+	p := ctl.pagePool[modelName]
+	return p.inUse(), p.capacity
+}
+
+// ModelRuntime returns the runtime for a model id.
+func (ctl *Controller) ModelRuntime(name string) *infer.ModelRuntime { return ctl.models[name] }
+
+// SortedInstanceIDs aids deterministic test assertions.
+func (ctl *Controller) SortedInstanceIDs() []uint64 {
+	ids := make([]uint64, 0, len(ctl.instances))
+	for id := range ctl.instances {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

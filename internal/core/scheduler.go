@@ -1,0 +1,365 @@
+package core
+
+import (
+	"time"
+
+	"pie/internal/infer"
+	"pie/internal/sim"
+)
+
+// SchedPolicy selects the batch-dispatch strategy (§6.1, Table 5).
+type SchedPolicy int
+
+const (
+	// PolicyAdaptive is the work-conserving default: queue while the GPU is
+	// busy, form the largest eligible batch the instant it goes idle.
+	PolicyAdaptive SchedPolicy = iota
+	// PolicyEager dispatches every call as its own batch immediately.
+	PolicyEager
+	// PolicyKOnly dispatches a batch only once K same-type calls queue.
+	PolicyKOnly
+	// PolicyTOnly dispatches whatever queued every T interval.
+	PolicyTOnly
+)
+
+func (p SchedPolicy) String() string {
+	switch p {
+	case PolicyAdaptive:
+		return "adaptive"
+	case PolicyEager:
+		return "eager"
+	case PolicyKOnly:
+		return "k-only"
+	case PolicyTOnly:
+		return "t-only"
+	}
+	return "unknown"
+}
+
+// SchedConfig parameterizes the scheduler.
+type SchedConfig struct {
+	Policy        SchedPolicy
+	K             int           // PolicyKOnly threshold
+	T             time.Duration // PolicyTOnly flush interval
+	MaxBatchCalls int           // backend's maximum batch size (tail-truncated)
+	// SchedOverhead is the control-layer batch-formation cost added to each
+	// batch (Table 3: +0.050 ms "overhead of control layer batch
+	// scheduling").
+	SchedOverhead time.Duration
+	// DistReturnOverhead models shipping truncated distributions back to
+	// inferlets (Table 3: +0.070 ms "overhead of returning output
+	// distribution"), charged on get_next_dist batches.
+	DistReturnOverhead time.Duration
+}
+
+// DefaultSchedConfig returns the paper's production configuration.
+func DefaultSchedConfig() SchedConfig {
+	return SchedConfig{
+		Policy:             PolicyAdaptive,
+		K:                  32,
+		T:                  5 * time.Millisecond,
+		MaxBatchCalls:      256,
+		SchedOverhead:      50 * time.Microsecond,
+		DistReturnOverhead: 70 * time.Microsecond,
+	}
+}
+
+// Scheduler groups compatible GPU-bound API calls into batches (§5.2).
+//
+// Vertical batching: consecutive same-type calls from one command queue
+// join one batch; because the backend executes a batch's calls in order at
+// kernel completion, chained forwards (call N+1 reading call N's output
+// pages — the paper's split-prefill example) are correct inside one batch.
+//
+// Horizontal batching: head-runs from different queues merge, higher
+// priority queues placed first; the batch is truncated at MaxBatchCalls
+// from the tail. Among op types, the one whose oldest pending call has
+// waited longest wins.
+type Scheduler struct {
+	clock *sim.Clock
+	ctl   *Controller
+	cfg   SchedConfig
+
+	queues map[*cmdQueue]struct{}
+	callQ  map[*infer.Call]*cmdQueue
+
+	kickPending bool
+
+	// Stats.
+	Batches      int
+	BatchedCalls int
+	MaxBatch     int
+}
+
+// kickDelay is the adaptive policy's dispatch hysteresis: batch formation
+// waits for the in-flight completion wave (event-dispatcher fan-out plus
+// the IPC hop) to deliver its burst of follow-up API calls before forming
+// a batch. Without it, the first call of a wave would flush as a tiny
+// batch and the cohort would fragment into phase groups that alternate on
+// the GPU forever. The cost shows up in Table 3's "+0.05 ms batch
+// scheduling" row.
+const kickDelay = 20 * time.Microsecond
+
+func newScheduler(clock *sim.Clock, ctl *Controller, cfg SchedConfig) *Scheduler {
+	if cfg.MaxBatchCalls <= 0 {
+		cfg.MaxBatchCalls = 256
+	}
+	s := &Scheduler{
+		clock:  clock,
+		ctl:    ctl,
+		cfg:    cfg,
+		queues: make(map[*cmdQueue]struct{}),
+		callQ:  make(map[*infer.Call]*cmdQueue),
+	}
+	switch cfg.Policy {
+	case PolicyTOnly:
+		clock.GoDaemon("sched:ticker", s.tickerLoop)
+	case PolicyKOnly:
+		// A slow safety flush keeps sub-K tails from stalling forever; the
+		// paper's K-only baseline is otherwise strictly threshold-driven.
+		clock.GoDaemon("sched:konly-flush", s.kOnlyFlushLoop)
+	}
+	return s
+}
+
+// Config returns the active configuration.
+func (s *Scheduler) Config() SchedConfig { return s.cfg }
+
+func (s *Scheduler) tickerLoop() {
+	for {
+		s.clock.Sleep(s.cfg.T)
+		for s.dispatchOne() {
+		}
+	}
+}
+
+func (s *Scheduler) kOnlyFlushLoop() {
+	const stallLimit = 100 * time.Millisecond
+	for {
+		s.clock.Sleep(stallLimit / 2)
+		for q := range s.queues {
+			if q.closed || q.inflight > 0 || len(q.pending) == 0 {
+				continue
+			}
+			h := q.head()
+			if h != nil && !h.Op.ControlSide() && s.clock.Now()-h.Enq > stallLimit {
+				s.dispatchOne()
+				break
+			}
+		}
+	}
+}
+
+// onEnqueue reacts to a new call on q.
+func (s *Scheduler) onEnqueue(q *cmdQueue) {
+	s.queues[q] = struct{}{}
+	h := q.head()
+	if h != nil && h.Op.ControlSide() {
+		s.ctl.drainControlOps(q)
+	}
+	switch s.cfg.Policy {
+	case PolicyEager:
+		for s.dispatchOne() {
+		}
+	case PolicyAdaptive:
+		if s.ctl.backend.Device.Idle() {
+			s.scheduleKick()
+		}
+	case PolicyKOnly:
+		if s.pendingDispatchable() >= s.cfg.K {
+			s.dispatchOne()
+		}
+	case PolicyTOnly:
+		// ticker only
+	}
+}
+
+// scheduleKick arms a one-shot batch-formation event kickDelay from now
+// (see kickDelay). At most one kick is pending at a time.
+func (s *Scheduler) scheduleKick() {
+	if s.kickPending {
+		return
+	}
+	s.kickPending = true
+	s.clock.GoDaemon("sched:kick", func() {
+		s.clock.Sleep(kickDelay)
+		s.kickPending = false
+		if s.ctl.backend.Device.Idle() {
+			s.dispatchOne()
+		}
+	})
+}
+
+// onDeviceIdle is the work-conserving trigger (§6.1): the inference layer
+// notifies the moment the GPU drains.
+func (s *Scheduler) onDeviceIdle() {
+	switch s.cfg.Policy {
+	case PolicyAdaptive:
+		s.scheduleKick()
+	case PolicyEager:
+		s.dispatchOne()
+	}
+}
+
+// tryDispatch is called after completions release queue ordering.
+func (s *Scheduler) tryDispatch() {
+	switch s.cfg.Policy {
+	case PolicyAdaptive:
+		if s.ctl.backend.Device.Idle() {
+			s.scheduleKick()
+		}
+	case PolicyEager:
+		for s.dispatchOne() {
+		}
+	case PolicyKOnly:
+		if s.pendingDispatchable() >= s.cfg.K {
+			s.dispatchOne()
+		}
+	}
+}
+
+// pendingDispatchable counts calls at eligible queue heads and their
+// same-type runs.
+func (s *Scheduler) pendingDispatchable() int {
+	n := 0
+	for q := range s.queues {
+		if q.closed || q.inflight > 0 || len(q.pending) == 0 {
+			continue
+		}
+		if q.head().Op.ControlSide() {
+			continue
+		}
+		n += len(q.pending)
+	}
+	return n
+}
+
+// dispatchOne forms and submits a single batch; it reports whether one was
+// dispatched.
+//
+// Type selection: light stage-ops (embed, sampling, KV maintenance) beat
+// forwards, and within a class the type whose oldest pending call has
+// waited longest wins. Draining the light ops first lets every inferlet
+// blocked behind them reach its next forward, so the expensive kernel
+// forms at full cohort width instead of splitting into alternating phase
+// groups.
+func (s *Scheduler) dispatchOne() bool {
+	type key struct {
+		op infer.Op
+		rt *infer.ModelRuntime
+	}
+	oldest := map[key]time.Duration{}
+	var bestKey key
+	var haveBest bool
+	better := func(a, b key) bool { // a beats b
+		lightA, lightB := a.op != infer.OpForward, b.op != infer.OpForward
+		if lightA != lightB {
+			return lightA
+		}
+		return oldest[a] < oldest[b]
+	}
+	for q := range s.queues {
+		if q.closed || q.inflight > 0 {
+			continue
+		}
+		s.ctl.drainControlOps(q)
+		h := q.head()
+		if h == nil || h.Op.ControlSide() {
+			continue
+		}
+		k := key{h.Op, q.rt}
+		if t, ok := oldest[k]; !ok || h.Enq < t {
+			oldest[k] = h.Enq
+		}
+		if !haveBest || better(k, bestKey) {
+			bestKey, haveBest = k, true
+		}
+	}
+	if !haveBest {
+		return false
+	}
+
+	// Gather queues whose head matches, by priority then queue id.
+	var eligible []*cmdQueue
+	for q := range s.queues {
+		if q.closed || q.inflight > 0 {
+			continue
+		}
+		h := q.head()
+		if h == nil || h.Op.ControlSide() {
+			continue
+		}
+		if h.Op == bestKey.op && q.rt == bestKey.rt {
+			eligible = append(eligible, q)
+		}
+	}
+	sortQueues(eligible)
+
+	batch := &infer.Batch{Op: bestKey.op, Model: bestKey.rt}
+	max := s.cfg.MaxBatchCalls
+	if s.cfg.Policy == PolicyEager {
+		max = 1
+	}
+	for _, q := range eligible {
+		if len(batch.Calls) >= max {
+			break // truncate from the tail (§5.2)
+		}
+		// Vertical: take the head run of same-type calls.
+		for len(q.pending) > 0 && len(batch.Calls) < max {
+			h := q.head()
+			if h.Op != bestKey.op {
+				break
+			}
+			q.pop()
+			q.inflight++
+			s.callQ[h] = q
+			batch.Calls = append(batch.Calls, h)
+		}
+	}
+	if len(batch.Calls) == 0 {
+		return false
+	}
+	batch.Extra = s.cfg.SchedOverhead
+	if batch.Op == infer.OpNextDist {
+		batch.Extra += s.cfg.DistReturnOverhead
+	}
+	s.Batches++
+	s.BatchedCalls += len(batch.Calls)
+	if len(batch.Calls) > s.MaxBatch {
+		s.MaxBatch = len(batch.Calls)
+	}
+	s.ctl.backend.Submit(batch)
+	return true
+}
+
+func sortQueues(qs []*cmdQueue) {
+	// Insertion sort: eligible sets are small and allocation-free ordering
+	// keeps the scheduler cheap.
+	for i := 1; i < len(qs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := qs[j-1], qs[j]
+			if b.priority > a.priority || (b.priority == a.priority && b.id < a.id) {
+				qs[j-1], qs[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// queueOf maps an in-flight call back to its queue.
+func (s *Scheduler) queueOf(c *infer.Call) *cmdQueue { return s.callQ[c] }
+
+// forgetCall drops completion bookkeeping.
+func (s *Scheduler) forgetCall(c *infer.Call) { delete(s.callQ, c) }
+
+// forgetQueue removes a closed queue from scheduling.
+func (s *Scheduler) forgetQueue(q *cmdQueue) { delete(s.queues, q) }
+
+// AvgBatchSize reports mean calls per batch.
+func (s *Scheduler) AvgBatchSize() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedCalls) / float64(s.Batches)
+}

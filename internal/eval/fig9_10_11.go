@@ -1,0 +1,290 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"pie"
+	"pie/apps"
+	"pie/inferlet"
+	"pie/internal/metrics"
+	"pie/internal/sim"
+)
+
+// Figure 9: average launch latency versus number of simultaneous inferlet
+// launches, cold (upload + JIT) vs warm (cached binary). Paper: warm
+// 10–50 ms, cold 35–81 ms up to 896 launches, pooled allocation keeping
+// the floor low.
+
+// Fig9Point is one (count, cold/warm) sample.
+type Fig9Point struct {
+	Count int
+	Cold  time.Duration
+	Warm  time.Duration
+}
+
+// Fig9Result is the launch-latency curve.
+type Fig9Result struct {
+	Points []Fig9Point
+}
+
+// Figure9 measures end-to-end launch→ack latency from the client, like
+// the paper's modified text-completion probe.
+func Figure9(o Options) Fig9Result {
+	counts := []int{1, 64, 128, 256, 512, 896}
+	if o.Quick {
+		counts = []int{1, 64, 256}
+	}
+	var out Fig9Result
+	for _, n := range counts {
+		out.Points = append(out.Points, Fig9Point{
+			Count: n,
+			Cold:  launchProbe(o.seed(), n, false),
+			Warm:  launchProbe(o.seed(), n, true),
+		})
+	}
+	return out
+}
+
+// launchProbe launches n ack-probes simultaneously and returns the mean
+// request→ack latency. Warm runs pre-compile the binary with one launch.
+func launchProbe(seed uint64, n int, warm bool) time.Duration {
+	e := newPieEngine(seed, nil)
+	params := marshalParams(apps.CompletionParams{Ack: true, MaxTokens: 1, Prompt: "x"})
+	lat := &metrics.Series{}
+	e.Go("driver", func() {
+		if warm {
+			h, err := e.Launch("text_completion", params)
+			if err == nil {
+				h.Recv().Get()
+				h.Wait()
+			}
+		}
+		g := sim.NewGroup(e.Clock())
+		for i := 0; i < n; i++ {
+			g.Go("launcher", func() {
+				t0 := e.Now()
+				h, err := e.Launch("text_completion", params)
+				if err != nil {
+					return
+				}
+				if _, err := h.Recv().Get(); err == nil {
+					// Ack received: that is the measured latency; the
+					// tail of the generation happens beyond it.
+					lat.Add(e.Now() - t0 + e.ClientRTT()/2) // response leg
+				}
+				h.Wait()
+			})
+		}
+		g.Wait()
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return lat.Mean()
+}
+
+// Table renders the curve.
+func (r Fig9Result) Table() string {
+	t := &metrics.Table{
+		Title:  "Figure 9: inferlet launch latency (paper: warm 10-50ms, cold 35-81ms)",
+		Header: []string{"launches", "cold", "warm"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Count), metrics.Ms(p.Cold), metrics.Ms(p.Warm))
+	}
+	return t.String()
+}
+
+// Figure 10: per-API-call overhead by handling layer versus concurrent
+// inferlets, batch scheduling disabled. Paper: control layer <30 µs;
+// inference layer 10–300 µs, growing with concurrency (single-threaded
+// deserialization).
+
+// Fig10Point is one concurrency sample.
+type Fig10Point struct {
+	Inferlets      int
+	ControlLayer   time.Duration
+	InferenceLayer time.Duration
+}
+
+// Fig10Result is the overhead curve.
+type Fig10Result struct {
+	Points []Fig10Point
+}
+
+// apiProbe measures per-call overhead at one concurrency level:
+// control-layer calls are timed inside the inferlet (they are pure
+// control-plane work); inference-layer overhead is observed at the
+// backend boundary (submission → deserialized, plus the response IPC hop),
+// which excludes kernel execution and device queueing — the paper's
+// "excluding handling time".
+func apiProbe(seed uint64, n int) Fig10Point {
+	e := newPieEngine(seed, func(c *pie.Config) {
+		c.Policy = pie.PolicyEager // "we disable batch scheduling"
+		c.NoSchedOverhead = true
+	})
+	ctl := &metrics.Series{}
+	inf := &metrics.Series{}
+	e.Backend().OnOverhead = func(d time.Duration) { inf.Add(d) }
+	e.MustRegister(inferlet.Program{
+		Name: "api_probe", BinarySize: 4 << 10,
+		Run: func(s inferlet.Session) error {
+			m := s.AvailableModels()[0]
+			q, err := s.CreateQueue(m.ID)
+			if err != nil {
+				return err
+			}
+			pages, err := s.AllocKvPages(q, 1)
+			if err != nil {
+				return err
+			}
+			bits := make([]bool, m.PageSize)
+			// Inferlets issue in synchronized rounds so the single-threaded
+			// deserializer sees the concurrent burst the paper measures
+			// (inferlets pipeline calls rather than lock-stepping on each).
+			const rounds = 8
+			const period = 100 * time.Millisecond
+			for i := 0; i < rounds; i++ {
+				target := time.Duration(i+1) * period
+				if d := target - s.Now(); d > 0 {
+					s.Sleep(d)
+				}
+				t0 := s.Now()
+				if _, err := s.AvailableTraits(m.ID); err != nil {
+					return err
+				}
+				ctl.Add(s.Now() - t0)
+
+				f, err := s.MaskKvPage(q, pages[0], bits)
+				if err != nil {
+					return err
+				}
+				if _, err := f.Get(); err != nil {
+					return err
+				}
+			}
+			return s.DeallocKvPages(q, pages)
+		},
+	})
+	e.Go("driver", func() {
+		g := sim.NewGroup(e.Clock())
+		for i := 0; i < n; i++ {
+			g.Go("launcher", func() {
+				h, err := e.Launch("api_probe")
+				if err != nil {
+					return
+				}
+				h.Wait()
+			})
+		}
+		g.Wait()
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return Fig10Point{Inferlets: n, ControlLayer: ctl.Mean(), InferenceLayer: inf.Mean()}
+}
+
+// Figure10 runs the concurrency sweep.
+func Figure10(o Options) Fig10Result {
+	counts := []int{1, 128, 256, 512, 896}
+	if o.Quick {
+		counts = []int{1, 128, 384}
+	}
+	var out Fig10Result
+	for _, n := range counts {
+		out.Points = append(out.Points, apiProbe(o.seed(), n))
+	}
+	return out
+}
+
+// Table renders the curve.
+func (r Fig10Result) Table() string {
+	t := &metrics.Table{
+		Title:  "Figure 10: per-API-call overhead by layer (paper: control <30us, inference 10-300us)",
+		Header: []string{"inferlets", "control layer", "inference layer"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Inferlets),
+			fmt.Sprintf("%.1f us", float64(p.ControlLayer)/float64(time.Microsecond)),
+			fmt.Sprintf("%.1f us", float64(p.InferenceLayer)/float64(time.Microsecond)))
+	}
+	return t.String()
+}
+
+// Figure 11: average API calls per output token per task, split by
+// handling layer. Paper: text completion ≈1.6 inference + 1.5 control;
+// beam search ≈17 + 13. (Our decomposed decode loop issues
+// embed+forward+dist per token, so absolute counts are ~3/token; the
+// across-task shape is the claim — see EXPERIMENTS.md.)
+
+// Fig11Row is one task's call intensity.
+type Fig11Row struct {
+	Task         string
+	ControlCalls float64 // per output token
+	InferCalls   float64
+	OutputTokens int
+}
+
+// Fig11Result holds every task.
+type Fig11Result struct {
+	Rows []Fig11Row
+}
+
+// Figure11 runs each task once and reads the session instrumentation.
+func Figure11(o Options) Fig11Result {
+	tasks := []struct {
+		name   string
+		app    string
+		params interface{}
+	}{
+		{"textcomp", "text_completion", apps.CompletionParams{Prompt: f8Prompt, MaxTokens: 64}},
+		{"tot", "tot", apps.TreeParams{Depth: 3, Branch: 3, ThinkTokens: 24}},
+		{"skot", "skot", apps.SkeletonParams{Points: 4, SkeletonTokens: 20, ExpandTokens: 24}},
+		{"got", "got", apps.GraphParams{NumChunks: 4, ChunkTokens: 24, MergeTokens: 16}},
+		{"specdec", "specdec", apps.SpecDecodeParams{MaxTokens: 64, DraftLen: 4, Oracle: true, AcceptRate: 0.7}},
+		{"react", "agent_react", apps.AgentParams{Steps: reactSteps, ThinkTokens: reactThink, ObsTokens: reactObs, FinalTokens: reactFinal}},
+		{"beam", "beam", apps.BeamParams{Width: 5, Steps: 24}},
+		{"swarm", "agent_swarm", apps.SwarmParams{Workers: swarmWorkers, IOsPerWorker: swarmIOs, ThinkTokens: swarmThink}},
+	}
+	var out Fig11Result
+	for _, task := range tasks {
+		e := newPieEngine(o.seed(), nil)
+		var cc, ic, tok int
+		e.Go("driver", func() {
+			h, err := e.Launch(task.app, marshalParams(task.params))
+			if err != nil {
+				return
+			}
+			h.Wait()
+			cc, ic, tok = h.Stats()
+		})
+		if err := e.Run(); err != nil {
+			panic(err)
+		}
+		if tok == 0 {
+			tok = 1
+		}
+		out.Rows = append(out.Rows, Fig11Row{
+			Task:         task.name,
+			ControlCalls: float64(cc) / float64(tok),
+			InferCalls:   float64(ic) / float64(tok),
+			OutputTokens: tok,
+		})
+	}
+	return out
+}
+
+// Table renders the call intensities.
+func (r Fig11Result) Table() string {
+	t := &metrics.Table{
+		Title:  "Figure 11: API calls per output token",
+		Header: []string{"task", "control/tok", "inference/tok", "output tokens"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Task, fmt.Sprintf("%.2f", row.ControlCalls),
+			fmt.Sprintf("%.2f", row.InferCalls), fmt.Sprintf("%d", row.OutputTokens))
+	}
+	return t.String()
+}

@@ -1,0 +1,225 @@
+// Package gpu simulates the hardware accelerator behind the inference
+// layer: a single serially-executing device plus an analytical cost model
+// per parameter class.
+//
+// Calibration. The paper's testbed is an NVIDIA L4 (24 GB) serving Llama 3
+// at BF16 with FlashInfer kernels; its own measurements anchor the
+// constants here:
+//
+//   - Table 4 gives monolithic-engine (vLLM) text-completion TPOT at 32
+//     concurrent requests: 16.83 ms (1B), 30.30 ms (3B), 64.06 ms (8B).
+//     A decode step over a batch B charges WeightStream plus
+//     B·PerTokenDecode plus the KV reads; the constants below make the
+//     vLLM simulation land on those numbers. Bulk prefill is compute-bound
+//     and priced separately (PerTokenPrefill, several times cheaper).
+//   - Table 3 itemizes Pie's decomposed-pipeline overheads; the dominant
+//     term is the separate (non-pipelined) sampling kernel, represented by
+//     SampleKernel plus a lost-overlap term that shrinks as forwards grow.
+//   - Figure 10's inference-layer API overhead comes from the IPC boundary
+//     (constant ~6 µs) plus single-threaded request deserialization that
+//     scales with concurrent inferlets; see DeserPerCall.
+//
+// Memory geometry uses the real Llama-3 KV layouts (bytes/token) so KV
+// capacity pressure matches the paper's setting: the 8B model fits ~60K
+// cached tokens in 24 GB, making 128-agent workloads contend (Fig. 7).
+package gpu
+
+import (
+	"time"
+
+	"pie/internal/sim"
+)
+
+// Spec holds the timing and memory constants for one parameter class.
+//
+// Forward kernels have two per-token regimes: decode steps are
+// memory-bound (each sequence's activations and KV stream per step, the
+// marginal cost behind Table 4's batched TPOT), while bulk prefill is
+// compute-bound and several times cheaper per token.
+type Spec struct {
+	Label string
+
+	KernelLaunch    time.Duration // fixed per-kernel dispatch cost
+	WeightStream    time.Duration // streaming all weights once per forward kernel
+	PerTokenDecode  time.Duration // marginal cost per decode-step sequence
+	PerTokenPrefill time.Duration // marginal cost per bulk prefill token
+	KvReadPerTok    time.Duration // marginal cost per attended context token
+	EmbedKernel     time.Duration // standalone embedding kernel
+	EmbedPerTok     time.Duration
+	SampleKernel    time.Duration // standalone sampling/distribution kernel
+	SamplePerSeq    time.Duration
+	KvOpKernel      time.Duration // alloc/copy/mask page operations
+
+	TotalMemBytes   int64
+	WeightBytes     int64
+	KvBytesPerToken int64
+	EmbedBytes      int64 // per embedding slot
+}
+
+// SpecFor returns the calibrated spec for a parameter label ("1B", "3B",
+// "8B"). Unknown labels fall back to 1B.
+func SpecFor(label string) Spec {
+	const gb = int64(1) << 30
+	base := Spec{
+		Label:         label,
+		KernelLaunch:  30 * time.Microsecond,
+		EmbedKernel:   50 * time.Microsecond,
+		EmbedPerTok:   600 * time.Nanosecond,
+		SampleKernel:  800 * time.Microsecond,
+		SamplePerSeq:  15 * time.Microsecond,
+		KvOpKernel:    20 * time.Microsecond,
+		TotalMemBytes: 24 * gb,
+	}
+	switch label {
+	case "8B":
+		base.WeightStream = 48 * time.Millisecond
+		base.PerTokenDecode = 420 * time.Microsecond
+		base.PerTokenPrefill = 300 * time.Microsecond
+		base.KvReadPerTok = 190 * time.Nanosecond
+		base.WeightBytes = 16 * gb
+		base.KvBytesPerToken = 128 << 10 // 32 layers × 2 × 8 kv-heads × 128 dim × 2B
+		base.EmbedBytes = 8192
+	case "3B":
+		base.WeightStream = 21500 * time.Microsecond
+		base.PerTokenDecode = 230 * time.Microsecond
+		base.PerTokenPrefill = 110 * time.Microsecond
+		base.KvReadPerTok = 110 * time.Nanosecond
+		base.WeightBytes = 6 * gb
+		base.KvBytesPerToken = 72 << 10 // 28 layers × 2 × 8 × 128 × 2B (3.2-3B geometry)
+		base.EmbedBytes = 6144
+	default: // "1B"
+		base.Label = "1B"
+		base.WeightStream = 10 * time.Millisecond
+		base.PerTokenDecode = 180 * time.Microsecond
+		base.PerTokenPrefill = 40 * time.Microsecond
+		base.KvReadPerTok = 60 * time.Nanosecond
+		base.WeightBytes = 5 * gb / 2
+		base.KvBytesPerToken = 32 << 10 // 16 layers × 2 × 8 × 64 × 2B
+		base.EmbedBytes = 4096
+	}
+	return base
+}
+
+// KvPageCapacity returns how many pages of pageSize tokens fit beside the
+// weights, reserving headroom for activations.
+func (s Spec) KvPageCapacity(pageSize int) int {
+	free := s.TotalMemBytes - s.WeightBytes - (2 << 30) // 2 GB activation headroom
+	if free <= 0 {
+		return 0
+	}
+	perPage := s.KvBytesPerToken * int64(pageSize)
+	return int(free / perPage)
+}
+
+// ForwardCost prices one (possibly batched) forward kernel: decodeSeqs
+// sequences advancing one step, prefillTokens bulk input tokens, attending
+// over ctxTokens total context entries. The weight stream is paid once per
+// kernel — this is the entire economics of batching (Table 5).
+func (s Spec) ForwardCost(decodeSeqs, prefillTokens, ctxTokens int) time.Duration {
+	return s.KernelLaunch + s.WeightStream +
+		time.Duration(decodeSeqs)*s.PerTokenDecode +
+		time.Duration(prefillTokens)*s.PerTokenPrefill +
+		time.Duration(ctxTokens)*s.KvReadPerTok
+}
+
+// EmbedCost prices a batched embedding kernel.
+func (s Spec) EmbedCost(tokens int) time.Duration {
+	return s.KernelLaunch + s.EmbedKernel + time.Duration(tokens)*s.EmbedPerTok
+}
+
+// SampleCost prices a batched distribution/sampling kernel over seqs
+// sequences.
+func (s Spec) SampleCost(seqs int) time.Duration {
+	return s.KernelLaunch + s.SampleKernel + time.Duration(seqs)*s.SamplePerSeq
+}
+
+// FusedSampleCost prices sampling when fused into the forward kernel
+// (monolithic pipelines and the Table 3 ablation): the kernel launch and
+// most of the sampling latency overlap with the forward pass.
+func (s Spec) FusedSampleCost(seqs int) time.Duration {
+	return time.Duration(seqs) * s.SamplePerSeq
+}
+
+// KvOpCost prices page maintenance operations (copy/mask) over n tokens.
+func (s Spec) KvOpCost(tokens int) time.Duration {
+	return s.KvOpKernel + time.Duration(tokens)*200*time.Nanosecond
+}
+
+// Device is a serially-executing accelerator on the virtual clock. Kernels
+// submitted while the device is busy queue FIFO. The device reports
+// busy→idle transitions to an idle callback — the signal Pie's
+// work-conserving batch scheduler is built on (§6.1).
+type Device struct {
+	clock    *sim.Clock
+	name     string
+	queue    *sim.Mailbox[kernel]
+	busy     bool
+	idleFn   func()
+	busyTime time.Duration
+	kernels  int
+}
+
+type kernel struct {
+	label string
+	cost  time.Duration
+	done  *sim.Signal
+}
+
+// NewDevice starts the device process on c.
+func NewDevice(c *sim.Clock, name string) *Device {
+	d := &Device{clock: c, name: name, queue: sim.NewMailbox[kernel](c)}
+	c.GoDaemon("gpu:"+name, d.loop)
+	return d
+}
+
+func (d *Device) loop() {
+	for {
+		k, err := d.queue.Recv()
+		if err != nil {
+			return
+		}
+		d.busy = true
+		for {
+			d.clock.Sleep(k.cost)
+			d.busyTime += k.cost
+			d.kernels++
+			sim.Fire(k.done)
+			next, ok := d.queue.TryRecv()
+			if !ok {
+				break
+			}
+			k = next
+		}
+		d.busy = false
+		if d.idleFn != nil {
+			d.idleFn()
+		}
+	}
+}
+
+// Submit enqueues a kernel and returns its completion signal.
+func (d *Device) Submit(label string, cost time.Duration) *sim.Signal {
+	done := sim.NewSignal(d.clock)
+	d.queue.Send(kernel{label: label, cost: cost, done: done})
+	return done
+}
+
+// Busy reports whether a kernel is executing.
+func (d *Device) Busy() bool { return d.busy }
+
+// Idle reports whether the device is fully drained: nothing executing and
+// nothing queued.
+func (d *Device) Idle() bool { return !d.busy && d.queue.Len() == 0 }
+
+// SetIdleFunc installs the busy→idle notification callback. It runs in the
+// device process.
+func (d *Device) SetIdleFunc(fn func()) { d.idleFn = fn }
+
+// BusyTime returns cumulative kernel execution time.
+func (d *Device) BusyTime() time.Duration { return d.busyTime }
+
+// Kernels returns the number of kernels executed.
+func (d *Device) Kernels() int { return d.kernels }
+
+// Close shuts the device process down.
+func (d *Device) Close() { d.queue.Close() }

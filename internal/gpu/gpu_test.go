@@ -1,0 +1,112 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"pie/internal/sim"
+)
+
+func TestSpecCalibrationAnchors(t *testing.T) {
+	// Decode-step cost at batch 32 with ~400-token contexts must sit near
+	// the paper's measured vLLM TPOTs (Table 4).
+	anchors := map[string]time.Duration{
+		"1B": 16830 * time.Microsecond,
+		"3B": 30300 * time.Microsecond,
+		"8B": 64060 * time.Microsecond,
+	}
+	for label, want := range anchors {
+		s := SpecFor(label)
+		got := s.ForwardCost(32, 0, 32*400) + s.FusedSampleCost(32)
+		ratio := float64(got) / float64(want)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s: step cost %v vs paper %v (ratio %.2f)", label, got, want, ratio)
+		}
+	}
+}
+
+func TestSpecOrdering(t *testing.T) {
+	s1, s3, s8 := SpecFor("1B"), SpecFor("3B"), SpecFor("8B")
+	if !(s1.WeightStream < s3.WeightStream && s3.WeightStream < s8.WeightStream) {
+		t.Fatal("weight stream not ordered by size")
+	}
+	if !(s1.PerTokenPrefill < s1.PerTokenDecode) {
+		t.Fatal("prefill tokens should be cheaper than decode steps")
+	}
+}
+
+func TestKvPageCapacityBinds(t *testing.T) {
+	// The 8B model must fit far fewer cached tokens than 1B — the Fig. 7
+	// contention lever.
+	c1 := SpecFor("1B").KvPageCapacity(16)
+	c8 := SpecFor("8B").KvPageCapacity(16)
+	if c8*4 > c1 {
+		t.Fatalf("8B capacity %d not much smaller than 1B %d", c8, c1)
+	}
+	if c8*16 < 40000 || c8*16 > 80000 {
+		t.Fatalf("8B token capacity %d outside the expected ~60K", c8*16)
+	}
+	if SpecFor("8B").KvPageCapacity(1<<30) != 0 {
+		t.Fatal("absurd page size should yield zero capacity")
+	}
+}
+
+func TestBatchSharesWeightStream(t *testing.T) {
+	s := SpecFor("1B")
+	one := s.ForwardCost(1, 0, 0)
+	thirtyTwo := s.ForwardCost(32, 0, 0)
+	if thirtyTwo > 2*one {
+		t.Fatalf("batching broken: 32 seqs cost %v vs %v for one", thirtyTwo, one)
+	}
+}
+
+func TestDeviceSerializesKernels(t *testing.T) {
+	clock := sim.NewClock()
+	d := NewDevice(clock, "t")
+	var ends [3]time.Duration
+	clock.Go("driver", func() {
+		sigs := make([]*sim.Signal, 3)
+		for i := range sigs {
+			sigs[i] = d.Submit("k", 10*time.Millisecond)
+		}
+		for i, s := range sigs {
+			_ = sim.Await(s)
+			ends[i] = clock.Now()
+		}
+	})
+	if err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []time.Duration{10, 20, 30} {
+		if ends[i] != want*time.Millisecond {
+			t.Fatalf("kernel %d ended at %v, want %vms", i, ends[i], want)
+		}
+	}
+	if d.BusyTime() != 30*time.Millisecond {
+		t.Fatalf("busy time %v", d.BusyTime())
+	}
+	if d.Kernels() != 3 {
+		t.Fatalf("kernels %d", d.Kernels())
+	}
+}
+
+func TestDeviceIdleNotification(t *testing.T) {
+	clock := sim.NewClock()
+	d := NewDevice(clock, "t")
+	idleAt := time.Duration(-1)
+	d.SetIdleFunc(func() { idleAt = clock.Now() })
+	clock.Go("driver", func() {
+		done := d.Submit("k", 5*time.Millisecond)
+		_ = sim.Await(done)
+		clock.Sleep(time.Millisecond)
+	})
+	if err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if idleAt != 5*time.Millisecond {
+		t.Fatalf("idle fired at %v, want 5ms", idleAt)
+	}
+	if !d.Idle() {
+		t.Fatal("device not idle after drain")
+	}
+}

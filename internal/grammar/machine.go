@@ -1,0 +1,296 @@
+package grammar
+
+import "fmt"
+
+// The matcher compiles the grammar to a recursive transition network: a
+// graph of nodes with byte-range, epsilon, call (push return, jump to rule
+// start), and pop edges. The Machine tracks a nondeterministic set of
+// (node, stack) configurations; stacks are persistent linked lists so
+// forked configurations share tails.
+
+type edgeKind int
+
+const (
+	edgeEps edgeKind = iota
+	edgeByte
+	edgeCall
+	edgePop
+)
+
+type node struct {
+	id    int
+	edges []edge
+}
+
+type edge struct {
+	kind   edgeKind
+	lo, hi byte
+	to     *node // successor (eps/byte) or return node (call)
+	callee *node // called rule's start node (call)
+}
+
+type compiler struct {
+	g      *Grammar
+	nextID int
+	starts map[string]*node
+}
+
+func (c *compiler) newNode() *node {
+	c.nextID++
+	return &node{id: c.nextID}
+}
+
+// compileRule builds start→…→pop for one rule.
+func (c *compiler) compileRule(name string) *node {
+	if n, ok := c.starts[name]; ok {
+		return n
+	}
+	start := c.newNode()
+	c.starts[name] = start // pre-register for recursion
+	end := c.compileExpr(c.g.rules[name], start)
+	end.edges = append(end.edges, edge{kind: edgePop})
+	return start
+}
+
+// compileExpr wires e between from and the returned exit node.
+func (c *compiler) compileExpr(e expr, from *node) *node {
+	switch t := e.(type) {
+	case litExpr:
+		cur := from
+		for i := 0; i < len(t.s); i++ {
+			nxt := c.newNode()
+			cur.edges = append(cur.edges, edge{kind: edgeByte, lo: t.s[i], hi: t.s[i], to: nxt})
+			cur = nxt
+		}
+		return cur
+	case rangeExpr:
+		nxt := c.newNode()
+		from.edges = append(from.edges, edge{kind: edgeByte, lo: t.lo, hi: t.hi, to: nxt})
+		return nxt
+	case refExpr:
+		callee := c.compileRule(t.name)
+		ret := c.newNode()
+		from.edges = append(from.edges, edge{kind: edgeCall, to: ret, callee: callee})
+		return ret
+	case seqExpr:
+		cur := from
+		for _, it := range t.items {
+			cur = c.compileExpr(it, cur)
+		}
+		return cur
+	case altExpr:
+		join := c.newNode()
+		for _, o := range t.opts {
+			end := c.compileExpr(o, from)
+			end.edges = append(end.edges, edge{kind: edgeEps, to: join})
+		}
+		return join
+	case optExpr:
+		end := c.compileExpr(t.e, from)
+		join := c.newNode()
+		from.edges = append(from.edges, edge{kind: edgeEps, to: join})
+		end.edges = append(end.edges, edge{kind: edgeEps, to: join})
+		return join
+	case repExpr:
+		loop := c.newNode()
+		from.edges = append(from.edges, edge{kind: edgeEps, to: loop})
+		end := c.compileExpr(t.e, loop)
+		end.edges = append(end.edges, edge{kind: edgeEps, to: loop})
+		exit := c.newNode()
+		loop.edges = append(loop.edges, edge{kind: edgeEps, to: exit})
+		return exit
+	}
+	panic(fmt.Sprintf("grammar: unknown expr %T", e))
+}
+
+type stack struct {
+	ret  *node
+	next *stack
+}
+
+type config struct {
+	n  *node
+	st *stack
+}
+
+type configKey struct {
+	node  int
+	stack *stack
+}
+
+// Machine is a live matcher positioned after some byte prefix.
+type Machine struct {
+	configs []config
+	accept  bool // some configuration has consumed a complete sentence
+}
+
+// Compile builds a machine for the grammar's start rule (the first rule,
+// or the named one if start != "").
+func (g *Grammar) Compile(start string) (*Machine, error) {
+	if start == "" {
+		start = g.order[0]
+	}
+	if _, ok := g.rules[start]; !ok {
+		return nil, fmt.Errorf("grammar: no start rule %q", start)
+	}
+	c := &compiler{g: g, starts: make(map[string]*node)}
+	s := c.compileRule(start)
+	m := &Machine{configs: []config{{n: s, st: nil}}}
+	m.close()
+	return m, nil
+}
+
+// Clone copies the machine's live state (configs share immutable stacks).
+func (m *Machine) Clone() *Machine {
+	return &Machine{configs: append([]config(nil), m.configs...), accept: m.accept}
+}
+
+// close expands epsilon, call, and pop edges until a fixpoint; it also
+// records acceptance (pop with empty stack).
+func (m *Machine) close() {
+	seen := make(map[configKey]bool, len(m.configs)*2)
+	var out []config
+	work := append([]config(nil), m.configs...)
+	for _, c := range work {
+		seen[configKey{c.n.id, c.st}] = true
+	}
+	for len(work) > 0 {
+		c := work[len(work)-1]
+		work = work[:len(work)-1]
+		hasByte := false
+		for _, e := range c.n.edges {
+			switch e.kind {
+			case edgeByte:
+				hasByte = true
+			case edgeEps:
+				nc := config{n: e.to, st: c.st}
+				k := configKey{nc.n.id, nc.st}
+				if !seen[k] {
+					seen[k] = true
+					work = append(work, nc)
+				}
+			case edgeCall:
+				nc := config{n: e.callee, st: &stack{ret: e.to, next: c.st}}
+				k := configKey{nc.n.id, nc.st}
+				if !seen[k] {
+					seen[k] = true
+					work = append(work, nc)
+				}
+			case edgePop:
+				if c.st == nil {
+					m.accept = true
+					continue
+				}
+				nc := config{n: c.st.ret, st: c.st.next}
+				k := configKey{nc.n.id, nc.st}
+				if !seen[k] {
+					seen[k] = true
+					work = append(work, nc)
+				}
+			}
+		}
+		if hasByte {
+			out = append(out, c)
+		}
+	}
+	m.configs = out
+}
+
+// Advance consumes one byte; it reports whether the machine is still live.
+func (m *Machine) Advance(b byte) bool {
+	var next []config
+	for _, c := range m.configs {
+		for _, e := range c.n.edges {
+			if e.kind == edgeByte && e.lo <= b && b <= e.hi {
+				next = append(next, config{n: e.to, st: c.st})
+			}
+		}
+	}
+	m.configs = next
+	m.accept = false
+	m.close()
+	return len(m.configs) > 0 || m.accept
+}
+
+// AdvanceString consumes every byte of s; it reports whether all were
+// viable.
+func (m *Machine) AdvanceString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !m.Advance(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Viable reports whether any continuation (including acceptance) exists.
+func (m *Machine) Viable() bool { return len(m.configs) > 0 || m.accept }
+
+// CanAccept reports whether the bytes consumed so far form a complete
+// sentence.
+func (m *Machine) CanAccept() bool { return m.accept }
+
+// CanContinue reports whether at least one more byte can be consumed.
+func (m *Machine) CanContinue() bool { return len(m.configs) > 0 }
+
+// TokenViable reports whether the machine could consume every byte of tok
+// (without committing the machine).
+func (m *Machine) TokenViable(tok []byte) bool {
+	if len(tok) == 0 {
+		return false
+	}
+	probe := m.Clone()
+	for _, b := range tok {
+		if !probe.Advance(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllowedTokens filters a vocabulary (token id → bytes) down to the ids
+// viable from the current state. Empty-byte tokens (specials) are never
+// allowed.
+func (m *Machine) AllowedTokens(vocab [][]byte) []int {
+	var out []int
+	for id, b := range vocab {
+		if len(b) == 0 {
+			continue
+		}
+		if m.TokenViable(b) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AllowedSet is AllowedTokens as a membership map.
+func (m *Machine) AllowedSet(vocab [][]byte) map[int]bool {
+	out := make(map[int]bool)
+	for _, id := range m.AllowedTokens(vocab) {
+		out[id] = true
+	}
+	return out
+}
+
+// JSONGrammar is a ready-made grammar for a practical JSON subset
+// (strings over a safe alphabet, integers/decimals, nesting, booleans,
+// null) used by the EBNF-decoding application and the evaluation.
+const JSONGrammar = `
+json     = element ;
+element  = ws value ws ;
+value    = object | array | string | number | "true" | "false" | "null" ;
+object   = "{" ws "}" | "{" members "}" ;
+members  = member { "," member } ;
+member   = ws string ws ":" element ;
+array    = "[" ws "]" | "[" elements "]" ;
+elements = element { "," element } ;
+string   = '"' { char } '"' ;
+char     = "a".."z" | "A".."Z" | "0".."9" | " " | "_" | "-" | "." ;
+number   = [ "-" ] intpart [ "." digits ] ;
+intpart  = "0" | onenine { digit } ;
+digits   = digit { digit } ;
+digit    = "0".."9" ;
+onenine  = "1".."9" ;
+ws       = { " " } ;
+`

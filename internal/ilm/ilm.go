@@ -1,0 +1,267 @@
+// Package ilm implements Pie's application layer (§5.1): the Inferlet
+// Lifecycle Manager. It launches inferlets into sandboxed cooperative
+// processes, manages the compiled-binary cache and pooled instance
+// allocation that make launches cheap (Fig. 9), relays user↔inferlet
+// messages, and hosts the broadcast/subscribe fabric for inter-inferlet
+// collaboration.
+//
+// The paper executes inferlets as WebAssembly modules under wasmtime with
+// pooled allocation preconfigured for 1,000 concurrent instances. Here the
+// sandbox is a cooperative sim process whose only capability surface is
+// the inferlet.Session interface — inferlets cannot reach the engine, the
+// clock, or each other except through session calls, which preserves the
+// isolation structure the paper relies on. Launch costs reproduce the
+// upload + JIT pipeline: cold launches pay per-byte upload and compile
+// charges; warm launches reuse the cached artifact.
+package ilm
+
+import (
+	"fmt"
+	"time"
+
+	"pie/api"
+	"pie/inferlet"
+	"pie/internal/core"
+	"pie/internal/netsim"
+	"pie/internal/sim"
+)
+
+// Launch-pipeline calibration (Fig. 9; see DESIGN.md §4): a
+// single-threaded launch dispatcher serializes admission (its service time
+// produces the latency growth with concurrent launches), while
+// instantiation, upload, and JIT run in the launching process.
+const (
+	dispatchWarm     = 90 * time.Microsecond
+	dispatchCold     = 100 * time.Microsecond
+	instantiateFixed = 1200 * time.Microsecond
+	uploadPerByte    = 10 * time.Nanosecond
+	jitPerByte       = 190 * time.Nanosecond
+	poolSlots        = 1000 // wasmtime pooled-allocation preallocation
+	poolOverflowCost = 5 * time.Millisecond
+)
+
+// ILM is the inferlet lifecycle manager.
+type ILM struct {
+	clock    *sim.Clock
+	ctl      *core.Controller
+	world    *netsim.World
+	programs map[string]*inferlet.Program
+	compiled map[string]bool // JIT cache
+	launchQ  *sim.Mailbox[*launchReq]
+	topics   map[string]map[*subscription]struct{}
+	live     int
+	handleID uint64
+
+	// Stats.
+	Launches     int
+	ColdLaunches int
+}
+
+type launchReq struct {
+	cold  bool
+	grant *sim.Signal
+}
+
+// New starts the ILM on the clock.
+func New(clock *sim.Clock, ctl *core.Controller, world *netsim.World) *ILM {
+	m := &ILM{
+		clock:    clock,
+		ctl:      ctl,
+		world:    world,
+		programs: make(map[string]*inferlet.Program),
+		compiled: make(map[string]bool),
+		launchQ:  sim.NewMailbox[*launchReq](clock),
+		topics:   make(map[string]map[*subscription]struct{}),
+	}
+	clock.GoDaemon("ilm:dispatcher", m.dispatcherLoop)
+	return m
+}
+
+// Register installs a program in the inferlet registry.
+func (m *ILM) Register(p inferlet.Program) error {
+	if p.Name == "" || p.Run == nil {
+		return fmt.Errorf("ilm: program needs a name and a Run body")
+	}
+	if _, dup := m.programs[p.Name]; dup {
+		return fmt.Errorf("ilm: program %q already registered", p.Name)
+	}
+	cp := p
+	m.programs[p.Name] = &cp
+	return nil
+}
+
+// Programs lists registered program names.
+func (m *ILM) Programs() []string {
+	out := make([]string, 0, len(m.programs))
+	for n := range m.programs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// dispatcherLoop serializes launch admission (single-threaded, like the
+// ILM RPC front end): the source of Fig. 9's latency growth under
+// concurrent launches.
+func (m *ILM) dispatcherLoop() {
+	for {
+		req, err := m.launchQ.Recv()
+		if err != nil {
+			return
+		}
+		if req.cold {
+			m.clock.Sleep(dispatchCold)
+		} else {
+			m.clock.Sleep(dispatchWarm)
+		}
+		sim.Fire(req.grant)
+	}
+}
+
+// Handle is the client-side connection to a running inferlet.
+type Handle struct {
+	ID      uint64
+	Program string
+	ilm     *ILM
+	inst    *core.Instance
+	proc    *sim.Proc
+	toUser  *sim.Mailbox[string]
+	toInflt *sim.Mailbox[string]
+	done    *sim.Future[error]
+	killErr error
+	logs    []string
+}
+
+// Send delivers a message to the inferlet (the client side of
+// send/receive).
+func (h *Handle) Send(msg string) { h.toInflt.Send(msg) }
+
+// Recv resolves with the inferlet's next message to the client.
+func (h *Handle) Recv() *sim.Future[string] { return h.toUser.RecvFuture() }
+
+// TryRecv drains one queued message without blocking.
+func (h *Handle) TryRecv() (string, bool) { return h.toUser.TryRecv() }
+
+// Wait blocks until the inferlet finishes and returns its error result.
+func (h *Handle) Wait() error {
+	err, _ := h.done.Get()
+	return err
+}
+
+// Done reports whether the inferlet has finished.
+func (h *Handle) Done() bool { return h.done.Done() }
+
+// Logs returns lines the inferlet emitted via Print.
+func (h *Handle) Logs() []string { return append([]string(nil), h.logs...) }
+
+// Stats exposes per-instance instrumentation (Fig. 10/11).
+func (h *Handle) Stats() (controlCalls, inferCalls, outputTokens int) {
+	return h.inst.ControlCalls, h.inst.InferCalls, h.inst.OutputTokens
+}
+
+// Launch starts an inferlet. It must be called from a sim process (a
+// client, another inferlet, or a test driver) and returns once the
+// instance is running. The first launch of a program is cold: the binary
+// uploads and JIT-compiles, then stays cached.
+func (m *ILM) Launch(program string, args []string) (*Handle, error) {
+	p, ok := m.programs[program]
+	if !ok {
+		return nil, fmt.Errorf("ilm: no program %q", program)
+	}
+	cold := !m.compiled[program]
+	req := &launchReq{cold: cold, grant: sim.NewSignal(m.clock)}
+	m.launchQ.Send(req)
+	if err := sim.Await(req.grant); err != nil {
+		return nil, err
+	}
+	if cold {
+		m.clock.Sleep(time.Duration(p.BinarySize) * (uploadPerByte + jitPerByte))
+		m.compiled[program] = true
+		m.ColdLaunches++
+	}
+	m.clock.Sleep(instantiateFixed)
+	if m.live >= poolSlots {
+		m.clock.Sleep(poolOverflowCost)
+	}
+	m.Launches++
+	m.live++
+
+	m.handleID++
+	h := &Handle{
+		ID:      m.handleID,
+		Program: program,
+		ilm:     m,
+		toUser:  sim.NewMailbox[string](m.clock),
+		toInflt: sim.NewMailbox[string](m.clock),
+		done:    sim.NewFuture[error](m.clock),
+	}
+	sess := &session{ilm: m, handle: h, args: append([]string(nil), args...)}
+	sess.rng = sim.NewRNG(0x5EED ^ uint64(h.ID))
+
+	h.proc = m.clock.Go("inferlet:"+program, func() {
+		var err error
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, killed := r.(sim.Killed); killed {
+						err = h.killErr
+						if err == nil {
+							err = api.ErrTerminated
+						}
+						return
+					}
+					panic(r)
+				}
+			}()
+			err = p.Run(sess)
+		}()
+		sess.cancelSubscriptions()
+		m.ctl.ReleaseInstance(h.inst)
+		m.live--
+		h.done.Resolve(err)
+		// Fail any client still waiting on messages (queued messages stay
+		// readable); keep late client sends from piling up.
+		h.toUser.Close()
+		h.toInflt.Close()
+	})
+	h.inst = m.ctl.RegisterInstance(program, h.proc, func(reason error) {
+		h.killErr = reason
+		m.clock.Kill(h.proc)
+	})
+	sess.inst = h.inst
+	return h, nil
+}
+
+// subscription implements inferlet.Subscription.
+type subscription struct {
+	ilm   *ILM
+	topic string
+	mb    *sim.Mailbox[string]
+}
+
+func (s *subscription) Recv() api.Future[string] { return s.mb.RecvFuture() }
+
+func (s *subscription) Cancel() {
+	if subs, ok := s.ilm.topics[s.topic]; ok {
+		delete(subs, s)
+	}
+	s.mb.Close()
+}
+
+// broadcast fans a message out to every topic subscriber.
+func (m *ILM) broadcast(topic, msg string) {
+	for s := range m.topics[topic] {
+		s.mb.Send(msg)
+	}
+}
+
+func (m *ILM) subscribe(topic string) *subscription {
+	s := &subscription{ilm: m, topic: topic, mb: sim.NewMailbox[string](m.clock)}
+	if m.topics[topic] == nil {
+		m.topics[topic] = make(map[*subscription]struct{})
+	}
+	m.topics[topic][s] = struct{}{}
+	return s
+}
+
+// Live reports the number of running inferlets.
+func (m *ILM) Live() int { return m.live }

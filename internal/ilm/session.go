@@ -1,0 +1,232 @@
+package ilm
+
+import (
+	"fmt"
+	"time"
+
+	"pie/api"
+	"pie/inferlet"
+	"pie/internal/core"
+	"pie/internal/infer"
+	"pie/internal/sim"
+)
+
+// session implements inferlet.Session: the only capability surface an
+// inferlet has. Control-layer calls charge microsecond-scale handling in
+// the controller; queue-based calls flow through the batch scheduler to
+// the inference layer.
+type session struct {
+	ilm    *ILM
+	handle *Handle
+	inst   *core.Instance
+	args   []string
+	rng    *sim.RNG
+	subs   []*subscription
+}
+
+func (s *session) cancelSubscriptions() {
+	for _, sub := range s.subs {
+		sub.Cancel()
+	}
+}
+
+// --- Core runtime -----------------------------------------------------
+
+func (s *session) GetArg() []string { return append([]string(nil), s.args...) }
+
+func (s *session) Send(msg string) {
+	s.inst.ControlCalls++
+	s.handle.toUser.Send(msg)
+}
+
+func (s *session) Receive() api.Future[string] {
+	s.inst.ControlCalls++
+	return s.handle.toInflt.RecvFuture()
+}
+
+func (s *session) Print(msg string) {
+	s.handle.logs = append(s.handle.logs, msg)
+}
+
+func (s *session) InstanceID() string {
+	return fmt.Sprintf("%s#%d", s.handle.Program, s.handle.ID)
+}
+
+func (s *session) Now() time.Duration { return s.ilm.clock.Now() }
+
+func (s *session) Sleep(d time.Duration) { s.ilm.clock.Sleep(d) }
+
+func (s *session) Yield() { s.ilm.clock.Yield() }
+
+func (s *session) Random() uint64 { return s.rng.Uint64() }
+
+func (s *session) ReportOutputTokens(n int) { s.inst.ReportOutputTokens(n) }
+
+// --- I/O and messaging --------------------------------------------------
+
+func (s *session) HTTPGet(url string) api.Future[string] {
+	s.inst.ControlCalls++
+	return s.ilm.world.Call(url, "")
+}
+
+func (s *session) HTTPPost(url, body string) api.Future[string] {
+	s.inst.ControlCalls++
+	return s.ilm.world.Call(url, body)
+}
+
+func (s *session) Broadcast(topic, msg string) {
+	s.inst.ControlCalls++
+	s.ilm.broadcast(topic, msg)
+}
+
+func (s *session) Subscribe(topic string) inferlet.Subscription {
+	s.inst.ControlCalls++
+	sub := s.ilm.subscribe(topic)
+	s.subs = append(s.subs, sub)
+	return sub
+}
+
+func (s *session) Spawn(program string, args []string) (inferlet.Child, error) {
+	s.inst.ControlCalls++
+	h, err := s.ilm.Launch(program, args)
+	if err != nil {
+		return nil, err
+	}
+	return &child{h: h, clock: s.ilm.clock}, nil
+}
+
+type child struct {
+	h     *Handle
+	clock *sim.Clock
+}
+
+func (c *child) Send(msg string)          { c.h.Send(msg) }
+func (c *child) Recv() api.Future[string] { return c.h.Recv() }
+func (c *child) Wait() api.Future[error] {
+	f := sim.NewFuture[error](c.clock)
+	c.clock.GoDaemon("child-wait", func() { f.Resolve(c.h.Wait()) })
+	return f
+}
+
+// --- Model discovery ------------------------------------------------------
+
+func (s *session) AvailableModels() []api.ModelInfo {
+	return s.ilm.ctl.Models(s.inst)
+}
+
+func (s *session) AvailableTraits(m api.ModelID) ([]api.Trait, error) {
+	return s.ilm.ctl.Traits(s.inst, m)
+}
+
+// --- Queues ---------------------------------------------------------------
+
+func (s *session) CreateQueue(m api.ModelID) (api.Queue, error) {
+	return s.ilm.ctl.CreateQueue(s.inst, m)
+}
+
+func (s *session) SetQueuePriority(q api.Queue, pri int) error {
+	return s.ilm.ctl.SetQueuePriority(s.inst, q, pri)
+}
+
+func (s *session) Synchronize(q api.Queue) (api.Future[struct{}], error) {
+	return s.ilm.ctl.Synchronize(s.inst, q)
+}
+
+// --- Allocate trait ---------------------------------------------------------
+
+func (s *session) AllocEmbeds(q api.Queue, n int) ([]api.Embed, error) {
+	return s.ilm.ctl.AllocEmbeds(s.inst, q, n)
+}
+
+func (s *session) DeallocEmbeds(q api.Queue, ids []api.Embed) error {
+	return s.ilm.ctl.DeallocEmbeds(s.inst, q, ids)
+}
+
+func (s *session) AllocKvPages(q api.Queue, n int) ([]api.KvPage, error) {
+	return s.ilm.ctl.AllocPages(s.inst, q, n)
+}
+
+func (s *session) DeallocKvPages(q api.Queue, ids []api.KvPage) error {
+	return s.ilm.ctl.DeallocPages(s.inst, q, ids)
+}
+
+func (s *session) ExportKvPages(name string, ids []api.KvPage) error {
+	return s.ilm.ctl.ExportPages(s.inst, name, ids)
+}
+
+func (s *session) ImportKvPages(name string) ([]api.KvPage, error) {
+	return s.ilm.ctl.ImportPages(s.inst, name)
+}
+
+func (s *session) HasExport(name string) bool {
+	return s.ilm.ctl.HasExport(s.inst, name)
+}
+
+func (s *session) ReleaseExport(name string) error {
+	return s.ilm.ctl.ReleaseExport(s.inst, name)
+}
+
+func (s *session) CopyKvPage(q api.Queue, src, dst api.KvPage, srcOff, dstOff, n int) (api.Future[struct{}], error) {
+	return s.ilm.ctl.CopyKv(s.inst, q, src, dst, srcOff, dstOff, n)
+}
+
+// --- Forward trait ----------------------------------------------------------
+
+func (s *session) Forward(q api.Queue, args api.ForwardArgs) (api.Future[struct{}], error) {
+	return s.ilm.ctl.Forward(s.inst, q, args)
+}
+
+func (s *session) ForwardWithAdapter(q api.Queue, adapter string, args api.ForwardArgs) (api.Future[struct{}], error) {
+	args.Adapter = adapter
+	return s.ilm.ctl.Forward(s.inst, q, args)
+}
+
+func (s *session) ForwardSampled(q api.Queue, args api.ForwardArgs, inlineTokens, inlinePos []int, spec api.SampleSpec) (api.Future[[]int], error) {
+	return s.ilm.ctl.ForwardSampled(s.inst, q, args, inlineTokens, inlinePos, infer.SampleSpec{
+		TopK: spec.TopK, Temperature: spec.Temperature, Seed: spec.Seed,
+	})
+}
+
+func (s *session) MaskKvPage(q api.Queue, page api.KvPage, bits []bool) (api.Future[struct{}], error) {
+	return s.ilm.ctl.MaskKv(s.inst, q, page, bits)
+}
+
+// --- InputText / InputImage traits -------------------------------------------
+
+func (s *session) EmbedText(q api.Queue, tokens, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
+	return s.ilm.ctl.EmbedText(s.inst, q, tokens, positions, dst)
+}
+
+func (s *session) EmbedImage(q api.Queue, blob []byte, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
+	return s.ilm.ctl.EmbedImage(s.inst, q, blob, positions, dst)
+}
+
+func (s *session) NumEmbedsNeeded(m api.ModelID, imageBytes int) (int, error) {
+	rt := s.ilm.ctl.ModelRuntime(string(m))
+	if rt == nil {
+		return 0, api.ErrNoSuchModel
+	}
+	return rt.Model.EmbedsNeededForImage(imageBytes), nil
+}
+
+// --- Tokenize trait -----------------------------------------------------------
+
+func (s *session) Tokenize(q api.Queue, text string) (api.Future[[]int], error) {
+	return s.ilm.ctl.Tokenize(s.inst, q, text)
+}
+
+func (s *session) Detokenize(q api.Queue, ids []int) (api.Future[string], error) {
+	return s.ilm.ctl.Detokenize(s.inst, q, ids)
+}
+
+func (s *session) GetVocabs(q api.Queue) (api.Future[[][]byte], error) {
+	return s.ilm.ctl.GetVocabs(s.inst, q)
+}
+
+// --- OutputText trait -----------------------------------------------------------
+
+func (s *session) GetNextDist(q api.Queue, emb api.Embed) (api.Future[api.Dist], error) {
+	return s.ilm.ctl.NextDist(s.inst, q, emb)
+}
+
+var _ inferlet.Session = (*session)(nil)

@@ -1,0 +1,147 @@
+// Package metrics collects latency/throughput series for the evaluation
+// harness and renders paper-style tables.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Series accumulates duration samples.
+type Series struct {
+	Name    string
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (s *Series) Add(d time.Duration) { s.samples = append(s.samples, d) }
+
+// N returns the sample count.
+func (s *Series) N() int { return len(s.samples) }
+
+// Mean returns the average sample.
+func (s *Series) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(s.samples))
+}
+
+// Percentile returns the p-th percentile (0-100) by nearest rank.
+func (s *Series) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Max returns the largest sample.
+func (s *Series) Max() time.Duration {
+	var mx time.Duration
+	for _, d := range s.samples {
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// Min returns the smallest sample.
+func (s *Series) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	mn := s.samples[0]
+	for _, d := range s.samples[1:] {
+		if d < mn {
+			mn = d
+		}
+	}
+	return mn
+}
+
+// Throughput converts a completion count over a window into items/second.
+func Throughput(completed int, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(completed) / window.Seconds()
+}
+
+// Table renders rows with aligned columns, paper style.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Ms formats a duration as milliseconds with two decimals.
+func Ms(d time.Duration) string { return fmt.Sprintf("%.2f ms", float64(d)/float64(time.Millisecond)) }
+
+// Sec formats a duration as seconds with two decimals.
+func Sec(d time.Duration) string { return fmt.Sprintf("%.2f s", d.Seconds()) }
+
+// Ratio formats a/b with two decimals, guarding zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", a/b)
+}

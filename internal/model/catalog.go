@@ -1,0 +1,52 @@
+package model
+
+import "pie/internal/tokenizer"
+
+// Catalog holds the servable models for an engine instance. All models
+// share one tokenizer so token ids (and therefore cached KV) are portable
+// across experiments.
+type Catalog struct {
+	Tokenizer *tokenizer.Tokenizer
+	Models    map[string]*Model
+	order     []string
+}
+
+// StandardCatalog builds the Llama-3-style 1B/3B/8B family used throughout
+// the paper's evaluation. Functional scale is tiny (the timing class, not
+// the weight count, determines simulated cost); layer counts differ so the
+// three models produce distinct outputs.
+func StandardCatalog(seed uint64) *Catalog {
+	tok := tokenizer.New()
+	c := &Catalog{Tokenizer: tok, Models: make(map[string]*Model)}
+	add := func(cfg Config) {
+		m := New(cfg, tok)
+		// A pair of fine-tune adapters per model for forward_with_adapter.
+		m.RegisterAdapter("chat", 4, 0.5, cfg.Seed^0xA1)
+		m.RegisterAdapter("code", 4, 0.5, cfg.Seed^0xB2)
+		c.Models[cfg.Name] = m
+		c.order = append(c.order, cfg.Name)
+	}
+	base := Config{
+		Dim: 64, Heads: 4, HeadDim: 16, FFDim: 128,
+		PageSize: 16, TopK: 256, RopeBase: 10000,
+	}
+	cfg1 := base
+	cfg1.Name, cfg1.ParamLabel, cfg1.Layers, cfg1.Seed = "llama-1b", "1B", 2, seed^0x01
+	cfg3 := base
+	cfg3.Name, cfg3.ParamLabel, cfg3.Layers, cfg3.Seed = "llama-3b", "3B", 3, seed^0x03
+	cfg8 := base
+	cfg8.Name, cfg8.ParamLabel, cfg8.Layers, cfg8.Seed, cfg8.Multimodal = "llama-8b", "8B", 4, seed^0x08, true
+	add(cfg1)
+	add(cfg3)
+	add(cfg8)
+	return c
+}
+
+// Names lists model ids in registration order.
+func (c *Catalog) Names() []string { return append([]string(nil), c.order...) }
+
+// Get returns a model by id.
+func (c *Catalog) Get(name string) (*Model, bool) {
+	m, ok := c.Models[name]
+	return m, ok
+}

@@ -1,0 +1,435 @@
+// Package sim provides a deterministic discrete-event simulation runtime.
+//
+// Every component of the serving system — engines, schedulers, inferlets,
+// clients, external tool servers — runs as a cooperative process on a shared
+// virtual Clock. Exactly one process executes at any instant; blocking
+// operations (Sleep, Future.Get, Mailbox.Recv) hand control to the earliest
+// pending event, ordered by (virtual time, sequence number). This makes
+// experiments with hundreds of concurrent agents fully deterministic and
+// lets hours of simulated GPU time replay in milliseconds of wall time.
+//
+// Simulated code must never block on real OS primitives (time.Sleep,
+// channel receives, sync.WaitGroup); it must use the Clock's primitives so
+// the scheduler can observe the block and advance virtual time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// procState tracks where a process currently lives in the scheduler.
+type procState int
+
+const (
+	stateReady    procState = iota // queued in the event heap
+	stateRunning                   // the single currently-executing process
+	stateSleeping                  // in the heap with a future wake time
+	stateParked                    // blocked on a Future/Mailbox, not in the heap
+	stateDead                      // finished or killed and unwound
+)
+
+// Proc is a simulated process. Procs are created with Clock.Go and are
+// scheduled cooperatively; a Proc's goroutine runs only while it is the
+// clock's current process.
+type Proc struct {
+	id     uint64
+	name   string
+	wake   chan struct{}
+	state  procState
+	killed bool
+	daemon bool
+	ev     *event // pending heap event while ready/sleeping
+	// parkToken increments on every park; unpark requests carrying a stale
+	// token (e.g. a future resolving after the waiter was killed) are
+	// ignored.
+	parkToken uint64
+}
+
+// Name returns the debugging name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the unique process id (assigned in spawn order).
+func (p *Proc) ID() uint64 { return p.id }
+
+// Killed reports whether the process has been killed with Clock.Kill.
+func (p *Proc) Killed() bool { return p.killed }
+
+type event struct {
+	t         time.Duration
+	seq       uint64
+	p         *Proc
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Killed is the panic value delivered to a process that was terminated with
+// Clock.Kill while blocked. Runtimes hosting user code recover it at the
+// process boundary.
+type Killed struct{ Reason string }
+
+func (k Killed) Error() string { return "sim: process killed: " + k.Reason }
+
+// Clock is the discrete-event scheduler. The zero value is not usable; use
+// NewClock.
+type Clock struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	now      time.Duration
+	seq      uint64
+	heap     eventHeap
+	current  *Proc
+	live     int // spawned and not yet finished
+	parked   int // processes in stateParked
+	finished bool
+	err      error
+	doneCh   chan struct{}
+
+	external bool // keep running while idle, waiting for Inject
+	shutdown bool
+}
+
+// NewClock returns a fresh virtual clock at time zero.
+func NewClock() *Clock {
+	c := &Clock{doneCh: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// EnableExternal puts the clock in server mode: when the event heap drains
+// while processes remain parked, Run waits for Inject or Shutdown instead of
+// reporting a deadlock. Used by interactive front-ends (cmd/pie-server).
+func (c *Clock) EnableExternal() {
+	c.mu.Lock()
+	c.external = true
+	c.mu.Unlock()
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Current returns the currently-executing process, or nil when called from
+// outside the simulation.
+func (c *Clock) Current() *Proc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.current
+}
+
+func (c *Clock) pushLocked(t time.Duration, p *Proc) *event {
+	c.seq++
+	ev := &event{t: t, seq: c.seq, p: p}
+	p.ev = ev
+	heap.Push(&c.heap, ev)
+	return ev
+}
+
+// Go spawns fn as a new process named name, runnable at the current virtual
+// time. It may be called from inside a process or from the coordinator
+// before Run.
+func (c *Clock) Go(name string, fn func()) *Proc {
+	return c.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a service process (device loops, schedulers, network
+// servers). Daemons run like ordinary processes but do not keep the
+// simulation alive: Run returns once every non-daemon process finishes.
+func (c *Clock) GoDaemon(name string, fn func()) *Proc {
+	return c.spawn(name, fn, true)
+}
+
+func (c *Clock) spawn(name string, fn func(), daemon bool) *Proc {
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		panic("sim: Go after clock finished")
+	}
+	c.seq++
+	p := &Proc{id: c.seq, name: name, wake: make(chan struct{}, 1), state: stateReady, daemon: daemon}
+	if !daemon {
+		c.live++
+	}
+	c.pushLocked(c.now, p)
+	c.mu.Unlock()
+
+	go func() {
+		<-p.wake
+		defer c.finish(p)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(Killed); ok {
+					return // killed processes unwind silently
+				}
+				panic(r)
+			}
+		}()
+		fn()
+	}()
+	return p
+}
+
+// finish retires the current process and dispatches the next event.
+func (c *Clock) finish(p *Proc) {
+	c.mu.Lock()
+	p.state = stateDead
+	if !p.daemon {
+		c.live--
+	}
+	c.dispatchNextLocked()
+	c.mu.Unlock()
+}
+
+// dispatchNextLocked hands control to the earliest pending event, or ends
+// the simulation when nothing can make progress. The simulation is over
+// when every non-daemon process has finished; daemon service loops are
+// then abandoned in place.
+func (c *Clock) dispatchNextLocked() {
+	if c.finished {
+		return
+	}
+	if c.live == 0 && !c.external {
+		c.finished = true
+		close(c.doneCh)
+		return
+	}
+	for c.heap.Len() > 0 {
+		ev := heap.Pop(&c.heap).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.t > c.now {
+			c.now = ev.t
+		}
+		p := ev.p
+		p.ev = nil
+		p.state = stateRunning
+		c.current = p
+		p.wake <- struct{}{}
+		return
+	}
+	c.current = nil
+	if c.live > 0 && c.external && !c.shutdown {
+		// Server mode: stay alive waiting for injected work.
+		c.cond.Broadcast()
+		return
+	}
+	if c.live > 0 {
+		c.err = fmt.Errorf("sim: deadlock at %v: %d process(es) blocked with no pending events", c.now, c.live)
+	}
+	if !c.finished {
+		c.finished = true
+		close(c.doneCh)
+	}
+}
+
+// Run drives the simulation until every process has finished (or, in
+// external mode, until Shutdown). It returns a non-nil error if the
+// simulation deadlocked. Run must be called from outside the simulation.
+func (c *Clock) Run() error {
+	c.mu.Lock()
+	if c.current != nil {
+		c.mu.Unlock()
+		panic("sim: Run called re-entrantly")
+	}
+	c.dispatchNextLocked()
+	c.mu.Unlock()
+	<-c.doneCh
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Inject schedules fn as a new process from outside the simulation (e.g. a
+// real HTTP handler in server mode) and kicks the scheduler if it is idle.
+func (c *Clock) Inject(name string, fn func()) *Proc {
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		panic("sim: Inject after clock finished")
+	}
+	c.seq++
+	p := &Proc{id: c.seq, name: name, wake: make(chan struct{}, 1), state: stateReady}
+	c.live++
+	c.pushLocked(c.now, p)
+	idle := c.current == nil
+	c.mu.Unlock()
+
+	go func() {
+		<-p.wake
+		defer c.finish(p)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(Killed); ok {
+					return
+				}
+				panic(r)
+			}
+		}()
+		fn()
+	}()
+
+	if idle {
+		c.mu.Lock()
+		if c.current == nil && !c.finished {
+			c.dispatchNextLocked()
+		}
+		c.mu.Unlock()
+	}
+	return p
+}
+
+// Shutdown ends an external-mode simulation once it next goes idle.
+func (c *Clock) Shutdown() {
+	c.mu.Lock()
+	c.shutdown = true
+	if c.current == nil && c.heap.Len() == 0 && !c.finished {
+		c.finished = true
+		close(c.doneCh)
+	}
+	c.mu.Unlock()
+}
+
+// Sleep suspends the current process for d of virtual time. A non-positive
+// d yields the processor, letting other same-time events run first.
+func (c *Clock) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	p := c.current
+	if p == nil {
+		c.mu.Unlock()
+		panic("sim: Sleep called from outside the simulation")
+	}
+	p.state = stateSleeping
+	c.pushLocked(c.now+d, p)
+	c.dispatchNextLocked()
+	c.mu.Unlock()
+	<-p.wake
+	c.checkKilled(p)
+}
+
+// Yield is Sleep(0): requeue behind all currently-ready events.
+func (c *Clock) Yield() { c.Sleep(0) }
+
+// reserveParkToken returns the token the current process's next park will
+// carry. Waiter registration (inside Future/Mailbox) captures it before
+// parking; execution is cooperative, so nothing can intervene between the
+// reservation and the park.
+func (c *Clock) reserveParkToken() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.current == nil {
+		panic("sim: blocking call from outside the simulation")
+	}
+	return c.current.parkToken + 1
+}
+
+// park blocks the current process until unpark. Used by Future and Mailbox.
+func (c *Clock) park() {
+	c.mu.Lock()
+	p := c.current
+	if p == nil {
+		c.mu.Unlock()
+		panic("sim: blocking call from outside the simulation")
+	}
+	p.state = stateParked
+	p.parkToken++
+	c.parked++
+	c.dispatchNextLocked()
+	c.mu.Unlock()
+	<-p.wake
+	c.checkKilled(p)
+}
+
+// unpark makes a parked process runnable at the current time. A stale
+// token (the process was killed or already woken since the waiter
+// registered) makes the request a no-op.
+func (c *Clock) unpark(p *Proc, token uint64) {
+	c.mu.Lock()
+	if p.state != stateParked || p.parkToken != token {
+		c.mu.Unlock()
+		return
+	}
+	c.parked--
+	p.state = stateReady
+	c.pushLocked(c.now, p)
+	idle := c.current == nil
+	if idle && !c.finished {
+		// Possible in external mode when an injected goroutine resolves
+		// a future while the scheduler is idle.
+		c.dispatchNextLocked()
+	}
+	c.mu.Unlock()
+}
+
+// checkKilled panics with Killed if the process was terminated while blocked.
+func (c *Clock) checkKilled(p *Proc) {
+	c.mu.Lock()
+	k := p.killed
+	c.mu.Unlock()
+	if k {
+		panic(Killed{Reason: "terminated while blocked"})
+	}
+}
+
+// Kill terminates a process. If it is blocked (sleeping or parked) it is
+// scheduled immediately and unwinds with a Killed panic at its block site.
+// Killing the current or an already-dead process only sets the flag; the
+// process observes it at its next blocking call.
+func (c *Clock) Kill(p *Proc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p.killed || p.state == stateDead {
+		p.killed = true
+		return
+	}
+	p.killed = true
+	switch p.state {
+	case stateSleeping, stateReady:
+		if p.ev != nil {
+			p.ev.cancelled = true
+			p.ev = nil
+		}
+		c.pushLocked(c.now, p)
+		p.state = stateReady
+	case stateParked:
+		c.parked--
+		c.pushLocked(c.now, p)
+		p.state = stateReady
+	case stateRunning:
+		// Will observe the flag at its next blocking call.
+	}
+}
+
+// Stats reports coarse scheduler state for diagnostics.
+func (c *Clock) Stats() (live, parked, pending int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.live, c.parked, c.heap.Len()
+}

@@ -1,0 +1,414 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	c := NewClock()
+	var got time.Duration
+	c.Go("p", func() {
+		c.Sleep(10 * time.Millisecond)
+		got = c.Now()
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 10*time.Millisecond {
+		t.Fatalf("Now after sleep = %v, want 10ms", got)
+	}
+}
+
+func TestSleepOrderingIsDeterministic(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Go("p", func() {
+			// Process i sleeps i*ms: wakes in ascending order.
+			c.Sleep(time.Duration(i) * time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("wake order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestSameTimeEventsRunInSpawnOrder(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		c.Go("p", func() { order = append(order, i) })
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want spawn order", order)
+		}
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	c := NewClock()
+	var order []string
+	c.Go("a", func() {
+		order = append(order, "a1")
+		c.Yield()
+		order = append(order, "a2")
+	})
+	c.Go("b", func() {
+		order = append(order, "b1")
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFutureResolveWakesWaiter(t *testing.T) {
+	c := NewClock()
+	f := NewFuture[int](c)
+	var got int
+	var at time.Duration
+	c.Go("waiter", func() {
+		got, _ = f.Get()
+		at = c.Now()
+	})
+	c.Go("resolver", func() {
+		c.Sleep(5 * time.Millisecond)
+		f.Resolve(42)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 || at != 5*time.Millisecond {
+		t.Fatalf("got %d at %v, want 42 at 5ms", got, at)
+	}
+}
+
+func TestFutureMultipleWaiters(t *testing.T) {
+	c := NewClock()
+	f := NewFuture[string](c)
+	count := 0
+	for i := 0; i < 10; i++ {
+		c.Go("w", func() {
+			v, err := f.Get()
+			if err != nil || v != "x" {
+				t.Errorf("Get = %q, %v", v, err)
+			}
+			count++
+		})
+	}
+	c.Go("r", func() { f.Resolve("x") })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestFutureGetAfterResolve(t *testing.T) {
+	c := NewClock()
+	var got int
+	c.Go("p", func() {
+		f := Resolved(c, 7)
+		got, _ = f.Get()
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("got %d, want 7", got)
+	}
+}
+
+func TestFutureFail(t *testing.T) {
+	c := NewClock()
+	var err error
+	f := NewFuture[int](c)
+	c.Go("w", func() { _, err = f.Get() })
+	c.Go("r", func() { f.Fail(nil) })
+	if e := c.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != ErrFailed {
+		t.Fatalf("err = %v, want ErrFailed", err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	c := NewClock()
+	f := NewFuture[int](c)
+	c.Go("stuck", func() { f.Get() })
+	if err := c.Run(); err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	c := NewClock()
+	m := NewMailbox[int](c)
+	var got []int
+	c.Go("recv", func() {
+		for i := 0; i < 3; i++ {
+			v, err := m.Recv()
+			if err != nil {
+				t.Errorf("Recv: %v", err)
+			}
+			got = append(got, v)
+		}
+	})
+	c.Go("send", func() {
+		for i := 1; i <= 3; i++ {
+			m.Send(i)
+			c.Sleep(time.Millisecond)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got %v, want [1 2 3]", got)
+		}
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	c := NewClock()
+	c.Go("p", func() {
+		m := NewMailbox[int](c)
+		if _, ok := m.TryRecv(); ok {
+			t.Error("TryRecv on empty mailbox returned ok")
+		}
+		m.Send(9)
+		if m.Len() != 1 {
+			t.Errorf("Len = %d, want 1", m.Len())
+		}
+		v, ok := m.TryRecv()
+		if !ok || v != 9 {
+			t.Errorf("TryRecv = %d,%v", v, ok)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxClose(t *testing.T) {
+	c := NewClock()
+	m := NewMailbox[int](c)
+	var err error
+	c.Go("recv", func() { _, err = m.Recv() })
+	c.Go("close", func() { m.Close() })
+	if e := c.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != ErrMailboxClosed {
+		t.Fatalf("err = %v, want ErrMailboxClosed", err)
+	}
+}
+
+func TestKillSleepingProcess(t *testing.T) {
+	c := NewClock()
+	reached := false
+	var p *Proc
+	p = c.Go("victim", func() {
+		c.Sleep(time.Hour)
+		reached = true
+	})
+	c.Go("killer", func() {
+		c.Sleep(time.Millisecond)
+		c.Kill(p)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reached {
+		t.Fatal("victim survived Kill")
+	}
+	if got := c.Now(); got >= time.Hour {
+		t.Fatalf("clock advanced to %v; kill should cancel the sleep", got)
+	}
+}
+
+func TestKillParkedProcess(t *testing.T) {
+	c := NewClock()
+	f := NewFuture[int](c)
+	cleanedUp := false
+	var p *Proc
+	p = c.Go("victim", func() {
+		defer func() { cleanedUp = true }()
+		f.Get()
+		t.Error("victim resumed after kill")
+	})
+	c.Go("killer", func() { c.Kill(p) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cleanedUp {
+		t.Fatal("deferred cleanup did not run on kill")
+	}
+	if !p.Killed() {
+		t.Fatal("Killed() = false")
+	}
+}
+
+func TestGroupWait(t *testing.T) {
+	c := NewClock()
+	total := 0
+	c.Go("main", func() {
+		g := NewGroup(c)
+		for i := 1; i <= 4; i++ {
+			i := i
+			g.Go("child", func() {
+				c.Sleep(time.Duration(i) * time.Millisecond)
+				total += i
+			})
+		}
+		g.Wait()
+		if total != 10 {
+			t.Errorf("total = %d before Wait returned", total)
+		}
+		if c.Now() != 4*time.Millisecond {
+			t.Errorf("Wait returned at %v, want 4ms", c.Now())
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	c := NewClock()
+	depth := 0
+	var spawn func(n int)
+	spawn = func(n int) {
+		if n == 0 {
+			return
+		}
+		c.Go("child", func() {
+			depth++
+			spawn(n - 1)
+		})
+	}
+	c.Go("root", func() { spawn(50) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 50 {
+		t.Fatalf("depth = %d, want 50", depth)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(1234), NewRNG(1234)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds produced identical first values")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 32; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Bounds(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(5)
+	a := r.Fork(1)
+	b := r.Fork(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams collide %d/64 times", same)
+	}
+}
+
+// Property: arbitrary DAGs of sleeps and futures always quiesce with
+// monotonically non-decreasing wake times.
+func TestQuickSchedulerMonotonicTime(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		c := NewClock()
+		var last time.Duration
+		mono := true
+		n := 3 + r.Intn(10)
+		sigs := make([]*Signal, n)
+		for i := range sigs {
+			sigs[i] = NewSignal(c)
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			d := time.Duration(r.Intn(50)) * time.Millisecond
+			dep := r.Intn(n)
+			c.Go("p", func() {
+				c.Sleep(d)
+				if i > 0 && dep < i {
+					Await(sigs[dep]) // only wait on earlier-indexed signals
+				}
+				if c.Now() < last {
+					mono = false
+				}
+				last = c.Now()
+				Fire(sigs[i])
+			})
+		}
+		if err := c.Run(); err != nil {
+			return false
+		}
+		return mono
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

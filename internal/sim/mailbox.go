@@ -1,0 +1,89 @@
+package sim
+
+// Mailbox is an unbounded FIFO queue with blocking receive, the message
+// primitive for user↔inferlet and inferlet↔inferlet communication.
+type Mailbox[T any] struct {
+	c       *Clock
+	buf     []T
+	waiters []*mboxWaiter[T]
+	closed  bool
+}
+
+type mboxWaiter[T any] struct {
+	f *Future[T]
+}
+
+// NewMailbox returns an empty mailbox on clock c.
+func NewMailbox[T any](c *Clock) *Mailbox[T] {
+	return &Mailbox[T]{c: c}
+}
+
+// Send enqueues v, waking the oldest pending receiver if any. Send never
+// blocks.
+func (m *Mailbox[T]) Send(v T) {
+	if m.closed {
+		return // messages to a closed mailbox are dropped
+	}
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		w.f.Resolve(v)
+		return
+	}
+	m.buf = append(m.buf, v)
+}
+
+// RecvFuture returns a future that resolves with the next message. If a
+// message is already queued the future is resolved immediately.
+func (m *Mailbox[T]) RecvFuture() *Future[T] {
+	if len(m.buf) > 0 {
+		v := m.buf[0]
+		m.buf = m.buf[1:]
+		return Resolved(m.c, v)
+	}
+	if m.closed {
+		return FailedFuture[T](m.c, ErrMailboxClosed)
+	}
+	f := NewFuture[T](m.c)
+	m.waiters = append(m.waiters, &mboxWaiter[T]{f: f})
+	return f
+}
+
+// Recv blocks the calling process until a message arrives.
+func (m *Mailbox[T]) Recv() (T, error) {
+	return m.RecvFuture().Get()
+}
+
+// TryRecv returns a queued message without blocking.
+func (m *Mailbox[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(m.buf) == 0 {
+		return zero, false
+	}
+	v := m.buf[0]
+	m.buf = m.buf[1:]
+	return v, true
+}
+
+// Len reports the number of queued messages.
+func (m *Mailbox[T]) Len() int { return len(m.buf) }
+
+// Close fails all pending receivers and drops future sends.
+func (m *Mailbox[T]) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	ws := m.waiters
+	m.waiters = nil
+	for _, w := range ws {
+		w.f.Fail(ErrMailboxClosed)
+	}
+}
+
+// ErrMailboxClosed is returned by receives on a closed, drained mailbox.
+var ErrMailboxClosed = errorString("sim: mailbox closed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

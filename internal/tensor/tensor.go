@@ -1,0 +1,122 @@
+// Package tensor provides the small float32 linear-algebra kernels used by
+// the functional transformer model. Matrices are flat row-major slices.
+package tensor
+
+import "math"
+
+// MatVec computes out = W·x for a rows×cols matrix W.
+func MatVec(w []float32, rows, cols int, x, out []float32) {
+	if len(w) != rows*cols || len(x) != cols || len(out) != rows {
+		panic("tensor: MatVec dimension mismatch")
+	}
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : (r+1)*cols]
+		var s float32
+		for c, v := range row {
+			s += v * x[c]
+		}
+		out[r] = s
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AddInPlace sets dst += src.
+func AddInPlace(dst, src []float32) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Copy duplicates x.
+func Copy(x []float32) []float32 {
+	y := make([]float32, len(x))
+	copy(y, x)
+	return y
+}
+
+// RMSNorm writes weight ⊙ x/rms(x) into out (out may alias x).
+func RMSNorm(x, weight, out []float32, eps float32) {
+	var ss float32
+	for _, v := range x {
+		ss += v * v
+	}
+	inv := 1 / float32(math.Sqrt(float64(ss/float32(len(x))+eps)))
+	for i := range x {
+		out[i] = x[i] * inv * weight[i]
+	}
+}
+
+// Softmax normalizes x in place with max-subtraction for stability.
+func Softmax(x []float32) {
+	if len(x) == 0 {
+		return
+	}
+	mx := x[0]
+	for _, v := range x[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float32
+	for i, v := range x {
+		e := float32(math.Exp(float64(v - mx)))
+		x[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= sum
+	}
+}
+
+// SiLU applies x*sigmoid(x) elementwise in place.
+func SiLU(x []float32) {
+	for i, v := range x {
+		x[i] = v / (1 + float32(math.Exp(float64(-v))))
+	}
+}
+
+// Rope applies rotary position embedding to v (a concatenation of heads of
+// size headDim) for absolute position pos, in place.
+func Rope(v []float32, headDim, pos int, base float64) {
+	if headDim%2 != 0 {
+		panic("tensor: Rope requires even headDim")
+	}
+	for h := 0; h < len(v); h += headDim {
+		for i := 0; i < headDim/2; i++ {
+			theta := float64(pos) / math.Pow(base, 2*float64(i)/float64(headDim))
+			sin, cos := math.Sincos(theta)
+			a, b := v[h+2*i], v[h+2*i+1]
+			v[h+2*i] = a*float32(cos) - b*float32(sin)
+			v[h+2*i+1] = a*float32(sin) + b*float32(cos)
+		}
+	}
+}
+
+// ArgMax returns the index of the largest element (first on ties), or -1
+// for empty input.
+func ArgMax(x []float32) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,193 @@
+// Package tokenizer implements a deterministic, self-contained tokenizer
+// with the structure of modern LLM tokenizers: a lexicon of common words
+// and subwords (with leading-space variants, BPE-style) over a byte-level
+// fallback alphabet, so any byte string round-trips exactly.
+//
+// The serving system treats tokenization as an inference-layer service
+// (the Tokenize trait, §4.2 of the paper); this package is the model-side
+// implementation behind it.
+package tokenizer
+
+import "sort"
+
+// Special token ids.
+const (
+	PAD = 0
+	BOS = 1
+	EOS = 2
+	// ByteBase is the id of byte 0x00; byte b is token ByteBase+b.
+	ByteBase = 4
+	lexBase  = ByteBase + 256
+)
+
+// Tokenizer converts between byte strings and token ids via greedy
+// longest-match over its lexicon with byte fallback.
+type Tokenizer struct {
+	lexicon []string       // id - lexBase -> token text
+	trie    map[string]int // exact string -> id, for all lexicon entries
+	maxLen  int
+	// first-byte index: candidate lexicon strings by first byte, longest first
+	byFirst [256][]int
+}
+
+// New builds the standard tokenizer shared by all models in the catalog.
+func New() *Tokenizer {
+	t := &Tokenizer{trie: make(map[string]int)}
+	seen := make(map[string]bool)
+	add := func(s string) {
+		if s == "" || seen[s] {
+			return
+		}
+		seen[s] = true
+		t.lexicon = append(t.lexicon, s)
+	}
+	for _, w := range baseWords {
+		add(w)
+		add(" " + w)
+	}
+	for _, s := range suffixes {
+		add(s)
+	}
+	for _, p := range punct {
+		add(p)
+	}
+	// Digit pairs make numeric workloads realistic without a huge lexicon.
+	for a := '0'; a <= '9'; a++ {
+		for b := '0'; b <= '9'; b++ {
+			add(string(a) + string(b))
+		}
+	}
+	sort.Strings(t.lexicon) // stable id assignment independent of list order
+	for i, s := range t.lexicon {
+		id := lexBase + i
+		t.trie[s] = id
+		if len(s) > t.maxLen {
+			t.maxLen = len(s)
+		}
+		t.byFirst[s[0]] = append(t.byFirst[s[0]], id)
+	}
+	// Longest-first per first byte for greedy matching.
+	for b := range t.byFirst {
+		ids := t.byFirst[b]
+		sort.Slice(ids, func(i, j int) bool {
+			return len(t.lexicon[ids[i]-lexBase]) > len(t.lexicon[ids[j]-lexBase])
+		})
+	}
+	return t
+}
+
+// VocabSize returns the total number of token ids.
+func (t *Tokenizer) VocabSize() int { return lexBase + len(t.lexicon) }
+
+// Encode tokenizes s greedily: at each position the longest lexicon match
+// wins; otherwise a single byte token is emitted.
+func (t *Tokenizer) Encode(s string) []int {
+	var out []int
+	for i := 0; i < len(s); {
+		matched := false
+		for _, id := range t.byFirst[s[i]] {
+			lex := t.lexicon[id-lexBase]
+			if len(lex) <= len(s)-i && s[i:i+len(lex)] == lex {
+				out = append(out, id)
+				i += len(lex)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			out = append(out, ByteBase+int(s[i]))
+			i++
+		}
+	}
+	return out
+}
+
+// Decode reconstructs the exact byte string for ids; special tokens decode
+// to the empty string.
+func (t *Tokenizer) Decode(ids []int) string {
+	var b []byte
+	for _, id := range ids {
+		b = append(b, t.TokenBytes(id)...)
+	}
+	return string(b)
+}
+
+// TokenBytes returns the byte expansion of a single token id.
+func (t *Tokenizer) TokenBytes(id int) []byte {
+	switch {
+	case id < ByteBase:
+		return nil
+	case id < lexBase:
+		return []byte{byte(id - ByteBase)}
+	case id-lexBase < len(t.lexicon):
+		return []byte(t.lexicon[id-lexBase])
+	}
+	return nil
+}
+
+// Vocab returns the byte expansion of every token id, indexed by id
+// (the get_vocabs API).
+func (t *Tokenizer) Vocab() [][]byte {
+	v := make([][]byte, t.VocabSize())
+	for id := range v {
+		v[id] = t.TokenBytes(id)
+	}
+	return v
+}
+
+// IsSpecial reports whether id is a control token.
+func (t *Tokenizer) IsSpecial(id int) bool { return id < ByteBase }
+
+var baseWords = []string{
+	"the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+	"he", "was", "for", "on", "are", "as", "with", "his", "they", "I",
+	"at", "be", "this", "have", "from", "or", "one", "had", "by", "word",
+	"but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
+	"there", "use", "an", "each", "which", "she", "do", "how", "their", "if",
+	"will", "up", "other", "about", "out", "many", "then", "them", "these", "so",
+	"some", "her", "would", "make", "like", "him", "into", "time", "has", "look",
+	"two", "more", "write", "go", "see", "number", "no", "way", "could", "people",
+	"my", "than", "first", "water", "been", "call", "who", "oil", "its", "now",
+	"find", "long", "down", "day", "did", "get", "come", "made", "may", "part",
+	"over", "new", "sound", "take", "only", "little", "work", "know", "place", "year",
+	"live", "me", "back", "give", "most", "very", "after", "thing", "our", "just",
+	"name", "good", "sentence", "man", "think", "say", "great", "where", "help", "through",
+	"much", "before", "line", "right", "too", "mean", "old", "any", "same", "tell",
+	"boy", "follow", "came", "want", "show", "also", "around", "form", "three", "small",
+	"set", "put", "end", "does", "another", "well", "large", "must", "big", "even",
+	"such", "because", "turn", "here", "why", "ask", "went", "men", "read", "need",
+	"land", "different", "home", "us", "move", "try", "kind", "hand", "picture", "again",
+	"change", "off", "play", "spell", "air", "away", "animal", "house", "point", "page",
+	"letter", "mother", "answer", "found", "study", "still", "learn", "should", "America", "world",
+	"high", "every", "near", "add", "food", "between", "own", "below", "country", "plant",
+	"last", "school", "father", "keep", "tree", "never", "start", "city", "earth", "eye",
+	"light", "thought", "head", "under", "story", "saw", "left", "don't", "few", "while",
+	"along", "might", "close", "something", "seem", "next", "hard", "open", "example", "begin",
+	"life", "always", "those", "both", "paper", "together", "got", "group", "often", "run",
+	"important", "until", "children", "side", "feet", "car", "mile", "night", "walk", "white",
+	"sea", "began", "grow", "took", "river", "four", "carry", "state", "once", "book",
+	"hear", "stop", "without", "second", "later", "miss", "idea", "enough", "eat", "face",
+	"watch", "far", "Indian", "really", "almost", "let", "above", "girl", "sometimes", "mountain",
+	"cut", "young", "talk", "soon", "list", "song", "being", "leave", "family", "it's",
+	// Domain vocabulary: agents, tools, reasoning, code, JSON.
+	"function", "call", "action", "observation", "thought", "final", "answer", "search",
+	"query", "result", "tool", "agent", "code", "execute", "python", "javascript",
+	"return", "value", "string", "true", "false", "null", "object", "array",
+	"api", "request", "response", "http", "error", "status", "data", "key",
+	"model", "token", "prompt", "generate", "context", "cache", "page", "memory",
+	"solve", "step", "reason", "branch", "merge", "plan", "summary", "document",
+	"weather", "temperature", "location", "calculate", "lookup", "fetch", "send",
+	"message", "user", "system", "assistant", "input", "output", "args", "spec",
+}
+
+var suffixes = []string{
+	"ing", "ed", "er", "es", "ly", "tion", "ment", "ness", "able", "est",
+	" th", "re", "st", "nd", "ck", "ll", "ou", "ea", "ar", "or",
+}
+
+var punct = []string{
+	" ", "  ", "\n", "\n\n", "\t", ". ", ", ", ": ", "; ", "! ",
+	"? ", "'", "\"", "(", ")", "[", "]", "{", "}", "{\"",
+	"\"}", "\":", ",\"", ".", ",", ":", ";", "->", "=>", "==",
+	"</", "/>", "<|", "|>", "```", "##", "--", "...", "$", "%",
+}

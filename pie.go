@@ -1,0 +1,315 @@
+// Package pie is a programmable LLM serving system, reproducing "Pie: A
+// Programmable Serving System for Emerging LLM Applications" (SOSP 2025).
+//
+// Pie decomposes the monolithic prefill–decode loop of conventional LLM
+// serving into fine-grained service handlers and delegates end-to-end
+// control of generation to user programs called inferlets. Applications
+// gain explicit KV-cache management (R1), custom decoding loops (R2), and
+// integrated computation and I/O (R3) without touching the serving system.
+//
+// The Engine assembles the three-layer architecture (§5):
+//
+//	application layer  — inferlet lifecycle manager, sandboxed sessions
+//	control layer      — resource virtualization + batch scheduling
+//	inference layer    — batched API handlers over the (simulated) GPU
+//
+// Everything runs on a deterministic virtual clock: construct an Engine,
+// register programs, spawn client processes with Engine.Go, then call
+// Engine.Run to drive the simulation to completion. See examples/ for
+// runnable scenarios and DESIGN.md for the substitution policy that maps
+// the paper's hardware to this pure-Go reproduction.
+package pie
+
+import (
+	"fmt"
+	"time"
+
+	"pie/api"
+	"pie/inferlet"
+	"pie/internal/core"
+	"pie/internal/ilm"
+	"pie/internal/infer"
+	"pie/internal/model"
+	"pie/internal/netsim"
+	"pie/internal/sim"
+)
+
+// ExecutionMode selects functional fidelity (see internal/infer).
+type ExecutionMode int
+
+const (
+	// ModeFull runs real tensor math on the tiny functional model:
+	// correct token distributions, attention, page semantics.
+	ModeFull ExecutionMode = iota
+	// ModeTiming skips tensor math but keeps every timing charge and all
+	// resource bookkeeping; used for large-scale experiments.
+	ModeTiming
+)
+
+// Policy names a batch-scheduling strategy (§6.1, Table 5).
+type Policy = core.SchedPolicy
+
+// Re-exported scheduling policies.
+const (
+	PolicyAdaptive = core.PolicyAdaptive
+	PolicyEager    = core.PolicyEager
+	PolicyKOnly    = core.PolicyKOnly
+	PolicyTOnly    = core.PolicyTOnly
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Seed drives every random stream (weights, workloads, sampling).
+	Seed uint64
+	// Mode selects functional fidelity. Default ModeFull.
+	Mode ExecutionMode
+	// Policy selects the batch scheduler strategy. Default PolicyAdaptive.
+	Policy Policy
+	// BatchK is the PolicyKOnly threshold (default 32).
+	BatchK int
+	// BatchT is the PolicyTOnly flush interval (default 5ms).
+	BatchT time.Duration
+	// MaxBatchCalls caps batch size at the backend (default 256).
+	MaxBatchCalls int
+	// ClientRTT is the client↔server network round trip (default 8ms,
+	// calibrated to the paper's launch-latency floor).
+	ClientRTT time.Duration
+	// ExternalLatency is the default latency of unregistered external
+	// services reached via HTTPGet/HTTPPost (default 50ms).
+	ExternalLatency time.Duration
+	// TopKOverride truncates returned distributions (default: model's 256).
+	TopKOverride int
+	// NoSchedOverhead and NoDistReturnOverhead zero the corresponding
+	// control-layer charges for the Table 3 opportunity-cost ablation.
+	NoSchedOverhead      bool
+	NoDistReturnOverhead bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ClientRTT == 0 {
+		c.ClientRTT = 8 * time.Millisecond
+	}
+	if c.ExternalLatency == 0 {
+		c.ExternalLatency = 50 * time.Millisecond
+	}
+	if c.BatchK == 0 {
+		c.BatchK = 32
+	}
+	if c.BatchT == 0 {
+		c.BatchT = 5 * time.Millisecond
+	}
+	if c.MaxBatchCalls == 0 {
+		c.MaxBatchCalls = 256
+	}
+	return c
+}
+
+// Engine is one Pie serving deployment on its own virtual clock.
+type Engine struct {
+	cfg     Config
+	clock   *sim.Clock
+	catalog *model.Catalog
+	backend *infer.Backend
+	ctl     *core.Controller
+	ilm     *ilm.ILM
+	world   *netsim.World
+}
+
+// New assembles an engine. The standard catalog (llama-1b/3b/8b) is always
+// installed; pick the model per command queue.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	clock := sim.NewClock()
+	cat := model.StandardCatalog(cfg.Seed)
+	mode := infer.ExecFull
+	if cfg.Mode == ModeTiming {
+		mode = infer.ExecTiming
+	}
+	backend := infer.NewBackend(clock, "l4-0")
+	var rts []*infer.ModelRuntime
+	for _, name := range cat.Names() {
+		m, _ := cat.Get(name)
+		if cfg.TopKOverride > 0 {
+			c := m.Config()
+			c.TopK = cfg.TopKOverride
+			m = model.New(c, cat.Tokenizer)
+			m.RegisterAdapter("chat", 4, 0.5, c.Seed^0xA1)
+			m.RegisterAdapter("code", 4, 0.5, c.Seed^0xB2)
+		}
+		rts = append(rts, infer.NewModelRuntime(m, mode))
+	}
+	sched := core.DefaultSchedConfig()
+	sched.Policy = cfg.Policy
+	sched.K = cfg.BatchK
+	sched.T = cfg.BatchT
+	sched.MaxBatchCalls = cfg.MaxBatchCalls
+	if cfg.NoSchedOverhead {
+		sched.SchedOverhead = 0
+	}
+	if cfg.NoDistReturnOverhead {
+		sched.DistReturnOverhead = 0
+	}
+	ctl := core.NewController(clock, backend, rts, sched)
+	world := netsim.NewWorld(clock)
+	world.DefaultLatency = cfg.ExternalLatency
+	lifecycle := ilm.New(clock, ctl, world)
+	return &Engine{
+		cfg: cfg, clock: clock, catalog: cat,
+		backend: backend, ctl: ctl, ilm: lifecycle, world: world,
+	}
+}
+
+// Register installs an inferlet program.
+func (e *Engine) Register(p inferlet.Program) error { return e.ilm.Register(p) }
+
+// MustRegister is Register for static program sets; it panics on error.
+func (e *Engine) MustRegister(ps ...inferlet.Program) {
+	for _, p := range ps {
+		if err := e.ilm.Register(p); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// RegisterTool installs an external service reachable from inferlets and
+// baseline clients via HTTP calls.
+func (e *Engine) RegisterTool(name string, latency time.Duration, handler func(req string) string) {
+	e.world.Register(&netsim.Service{Name: name, Latency: latency, Handler: handler})
+}
+
+// Handle is the client-side connection to a launched inferlet.
+type Handle struct {
+	h *ilm.Handle
+}
+
+// Send delivers a message to the inferlet.
+func (h *Handle) Send(msg string) { h.h.Send(msg) }
+
+// Recv resolves with the inferlet's next message.
+func (h *Handle) Recv() api.Future[string] { return h.h.Recv() }
+
+// TryRecv drains one queued message without blocking.
+func (h *Handle) TryRecv() (string, bool) { return h.h.TryRecv() }
+
+// Wait blocks the calling process until the inferlet finishes.
+func (h *Handle) Wait() error { return h.h.Wait() }
+
+// Done reports whether the inferlet finished.
+func (h *Handle) Done() bool { return h.h.Done() }
+
+// Logs returns the inferlet's Print output.
+func (h *Handle) Logs() []string { return h.h.Logs() }
+
+// Stats reports per-instance instrumentation: control-layer calls,
+// inference-layer calls, and accepted output tokens (Fig. 10/11).
+func (h *Handle) Stats() (controlCalls, inferCalls, outputTokens int) { return h.h.Stats() }
+
+// Launch starts an inferlet over the client link (one half RTT out; the
+// full acknowledgement round trip is visible through Wait/Recv). Must be
+// called from a sim process.
+func (e *Engine) Launch(program string, args ...string) (*Handle, error) {
+	e.clock.Sleep(e.cfg.ClientRTT / 2)
+	h, err := e.ilm.Launch(program, args)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{h: h}, nil
+}
+
+// LaunchAndWait runs an inferlet to completion and returns its logs.
+func (e *Engine) LaunchAndWait(program string, args ...string) ([]string, error) {
+	h, err := e.Launch(program, args...)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Wait(); err != nil {
+		return h.Logs(), err
+	}
+	return h.Logs(), nil
+}
+
+// Go spawns a client/driver process on the engine's clock.
+func (e *Engine) Go(name string, fn func()) { e.clock.Go(name, fn) }
+
+// Run drives the simulation until every client process and inferlet
+// finishes. It returns an error on deadlock.
+func (e *Engine) Run() error { return e.clock.Run() }
+
+// RunClient is the common single-client pattern: spawn fn and drive the
+// simulation to completion.
+func (e *Engine) RunClient(fn func()) error {
+	e.Go("client", fn)
+	return e.Run()
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.clock.Now() }
+
+// Sleep suspends the calling sim process.
+func (e *Engine) Sleep(d time.Duration) { e.clock.Sleep(d) }
+
+// ClientRTT reports the configured client link round trip.
+func (e *Engine) ClientRTT() time.Duration { return e.cfg.ClientRTT }
+
+// Stats summarizes engine activity.
+type Stats struct {
+	GPUBusy      time.Duration
+	Kernels      int
+	Batches      int
+	BatchedCalls int
+	AvgBatch     float64
+	MaxBatch     int
+	Terminations int
+	Launches     int
+	ColdLaunches int
+	ToolCalls    int
+}
+
+// Stats snapshots engine counters.
+func (e *Engine) Stats() Stats {
+	s := e.ctl.Scheduler()
+	return Stats{
+		GPUBusy:      e.backend.Device.BusyTime(),
+		Kernels:      e.backend.Device.Kernels(),
+		Batches:      s.Batches,
+		BatchedCalls: s.BatchedCalls,
+		AvgBatch:     s.AvgBatchSize(),
+		MaxBatch:     s.MaxBatch,
+		Terminations: e.ctl.Terminations,
+		Launches:     e.ilm.Launches,
+		ColdLaunches: e.ilm.ColdLaunches,
+		ToolCalls:    e.world.Calls,
+	}
+}
+
+// PoolStats reports KV page occupancy for a model.
+func (e *Engine) PoolStats(modelName string) (inUse, capacity int) {
+	return e.ctl.PoolStats(modelName)
+}
+
+// Models lists the installed model ids.
+func (e *Engine) Models() []string { return e.catalog.Names() }
+
+// String describes the engine configuration.
+func (e *Engine) String() string {
+	return fmt.Sprintf("pie.Engine{mode=%d policy=%s rtt=%v}", e.cfg.Mode,
+		e.ctl.Scheduler().Config().Policy, e.cfg.ClientRTT)
+}
+
+// Internal hooks for the experiment harness (internal/eval) and advanced
+// tests. These expose internal types and are not part of the stable API.
+
+// Clock returns the engine's virtual clock.
+func (e *Engine) Clock() *sim.Clock { return e.clock }
+
+// Controller returns the control layer.
+func (e *Engine) Controller() *core.Controller { return e.ctl }
+
+// Backend returns the inference layer.
+func (e *Engine) Backend() *infer.Backend { return e.backend }
+
+// Lifecycle returns the application layer.
+func (e *Engine) Lifecycle() *ilm.ILM { return e.ilm }
+
+// World returns the external-service registry.
+func (e *Engine) World() *netsim.World { return e.world }

@@ -1,0 +1,556 @@
+package support
+
+import (
+	"errors"
+	"fmt"
+
+	"pie/api"
+	"pie/inferlet"
+)
+
+// Context automates KV-page management for a single generation stream: it
+// allocates pages as the sequence grows, runs prefill and decode forwards,
+// and exposes token-level masking, forking, export/import, speculative
+// extension with rollback, and masked-page release — the high-level face
+// of the paper's R1 capabilities (§6.3).
+//
+// Two counters describe the stream. slots counts physical KV entries
+// consumed (including masked/rolled-back ones); Len (logical length)
+// counts live tokens and determines the next sequence position. They
+// differ only after Truncate (speculative decoding rollback).
+type Context struct {
+	S     inferlet.Session
+	Q     api.Queue
+	Model api.ModelInfo
+
+	entries []pageEntry
+	pinned  []api.KvPage // read-only attention context (modular caching)
+	slots   int          // physical KV slots consumed
+	pos     int          // next sequence position (logical length)
+	Tokens  []int        // logical token history (prompt + generated)
+
+	genEmb  []api.Embed // reusable decode slot
+	lastOut api.Embed   // output embedding of the last forward
+	hasOut  bool
+}
+
+type pageEntry struct {
+	h     api.KvPage
+	owned bool // false for fork-shared or imported pages
+	live  bool // false once released via ReleaseMaskedPages
+}
+
+// ErrNoOutput is returned when sampling is requested before any forward
+// produced an output embedding.
+var ErrNoOutput = errors.New("support: context has no output embedding yet")
+
+// NewContext opens a context on its own command queue against model m.
+func NewContext(s inferlet.Session, m api.ModelInfo) (*Context, error) {
+	q, err := s.CreateQueue(m.ID)
+	if err != nil {
+		return nil, err
+	}
+	return NewContextOnQueue(s, q, m)
+}
+
+// NewContextOnQueue opens a context on an existing queue (several contexts
+// can share one queue when their ops should serialize).
+func NewContextOnQueue(s inferlet.Session, q api.Queue, m api.ModelInfo) (*Context, error) {
+	genEmb, err := s.AllocEmbeds(q, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{S: s, Q: q, Model: m, genEmb: genEmb}, nil
+}
+
+// Len returns the logical token length of the context.
+func (c *Context) Len() int { return c.pos }
+
+// Slots returns physical KV slots consumed (≥ Len after rollbacks).
+func (c *Context) Slots() int { return c.slots }
+
+// Pages returns the live page handles (advanced use: export, masking).
+func (c *Context) Pages() []api.KvPage {
+	var out []api.KvPage
+	for _, e := range c.entries {
+		if e.live {
+			out = append(out, e.h)
+		}
+	}
+	return out
+}
+
+func (c *Context) capacity() int { return len(c.entries) * c.Model.PageSize }
+
+// ensure grows the page list to hold n more physical slots.
+func (c *Context) ensure(n int) error {
+	need := c.slots + n - c.capacity()
+	if need <= 0 {
+		return nil
+	}
+	ps := c.Model.PageSize
+	add := (need + ps - 1) / ps
+	pages, err := c.S.AllocKvPages(c.Q, add)
+	if err != nil {
+		return err
+	}
+	for _, p := range pages {
+		c.entries = append(c.entries, pageEntry{h: p, owned: true, live: true})
+	}
+	return nil
+}
+
+// ctxPages lists attention-input pages: pinned read-only context first,
+// then the live stream pages.
+func (c *Context) ctxPages() []api.KvPage {
+	return append(append([]api.KvPage(nil), c.pinned...), c.Pages()...)
+}
+
+// ComposeContext pins foreign pages (e.g. imported prompt modules cached
+// at fixed schema positions) as read-only attention context and starts
+// the context's own token stream at position basePos. The pinned pages
+// are never written, masked, or deallocated by this context.
+func ComposeContext(c *Context, pinned []api.KvPage, basePos int) (*Context, error) {
+	if c.slots != 0 {
+		return nil, errors.New("support: ComposeContext requires a fresh context")
+	}
+	c.pinned = append([]api.KvPage(nil), pinned...)
+	c.pos = basePos
+	return c, nil
+}
+
+// outPages lists the page(s) that will receive the next n slots.
+func (c *Context) outPages(n int) []api.KvPage {
+	ps := c.Model.PageSize
+	first := c.slots / ps
+	last := (c.slots + n - 1) / ps
+	var out []api.KvPage
+	for i := first; i <= last && i < len(c.entries); i++ {
+		out = append(out, c.entries[i].h)
+	}
+	return out
+}
+
+// Fill tokenizes text and prefills it into the context.
+func (c *Context) Fill(text string) error {
+	f, err := c.S.Tokenize(c.Q, text)
+	if err != nil {
+		return err
+	}
+	toks, err := f.Get()
+	if err != nil {
+		return err
+	}
+	return c.FillTokens(toks)
+}
+
+// FillTokens prefills toks, extending the KV cache and producing an output
+// embedding for the last token.
+func (c *Context) FillTokens(toks []int) error {
+	if len(toks) == 0 {
+		return nil
+	}
+	_, err := c.extend(toks, true, 1, false)
+	return err
+}
+
+// extend is the shared forward driver: embeds toks at sequential
+// positions, attends the live context, optionally persists KV, requests
+// `outs` output embeddings (the last one also refreshes the decode slot
+// when keepKV), and fetches their next-token distributions when wantDists.
+func (c *Context) extend(toks []int, keepKV bool, outs int, wantDists bool) ([]api.Dist, error) {
+	n := len(toks)
+	if outs > n {
+		return nil, fmt.Errorf("support: %d outputs requested for %d tokens", outs, n)
+	}
+	if keepKV {
+		if err := c.ensure(n); err != nil {
+			return nil, err
+		}
+	}
+	emb, err := c.S.AllocEmbeds(c.Q, n)
+	if err != nil {
+		return nil, err
+	}
+	defer c.S.DeallocEmbeds(c.Q, emb)
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = c.pos + i
+	}
+	if _, err := c.S.EmbedText(c.Q, toks, pos, emb); err != nil {
+		return nil, err
+	}
+	var outEmb []api.Embed
+	if outs > 0 {
+		switch {
+		case outs == 1 && keepKV:
+			outEmb = c.genEmb
+		case keepKV:
+			// Temps for all but the last position; the frontier output
+			// lands in the persistent decode slot so NextDist keeps
+			// working after a multi-output extension.
+			tmp, err := c.S.AllocEmbeds(c.Q, outs-1)
+			if err != nil {
+				return nil, err
+			}
+			defer c.S.DeallocEmbeds(c.Q, tmp)
+			outEmb = append(append([]api.Embed(nil), tmp...), c.genEmb[0])
+		default:
+			// Probes must not clobber the frontier output.
+			tmp, err := c.S.AllocEmbeds(c.Q, outs)
+			if err != nil {
+				return nil, err
+			}
+			defer c.S.DeallocEmbeds(c.Q, tmp)
+			outEmb = tmp
+		}
+	}
+	args := api.ForwardArgs{
+		InputKv:   c.ctxPages(),
+		InputEmb:  emb,
+		OutputEmb: outEmb,
+	}
+	if keepKV {
+		args.OutputKv = c.outPages(n)
+	}
+	if _, err := c.S.Forward(c.Q, args); err != nil {
+		return nil, err
+	}
+	var dists []api.Dist
+	if wantDists && outs > 0 {
+		futs := make([]api.Future[api.Dist], outs)
+		for i, eh := range outEmb {
+			f, err := c.S.GetNextDist(c.Q, eh)
+			if err != nil {
+				return nil, err
+			}
+			futs[i] = f
+		}
+		dists, err = AwaitAll(futs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if keepKV {
+		c.slots += n
+		c.pos += n
+		c.Tokens = append(c.Tokens, toks...)
+		if outs >= 1 {
+			c.lastOut = c.genEmb[0]
+			c.hasOut = true
+		}
+	}
+	return dists, nil
+}
+
+// NextDist returns the next-token distribution after the last Fill or
+// decode step.
+func (c *Context) NextDist() (api.Dist, error) {
+	if !c.hasOut {
+		return api.Dist{}, ErrNoOutput
+	}
+	f, err := c.S.GetNextDist(c.Q, c.lastOut)
+	if err != nil {
+		return api.Dist{}, err
+	}
+	return f.Get()
+}
+
+// Append accepts token tok into the context (one decode step).
+func (c *Context) Append(tok int) error {
+	return c.FillTokens([]int{tok})
+}
+
+// ForwardTokens extends the context by toks in a single forward and
+// returns the next-token distribution after every one of the last `outs`
+// tokens — the verification primitive of speculative and Jacobi decoding:
+// one kernel scores `outs` positions at once.
+func (c *Context) ForwardTokens(toks []int, outs int) ([]api.Dist, error) {
+	return c.extend(toks, true, outs, true)
+}
+
+// ProbeTokens runs toks through the model against the live context
+// WITHOUT persisting KV or advancing the stream, returning dists for the
+// last `outs` tokens (Jacobi iteration).
+func (c *Context) ProbeTokens(toks []int, outs int) ([]api.Dist, error) {
+	return c.extend(toks, false, outs, true)
+}
+
+// Truncate rolls the logical stream back to length n: the physical KV of
+// the rejected tail is masked out (slots are not reclaimed — that is what
+// ReleaseMaskedPages is for) and positions rewind so the next tokens
+// overlay the rejected ones. The rollback half of speculative decoding.
+func (c *Context) Truncate(n int) error {
+	if n < 0 || n > c.pos {
+		return fmt.Errorf("support: Truncate(%d) outside [0,%d]", n, c.pos)
+	}
+	drop := c.pos - n
+	if drop == 0 {
+		return nil
+	}
+	if err := c.MaskSlots(c.slots-drop, c.slots, true); err != nil {
+		return err
+	}
+	c.pos = n
+	c.Tokens = c.Tokens[:n]
+	c.hasOut = false // outputs referred to the rejected tail
+	return nil
+}
+
+// MaskSlots sets attention mask bits over physical slot range [from, to)
+// (true hides them).
+func (c *Context) MaskSlots(from, to int, masked bool) error {
+	ps := c.Model.PageSize
+	for p := 0; p < len(c.entries); p++ {
+		if !c.entries[p].live {
+			continue
+		}
+		lo, hi := p*ps, (p+1)*ps
+		if hi <= from || lo >= to {
+			continue
+		}
+		bits := make([]bool, ps)
+		for i := 0; i < ps; i++ {
+			slot := lo + i
+			if slot >= from && slot < to {
+				bits[i] = masked
+			}
+		}
+		if _, err := c.S.MaskKvPage(c.Q, c.entries[p].h, bits); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaskRange masks token positions [from, to). It equals MaskSlots while
+// the context has never been truncated (positions == slots), which holds
+// for every masking application (sinks, windows, hierarchical attention,
+// spec-drop).
+func (c *Context) MaskRange(from, to int, masked bool) error {
+	return c.MaskSlots(from, to, masked)
+}
+
+// ReleaseMaskedPages deallocates owned pages whose slots are entirely
+// masked (e.g. dropped tool specs, evicted windows), returning the number
+// of pages freed. Freed pages leave the attention input immediately; slot
+// numbering is preserved.
+func (c *Context) ReleaseMaskedPages(fullyMaskedRanges [][2]int) (int, error) {
+	ps := c.Model.PageSize
+	freed := 0
+	var toFree []api.KvPage
+	for p := 0; p < len(c.entries); p++ {
+		if !c.entries[p].live || !c.entries[p].owned {
+			continue
+		}
+		lo, hi := p*ps, (p+1)*ps
+		if hi > c.slots {
+			continue // tail page still receiving tokens
+		}
+		covered := false
+		for _, r := range fullyMaskedRanges {
+			if r[0] <= lo && hi <= r[1] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		c.entries[p].live = false
+		toFree = append(toFree, c.entries[p].h)
+		freed++
+	}
+	if len(toFree) > 0 {
+		if err := c.S.DeallocKvPages(c.Q, toFree); err != nil {
+			return freed, err
+		}
+	}
+	return freed, nil
+}
+
+// GenOpts parameterizes Generate.
+type GenOpts struct {
+	MaxTokens int
+	Sampler   Sampler
+	// StopTokens ends generation when one is produced (it is not added).
+	StopTokens []int
+	// Stop, when non-nil, ends generation after any step where it returns
+	// true over the tokens generated so far.
+	Stop func(generated []int) bool
+	// OnToken, when non-nil, observes each accepted token (tool-call
+	// detection, §7.2 optimization #2).
+	OnToken func(tok int)
+}
+
+// GenResult reports a Generate run.
+type GenResult struct {
+	Tokens []int
+	Text   string
+}
+
+// Generate decodes autoregressively until a stop condition.
+func (c *Context) Generate(opts GenOpts) (GenResult, error) {
+	if opts.MaxTokens <= 0 {
+		opts.MaxTokens = 64
+	}
+	sampler := opts.Sampler
+	if sampler == nil {
+		sampler = Greedy{}
+	}
+	var out []int
+	for len(out) < opts.MaxTokens {
+		dist, err := c.NextDist()
+		if err != nil {
+			return GenResult{}, err
+		}
+		tok := sampler.Next(dist)
+		stop := false
+		for _, st := range opts.StopTokens {
+			if tok == st {
+				stop = true
+			}
+		}
+		if stop {
+			break
+		}
+		out = append(out, tok)
+		c.S.ReportOutputTokens(1)
+		if opts.OnToken != nil {
+			opts.OnToken(tok)
+		}
+		if err := c.Append(tok); err != nil {
+			return GenResult{}, err
+		}
+		if opts.Stop != nil && opts.Stop(out) {
+			break
+		}
+	}
+	text, err := c.DecodeText(out)
+	if err != nil {
+		return GenResult{}, err
+	}
+	return GenResult{Tokens: out, Text: text}, nil
+}
+
+// DecodeText detokenizes ids through the model's vocabulary.
+func (c *Context) DecodeText(ids []int) (string, error) {
+	f, err := c.S.Detokenize(c.Q, ids)
+	if err != nil {
+		return "", err
+	}
+	return f.Get()
+}
+
+// Fork creates n children that share this context's pages zero-copy,
+// except the page holding the last slot, which is copied per child so
+// divergent continuations never write into shared state — the page-level
+// sharing that powers tree search and beam search (R1). Children also
+// inherit the parent's current output embedding (handles live in the same
+// inferlet's address space), so their first NextDist needs no extra
+// forward. The parent must outlive its children and must not Append while
+// forks are active.
+func (c *Context) Fork(n int) ([]*Context, error) {
+	// The children's tail-page copies are issued on their own queues, so
+	// the parent's pending prefill/decode writes must land first.
+	if err := c.Sync(); err != nil {
+		return nil, err
+	}
+	ps := c.Model.PageSize
+	split := 0 // number of fully-shared pages
+	tailTokens := 0
+	if c.slots > 0 {
+		split = (c.slots - 1) / ps
+		tailTokens = c.slots - split*ps
+	}
+	children := make([]*Context, 0, n)
+	for i := 0; i < n; i++ {
+		child, err := NewContext(c.S, c.Model)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < split; j++ {
+			child.entries = append(child.entries, pageEntry{h: c.entries[j].h, owned: false, live: c.entries[j].live})
+		}
+		if tailTokens > 0 {
+			np, err := c.S.AllocKvPages(child.Q, 1)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := c.S.CopyKvPage(child.Q, c.entries[split].h, np[0], 0, 0, tailTokens); err != nil {
+				return nil, err
+			}
+			child.entries = append(child.entries, pageEntry{h: np[0], owned: true, live: true})
+		}
+		child.slots = c.slots
+		child.pos = c.pos
+		child.Tokens = append([]int(nil), c.Tokens...)
+		child.lastOut = c.lastOut
+		child.hasOut = c.hasOut
+		children = append(children, child)
+	}
+	return children, nil
+}
+
+// Drop releases every owned live page and the decode slot; the context
+// becomes unusable.
+func (c *Context) Drop() error {
+	var own []api.KvPage
+	for _, e := range c.entries {
+		if e.owned && e.live {
+			own = append(own, e.h)
+		}
+	}
+	if len(own) > 0 {
+		if err := c.S.DeallocKvPages(c.Q, own); err != nil {
+			return err
+		}
+	}
+	c.entries = nil
+	if c.genEmb != nil {
+		if err := c.S.DeallocEmbeds(c.Q, c.genEmb); err != nil {
+			return err
+		}
+		c.genEmb = nil
+	}
+	return nil
+}
+
+// Sync drains the context's command queue.
+func (c *Context) Sync() error {
+	f, err := c.S.Synchronize(c.Q)
+	if err != nil {
+		return err
+	}
+	_, err = f.Get()
+	return err
+}
+
+// Export publishes the context's live pages under name. Exports should be
+// page-aligned (Len a multiple of PageSize) so importers can extend them.
+func (c *Context) Export(name string) error {
+	if err := c.Sync(); err != nil {
+		return err
+	}
+	return c.S.ExportKvPages(name, c.Pages())
+}
+
+// ImportContext maps an exported context: pages are shared, so the result
+// must be treated as a read-only prefix (extend it; never mask it).
+func ImportContext(s inferlet.Session, m api.ModelInfo, name string, tokens []int) (*Context, error) {
+	c, err := NewContext(s, m)
+	if err != nil {
+		return nil, err
+	}
+	pages, err := s.ImportKvPages(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pages {
+		c.entries = append(c.entries, pageEntry{h: p, owned: false, live: true})
+	}
+	c.slots = len(tokens)
+	c.pos = len(tokens)
+	c.Tokens = append([]int(nil), tokens...)
+	return c, nil
+}

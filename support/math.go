@@ -1,0 +1,8 @@
+package support
+
+import "math"
+
+// Thin wrappers keep the samplers' call sites tidy and make it obvious the
+// package's only float dependency is stdlib math.
+func mathExp(x float64) float64 { return math.Exp(x) }
+func mathLog(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,143 @@
+package support_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pie/inferlet"
+	"pie/support"
+)
+
+// The speculative-decoding primitives must compose correctly in full
+// fidelity: extending with a window, rolling back its rejected tail, and
+// re-extending must be indistinguishable (in attention terms) from having
+// taken the accepted path directly.
+func TestTruncateRollbackEquivalence(t *testing.T) {
+	gen := func(speculate bool) string {
+		return run(t, 31, func(s inferlet.Session) (string, error) {
+			ctx, err := support.NewContext(s, s.AvailableModels()[0])
+			if err != nil {
+				return "", err
+			}
+			if err := ctx.Fill("roll back the rejected drafts "); err != nil {
+				return "", err
+			}
+			if speculate {
+				// Extend with 4 draft tokens, reject the last 2, take the
+				// accepted path's continuation.
+				mark := ctx.Len()
+				if _, err := ctx.ForwardTokens([]int{100, 101, 999, 998}, 4); err != nil {
+					return "", err
+				}
+				if err := ctx.Truncate(mark + 2); err != nil {
+					return "", err
+				}
+				if err := ctx.Sync(); err != nil {
+					return "", err
+				}
+				if err := ctx.Append(102); err != nil {
+					return "", err
+				}
+			} else {
+				// The accepted path, taken directly.
+				for _, tok := range []int{100, 101, 102} {
+					if err := ctx.Append(tok); err != nil {
+						return "", err
+					}
+				}
+			}
+			d, err := ctx.NextDist()
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%d:%.6f len=%d", d.ArgMax(), d.Probs[0], ctx.Len()), nil
+		})
+	}
+	direct := gen(false)
+	rolled := gen(true)
+	if direct != rolled {
+		t.Fatalf("rollback path diverged from direct path:\n direct: %s\n rolled: %s", direct, rolled)
+	}
+}
+
+// ProbeTokens must not disturb the context: probing and then generating
+// equals generating directly.
+func TestProbeIsSideEffectFree(t *testing.T) {
+	gen := func(probeFirst bool) string {
+		return run(t, 33, func(s inferlet.Session) (string, error) {
+			ctx, err := support.NewContext(s, s.AvailableModels()[0])
+			if err != nil {
+				return "", err
+			}
+			if err := ctx.Fill("probing must not persist state "); err != nil {
+				return "", err
+			}
+			if probeFirst {
+				if _, err := ctx.ProbeTokens([]int{55, 66, 77}, 3); err != nil {
+					return "", err
+				}
+				if err := ctx.Sync(); err != nil {
+					return "", err
+				}
+			}
+			res, err := ctx.Generate(support.GenOpts{MaxTokens: 5})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%v len=%d slots=%d", res.Tokens, ctx.Len(), ctx.Slots()), nil
+		})
+	}
+	plain := gen(false)
+	probed := gen(true)
+	if plain != probed {
+		t.Fatalf("probe had side effects:\n plain:  %s\n probed: %s", plain, probed)
+	}
+}
+
+// ForwardTokens' verification dists must match step-by-step NextDist.
+func TestForwardTokensDistsMatchStepwise(t *testing.T) {
+	got := run(t, 37, func(s inferlet.Session) (string, error) {
+		m := s.AvailableModels()[0]
+		a, err := support.NewContext(s, m)
+		if err != nil {
+			return "", err
+		}
+		b, err := support.NewContext(s, m)
+		if err != nil {
+			return "", err
+		}
+		for _, ctx := range []*support.Context{a, b} {
+			if err := ctx.Fill("verify windows against stepwise decoding "); err != nil {
+				return "", err
+			}
+		}
+		window := []int{200, 201, 202}
+		// Batched: one forward scores all three positions.
+		batched, err := a.ForwardTokens(window, 3)
+		if err != nil {
+			return "", err
+		}
+		// Stepwise: append one at a time, reading the dist after each.
+		var stepwise []int
+		for _, tok := range window {
+			if err := b.Append(tok); err != nil {
+				return "", err
+			}
+			d, err := b.NextDist()
+			if err != nil {
+				return "", err
+			}
+			stepwise = append(stepwise, d.ArgMax())
+		}
+		for i := range window {
+			if batched[i].ArgMax() != stepwise[i] {
+				return "", fmt.Errorf("position %d: batched argmax %d != stepwise %d",
+					i, batched[i].ArgMax(), stepwise[i])
+			}
+		}
+		return "ok", nil
+	})
+	if got != "ok" {
+		t.Fatal(got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package support is Pie's high-level inferlet library (§6.3): the
+// Context abstraction that manages KV pages automatically, common sampling
+// methods, stopping criteria, and SGLang-style fork/join parallelism — so
+// that most applications never touch raw handles. The paper's three-line
+// completion example maps to:
+//
+//	ctx, _ := support.NewContext(s, model)
+//	ctx.Fill("Hello, ")
+//	ctx.Generate(support.GenOpts{MaxTokens: 10})
+package support
+
+import (
+	"pie/api"
+)
+
+// Sampler picks the next token from a truncated distribution. Sampling
+// runs inside the inferlet, in the host language — the programmability the
+// paper's R2 requirement asks for.
+type Sampler interface {
+	Next(d api.Dist) int
+}
+
+// Greedy always takes the most probable token.
+type Greedy struct{}
+
+// Next implements Sampler.
+func (Greedy) Next(d api.Dist) int { return d.ArgMax() }
+
+// TopK samples from the top K entries at the given temperature with a
+// deterministic internal stream.
+type TopK struct {
+	K           int
+	Temperature float64
+	state       uint64
+	seeded      bool
+	Seed        uint64
+}
+
+func (t *TopK) next64() uint64 {
+	if !t.seeded {
+		t.state = t.Seed*0x9E3779B97F4A7C15 + 0x1234567
+		t.seeded = true
+	}
+	t.state += 0x9E3779B97F4A7C15
+	z := t.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Next implements Sampler.
+func (t *TopK) Next(d api.Dist) int {
+	k := t.K
+	if k <= 0 || k > len(d.Tokens) {
+		k = len(d.Tokens)
+	}
+	if k == 0 {
+		panic("support: sampling from empty distribution")
+	}
+	temp := t.Temperature
+	if temp <= 0 {
+		return d.ArgMax()
+	}
+	// Temperature re-shaping over the truncated support: p^(1/T).
+	weights := make([]float64, k)
+	var total float64
+	for i := 0; i < k; i++ {
+		w := pow(float64(d.Probs[i]), 1/temp)
+		weights[i] = w
+		total += w
+	}
+	u := float64(t.next64()>>11) / (1 << 53) * total
+	for i := 0; i < k; i++ {
+		u -= weights[i]
+		if u <= 0 {
+			return d.Tokens[i]
+		}
+	}
+	return d.Tokens[k-1]
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// exp(y*ln(x)) via the math package would be fine; inline to keep the
+	// sampler allocation-free on the hot path.
+	return mathExp(y * mathLog(x))
+}
+
+// Scripted replays a fixed token sequence — the "teacher forcing" driver
+// for timing-mode workloads (see DESIGN.md §1): every API call still
+// happens; only the sampled identities are overridden. Falls back to
+// greedy when the script is exhausted.
+type Scripted struct {
+	Tokens []int
+	i      int
+}
+
+// Next implements Sampler.
+func (s *Scripted) Next(d api.Dist) int {
+	if s.i < len(s.Tokens) {
+		t := s.Tokens[s.i]
+		s.i++
+		return t
+	}
+	return d.ArgMax()
+}
+
+// Remaining reports unplayed script tokens.
+func (s *Scripted) Remaining() int { return len(s.Tokens) - s.i }
+
+// MaskedSampler filters a distribution through an allow-set before
+// delegating (grammar-constrained decoding, safety filters).
+type MaskedSampler struct {
+	Allowed func(token int) bool
+	Base    Sampler
+}
+
+// Next implements Sampler. If every token is masked it falls back to the
+// unmasked argmax.
+func (m *MaskedSampler) Next(d api.Dist) int {
+	var toks []int
+	var probs []float32
+	for i, t := range d.Tokens {
+		if m.Allowed(t) {
+			toks = append(toks, t)
+			probs = append(probs, d.Probs[i])
+		}
+	}
+	if len(toks) == 0 {
+		return d.ArgMax()
+	}
+	return m.Base.Next(api.Dist{Tokens: toks, Probs: probs})
+}
+
+// BiasedSampler adds per-token logit-space bias before delegating
+// (watermarking's greenlist boost).
+type BiasedSampler struct {
+	Bias func(token int) float32 // additive in log space
+	Base Sampler
+}
+
+// Next implements Sampler.
+func (b *BiasedSampler) Next(d api.Dist) int {
+	toks := make([]int, len(d.Tokens))
+	probs := make([]float32, len(d.Tokens))
+	var sum float32
+	for i, t := range d.Tokens {
+		toks[i] = t
+		p := d.Probs[i] * float32(mathExp(float64(b.Bias(t))))
+		probs[i] = p
+		sum += p
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	// Re-rank so ArgMax stays meaningful for greedy bases.
+	for i := 1; i < len(probs); i++ {
+		for j := i; j > 0 && probs[j] > probs[j-1]; j-- {
+			probs[j], probs[j-1] = probs[j-1], probs[j]
+			toks[j], toks[j-1] = toks[j-1], toks[j]
+		}
+	}
+	return b.Base.Next(api.Dist{Tokens: toks, Probs: probs})
+}
