@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pie/internal/eval"
+	"pie/internal/sim"
 )
 
 var benchOpts = eval.Options{Seed: 42, Quick: true}
@@ -142,5 +143,19 @@ func BenchmarkTable5Batching(b *testing.B) {
 		for _, row := range r.Rows {
 			b.ReportMetric(row.Throughput, row.Policy+"-req/s")
 		}
+	}
+}
+
+// BenchmarkSimReplaySpeed reports wall-clock replay throughput of the
+// discrete-event core on a full experiment (Figure 6 grid): virtual
+// events processed per second of real time, the headline number
+// BENCH_sim.json tracks across PRs.
+func BenchmarkSimReplaySpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ev0 := sim.TotalEvents()
+		t0 := time.Now()
+		eval.Figure6(benchOpts)
+		wall := time.Since(t0)
+		b.ReportMetric(float64(sim.TotalEvents()-ev0)/wall.Seconds(), "events/sec")
 	}
 }

@@ -7,23 +7,64 @@
 //	pie-bench -quick           # CI-sized workloads
 //	pie-bench -exp fig7,table5 # selected experiments
 //	pie-bench -seed 7          # different deterministic seed
+//	pie-bench -json            # also write BENCH_sim.json (perf trajectory)
+//
+// The -json report records, per experiment and in total, the wall time,
+// the number of virtual events processed, and events/sec — the headline
+// replay-speed metric tracked across PRs (see EXPERIMENTS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"pie/internal/eval"
+	"pie/internal/sim"
 )
+
+// experimentResult is one experiment's entry in BENCH_sim.json.
+type experimentResult struct {
+	ID           string             `json:"id"`
+	WallMS       float64            `json:"wall_ms"`
+	Events       uint64             `json:"events"`
+	EventsPerSec float64            `json:"events_per_sec"`
+	Headline     map[string]float64 `json:"headline,omitempty"`
+}
+
+// defaultJSONPath is where -json writes its report unless -json-out
+// overrides it.
+const defaultJSONPath = "BENCH_sim.json"
+
+// report is the top-level BENCH_sim.json document.
+type report struct {
+	Seed         uint64             `json:"seed"`
+	Quick        bool               `json:"quick"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	TotalWallMS  float64            `json:"total_wall_ms"`
+	TotalEvents  uint64             `json:"total_events"`
+	EventsPerSec float64            `json:"events_per_sec"`
+	Experiments  []experimentResult `json:"experiments"`
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run CI-sized workloads")
 	seed := flag.Uint64("seed", 42, "deterministic seed for every experiment")
 	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5)")
+	jsonOut := flag.Bool("json", false, "write BENCH_sim.json with wall time and events/sec per experiment")
+	jsonPath := flag.String("json-out", defaultJSONPath, "path for the -json report (implies -json)")
 	flag.Parse()
+	// An explicit output path means the user wants the report, -json or not.
+	writeReport := *jsonOut
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "json-out" {
+			writeReport = true
+		}
+	})
 
 	o := eval.Options{Seed: *seed, Quick: *quick}
 	want := map[string]bool{}
@@ -31,30 +72,153 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	run := func(id string, fn func() string) {
+
+	rep := report{Seed: *seed, Quick: *quick, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	suiteStart := time.Now()
+	eventsStart := sim.TotalEvents()
+
+	run := func(id string, fn func() (string, map[string]float64)) {
 		if !all && !want[id] {
 			return
 		}
 		start := time.Now()
-		out := fn()
+		ev0 := sim.TotalEvents()
+		out, headline := fn()
+		wall := time.Since(start)
+		events := sim.TotalEvents() - ev0
 		fmt.Println(out)
-		fmt.Printf("  [%s regenerated in %v wall time]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s regenerated in %v wall time; %d events, %.0f events/sec]\n\n",
+			id, wall.Round(time.Millisecond), events, float64(events)/wall.Seconds())
+		rep.Experiments = append(rep.Experiments, experimentResult{
+			ID:           id,
+			WallMS:       float64(wall) / float64(time.Millisecond),
+			Events:       events,
+			EventsPerSec: float64(events) / wall.Seconds(),
+			Headline:     headline,
+		})
 	}
 
 	fmt.Printf("pie-bench: reproducing the Pie (SOSP'25) evaluation  (seed=%d quick=%v)\n\n", *seed, *quick)
-	run("table2", func() string { return eval.Table2().Table() })
-	run("fig6", func() string { return eval.Figure6(o).Table() })
-	run("fig7", func() string { return eval.Figure7(o).Table() })
-	run("fig8", func() string { return eval.Figure8(o).Table() })
-	run("fig9", func() string { return eval.Figure9(o).Table() })
-	run("fig10", func() string { return eval.Figure10(o).Table() })
-	run("fig11", func() string { return eval.Figure11(o).Table() })
-	run("table3", func() string { return eval.Table3(o).Table() })
-	run("table4", func() string { return eval.Table4(o).Table() })
-	run("table5", func() string { return eval.Table5(o).Table() })
+	run("table2", func() (string, map[string]float64) {
+		r := eval.Table2()
+		return r.Table(), map[string]float64{"programs": float64(len(r.Rows))}
+	})
+	run("fig6", func() (string, map[string]float64) {
+		r := eval.Figure6(o)
+		h := map[string]float64{}
+		for _, row := range r.Rows {
+			h[row.Workflow+"-"+row.System+"-latency-sec"] = row.Latency.Seconds()
+			h[row.Workflow+"-"+row.System+"-agents-per-sec"] = row.Throughput
+		}
+		return r.Table(), h
+	})
+	run("fig7", func() (string, map[string]float64) {
+		r := eval.Figure7(o)
+		h := map[string]float64{}
+		if len(r.Series) > 0 {
+			base := r.Series[0]
+			full := r.Series[len(r.Series)-1]
+			last := len(base.Throughput) - 1
+			h["vllm-agents-per-sec"] = base.Throughput[last]
+			h["pie-full-agents-per-sec"] = full.Throughput[last]
+			h["speedup-x"] = full.Throughput[last] / base.Throughput[last]
+		}
+		return r.Table(), h
+	})
+	run("fig8", func() (string, map[string]float64) {
+		r := eval.Figure8(o)
+		h := map[string]float64{}
+		if pieTC, ok := r.Get("textcomp", "pie"); ok {
+			h["textcomp-pie-ms"] = float64(pieTC.Latency) / float64(time.Millisecond)
+		}
+		if vllmTC, ok := r.Get("textcomp", "vllm"); ok {
+			h["textcomp-vllm-ms"] = float64(vllmTC.Latency) / float64(time.Millisecond)
+		}
+		pieAS, okA := r.Get("attnsink", "pie")
+		sllm, okB := r.Get("attnsink", "streamingllm")
+		if okA && okB && sllm.Throughput > 0 {
+			h["attnsink-speedup-x"] = pieAS.Throughput / sllm.Throughput
+		}
+		return r.Table(), h
+	})
+	run("fig9", func() (string, map[string]float64) {
+		r := eval.Figure9(o)
+		first, last := r.Points[0], r.Points[len(r.Points)-1]
+		return r.Table(), map[string]float64{
+			"warm-1-ms":   float64(first.Warm) / float64(time.Millisecond),
+			"cold-1-ms":   float64(first.Cold) / float64(time.Millisecond),
+			"warm-max-ms": float64(last.Warm) / float64(time.Millisecond),
+			"cold-max-ms": float64(last.Cold) / float64(time.Millisecond),
+		}
+	})
+	run("fig10", func() (string, map[string]float64) {
+		r := eval.Figure10(o)
+		first, last := r.Points[0], r.Points[len(r.Points)-1]
+		return r.Table(), map[string]float64{
+			"control-1-us":   float64(first.ControlLayer) / float64(time.Microsecond),
+			"control-max-us": float64(last.ControlLayer) / float64(time.Microsecond),
+			"infer-1-us":     float64(first.InferenceLayer) / float64(time.Microsecond),
+			"infer-max-us":   float64(last.InferenceLayer) / float64(time.Microsecond),
+		}
+	})
+	run("fig11", func() (string, map[string]float64) {
+		r := eval.Figure11(o)
+		h := map[string]float64{}
+		for _, row := range r.Rows {
+			h[row.Task+"-infer-per-tok"] = row.InferCalls
+			h[row.Task+"-control-per-tok"] = row.ControlCalls
+		}
+		return r.Table(), h
+	})
+	run("table3", func() (string, map[string]float64) {
+		r := eval.Table3(o)
+		return r.Table(), map[string]float64{
+			"vllm-tpot-ms":    float64(r.VLLMTPOT) / float64(time.Millisecond),
+			"pie-tpot-ms":     float64(r.PieTPOT) / float64(time.Millisecond),
+			"sampling-gap-ms": float64(r.SamplingGap) / float64(time.Millisecond),
+		}
+	})
+	run("table4", func() (string, map[string]float64) {
+		r := eval.Table4(o)
+		h := map[string]float64{}
+		for _, row := range r.Rows {
+			h[row.Params+"-pie-ms"] = float64(row.Pie) / float64(time.Millisecond)
+			h[row.Params+"-vllm-ms"] = float64(row.VLLM) / float64(time.Millisecond)
+			h[row.Params+"-overhead-pct"] = row.Percent
+		}
+		return r.Table(), h
+	})
+	run("table5", func() (string, map[string]float64) {
+		r := eval.Table5(o)
+		h := map[string]float64{}
+		for _, row := range r.Rows {
+			h[row.Policy+"-req-per-sec"] = row.Throughput
+		}
+		return r.Table(), h
+	})
 
-	if !all && len(want) == 0 {
+	if !all && len(rep.Experiments) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected")
 		os.Exit(2)
+	}
+
+	wall := time.Since(suiteStart)
+	rep.TotalWallMS = float64(wall) / float64(time.Millisecond)
+	rep.TotalEvents = sim.TotalEvents() - eventsStart
+	rep.EventsPerSec = float64(rep.TotalEvents) / wall.Seconds()
+	fmt.Printf("suite: %v wall time, %d virtual events, %.0f events/sec (gomaxprocs=%d)\n",
+		wall.Round(time.Millisecond), rep.TotalEvents, rep.EventsPerSec, rep.GoMaxProcs)
+
+	if writeReport {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pie-bench: marshal report:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pie-bench: write report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

@@ -1,0 +1,3 @@
+module pie
+
+go 1.24

@@ -705,7 +705,10 @@ func (ctl *Controller) onBatchComplete(b *infer.Batch) {
 		ctl.sched.forgetCall(c)
 		if q != nil && !seen[q] {
 			seen[q] = true
-			ctl.drainControlOps(q)
+			// Re-index the queue now that its ordering released: this
+			// drains queue-ordered control ops and returns the queue to
+			// its ready bucket if the next call is dispatchable.
+			ctl.sched.refresh(q)
 		}
 	}
 	ctl.sched.tryDispatch()

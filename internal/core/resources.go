@@ -122,6 +122,13 @@ type cmdQueue struct {
 	pending  []*infer.Call
 	inflight int
 	closed   bool
+
+	// Ready-bucket index state, owned by the Scheduler: which (op,
+	// runtime) bucket the queue currently sits in, its slot there, and how
+	// many pending calls it contributes to the incremental K-only count.
+	bucket    *readyBucket
+	bucketIdx int
+	counted   int
 }
 
 func (q *cmdQueue) head() *infer.Call {

@@ -64,6 +64,37 @@ func DefaultSchedConfig() SchedConfig {
 	}
 }
 
+// bucketKey identifies a batch-compatible class of calls: one op type on
+// one model runtime.
+type bucketKey struct {
+	op infer.Op
+	rt *infer.ModelRuntime
+}
+
+// readyBucket indexes every queue whose head call is dispatchable right
+// now for one (op, runtime) class. Buckets are maintained incrementally on
+// enqueue/pop/complete/close, so batch formation touches only eligible
+// queues instead of rescanning every queue in the system. The creation seq
+// provides a deterministic tie-break when two classes have equally-old
+// heads (a plain map iteration there would leak map order into the batch
+// stream and break the sim package's determinism contract).
+type readyBucket struct {
+	key    bucketKey
+	seq    uint64 // creation order; deterministic tie-break
+	queues []*cmdQueue
+}
+
+// remove drops the queue at index i (swap-remove; member order is
+// irrelevant because batch formation re-sorts by priority).
+func (b *readyBucket) remove(i int) {
+	last := len(b.queues) - 1
+	moved := b.queues[last]
+	b.queues[i] = moved
+	moved.bucketIdx = i
+	b.queues[last] = nil
+	b.queues = b.queues[:last]
+}
+
 // Scheduler groups compatible GPU-bound API calls into batches (§5.2).
 //
 // Vertical batching: consecutive same-type calls from one command queue
@@ -80,8 +111,20 @@ type Scheduler struct {
 	ctl   *Controller
 	cfg   SchedConfig
 
-	queues map[*cmdQueue]struct{}
-	callQ  map[*infer.Call]*cmdQueue
+	buckets   map[bucketKey]*readyBucket
+	bucketSeq uint64
+	callQ     map[*infer.Call]*cmdQueue
+
+	// readyCalls is the number of pending calls on currently-eligible
+	// queues, maintained incrementally so the K-only policy never rescans
+	// the queue set (the old pendingDispatchable walked every queue on
+	// every enqueue and completion).
+	readyCalls int
+
+	// scratch is the reusable batch-formation working set: dispatchOne
+	// must order (and then refresh) a snapshot of the winning bucket's
+	// queues without allocating per dispatch.
+	scratch []*cmdQueue
 
 	kickPending bool
 
@@ -105,11 +148,11 @@ func newScheduler(clock *sim.Clock, ctl *Controller, cfg SchedConfig) *Scheduler
 		cfg.MaxBatchCalls = 256
 	}
 	s := &Scheduler{
-		clock:  clock,
-		ctl:    ctl,
-		cfg:    cfg,
-		queues: make(map[*cmdQueue]struct{}),
-		callQ:  make(map[*infer.Call]*cmdQueue),
+		clock:   clock,
+		ctl:     ctl,
+		cfg:     cfg,
+		buckets: make(map[bucketKey]*readyBucket),
+		callQ:   make(map[*infer.Call]*cmdQueue),
 	}
 	switch cfg.Policy {
 	case PolicyTOnly:
@@ -137,26 +180,70 @@ func (s *Scheduler) kOnlyFlushLoop() {
 	const stallLimit = 100 * time.Millisecond
 	for {
 		s.clock.Sleep(stallLimit / 2)
-		for q := range s.queues {
-			if q.closed || q.inflight > 0 || len(q.pending) == 0 {
-				continue
-			}
-			h := q.head()
-			if h != nil && !h.Op.ControlSide() && s.clock.Now()-h.Enq > stallLimit {
-				s.dispatchOne()
-				break
+		now := s.clock.Now()
+	scan:
+		for _, b := range s.buckets {
+			for _, q := range b.queues {
+				if now-q.head().Enq > stallLimit {
+					s.dispatchOne()
+					break scan
+				}
 			}
 		}
 	}
 }
 
+// refresh re-indexes one queue after any state change (enqueue, pop,
+// completion, close). It drains queue-ordered control ops that reached the
+// head, then moves the queue into, out of, or between ready buckets and
+// updates the incremental K-only call count. O(1) amortized per call.
+func (s *Scheduler) refresh(q *cmdQueue) {
+	var h *infer.Call
+	if !q.closed && q.inflight == 0 {
+		h = q.head()
+		if h != nil && h.Op.ControlSide() {
+			s.ctl.drainControlOps(q)
+			h = q.head()
+		}
+	}
+	eligible := h != nil && !h.Op.ControlSide()
+
+	contribution := 0
+	if eligible {
+		contribution = len(q.pending)
+	}
+	s.readyCalls += contribution - q.counted
+	q.counted = contribution
+
+	if !eligible {
+		if q.bucket != nil {
+			q.bucket.remove(q.bucketIdx)
+			q.bucket = nil
+		}
+		return
+	}
+	key := bucketKey{h.Op, q.rt}
+	if q.bucket != nil {
+		if q.bucket.key == key {
+			return
+		}
+		q.bucket.remove(q.bucketIdx)
+		q.bucket = nil
+	}
+	b := s.buckets[key]
+	if b == nil {
+		s.bucketSeq++
+		b = &readyBucket{key: key, seq: s.bucketSeq}
+		s.buckets[key] = b
+	}
+	q.bucket = b
+	q.bucketIdx = len(b.queues)
+	b.queues = append(b.queues, q)
+}
+
 // onEnqueue reacts to a new call on q.
 func (s *Scheduler) onEnqueue(q *cmdQueue) {
-	s.queues[q] = struct{}{}
-	h := q.head()
-	if h != nil && h.Op.ControlSide() {
-		s.ctl.drainControlOps(q)
-	}
+	s.refresh(q)
 	switch s.cfg.Policy {
 	case PolicyEager:
 		for s.dispatchOne() {
@@ -166,7 +253,7 @@ func (s *Scheduler) onEnqueue(q *cmdQueue) {
 			s.scheduleKick()
 		}
 	case PolicyKOnly:
-		if s.pendingDispatchable() >= s.cfg.K {
+		if s.readyCalls >= s.cfg.K {
 			s.dispatchOne()
 		}
 	case PolicyTOnly:
@@ -212,90 +299,51 @@ func (s *Scheduler) tryDispatch() {
 		for s.dispatchOne() {
 		}
 	case PolicyKOnly:
-		if s.pendingDispatchable() >= s.cfg.K {
+		if s.readyCalls >= s.cfg.K {
 			s.dispatchOne()
 		}
 	}
 }
 
-// pendingDispatchable counts calls at eligible queue heads and their
-// same-type runs.
-func (s *Scheduler) pendingDispatchable() int {
-	n := 0
-	for q := range s.queues {
-		if q.closed || q.inflight > 0 || len(q.pending) == 0 {
-			continue
-		}
-		if q.head().Op.ControlSide() {
-			continue
-		}
-		n += len(q.pending)
-	}
-	return n
-}
-
 // dispatchOne forms and submits a single batch; it reports whether one was
-// dispatched.
+// dispatched. It runs in O(eligible queues): the ready buckets already
+// exclude closed, busy, empty, and control-headed queues.
 //
 // Type selection: light stage-ops (embed, sampling, KV maintenance) beat
 // forwards, and within a class the type whose oldest pending call has
-// waited longest wins. Draining the light ops first lets every inferlet
-// blocked behind them reach its next forward, so the expensive kernel
-// forms at full cohort width instead of splitting into alternating phase
-// groups.
+// waited longest wins; equal ages tie-break on bucket creation order so
+// same-seed runs pick identical batches. Draining the light ops first lets
+// every inferlet blocked behind them reach its next forward, so the
+// expensive kernel forms at full cohort width instead of splitting into
+// alternating phase groups.
 func (s *Scheduler) dispatchOne() bool {
-	type key struct {
-		op infer.Op
-		rt *infer.ModelRuntime
-	}
-	oldest := map[key]time.Duration{}
-	var bestKey key
-	var haveBest bool
-	better := func(a, b key) bool { // a beats b
-		lightA, lightB := a.op != infer.OpForward, b.op != infer.OpForward
-		if lightA != lightB {
-			return lightA
-		}
-		return oldest[a] < oldest[b]
-	}
-	for q := range s.queues {
-		if q.closed || q.inflight > 0 {
+	var best *readyBucket
+	var bestOldest time.Duration
+	for _, b := range s.buckets {
+		if len(b.queues) == 0 {
 			continue
 		}
-		s.ctl.drainControlOps(q)
-		h := q.head()
-		if h == nil || h.Op.ControlSide() {
-			continue
+		oldest := b.queues[0].head().Enq
+		for _, q := range b.queues[1:] {
+			if e := q.head().Enq; e < oldest {
+				oldest = e
+			}
 		}
-		k := key{h.Op, q.rt}
-		if t, ok := oldest[k]; !ok || h.Enq < t {
-			oldest[k] = h.Enq
-		}
-		if !haveBest || better(k, bestKey) {
-			bestKey, haveBest = k, true
+		if best == nil || betterBucket(b, oldest, best, bestOldest) {
+			best, bestOldest = b, oldest
 		}
 	}
-	if !haveBest {
+	if best == nil {
 		return false
 	}
 
-	// Gather queues whose head matches, by priority then queue id.
-	var eligible []*cmdQueue
-	for q := range s.queues {
-		if q.closed || q.inflight > 0 {
-			continue
-		}
-		h := q.head()
-		if h == nil || h.Op.ControlSide() {
-			continue
-		}
-		if h.Op == bestKey.op && q.rt == bestKey.rt {
-			eligible = append(eligible, q)
-		}
-	}
+	// Order a snapshot of the bucket's queues by priority then queue id
+	// (refresh below mutates best.queues while we iterate the snapshot).
+	eligible := append(s.scratch[:0], best.queues...)
+	s.scratch = eligible
 	sortQueues(eligible)
 
-	batch := &infer.Batch{Op: bestKey.op, Model: bestKey.rt}
+	batch := &infer.Batch{Op: best.key.op, Model: best.key.rt}
 	max := s.cfg.MaxBatchCalls
 	if s.cfg.Policy == PolicyEager {
 		max = 1
@@ -307,7 +355,7 @@ func (s *Scheduler) dispatchOne() bool {
 		// Vertical: take the head run of same-type calls.
 		for len(q.pending) > 0 && len(batch.Calls) < max {
 			h := q.head()
-			if h.Op != bestKey.op {
+			if h.Op != best.key.op {
 				break
 			}
 			q.pop()
@@ -315,6 +363,9 @@ func (s *Scheduler) dispatchOne() bool {
 			s.callQ[h] = q
 			batch.Calls = append(batch.Calls, h)
 		}
+	}
+	for _, q := range eligible {
+		s.refresh(q)
 	}
 	if len(batch.Calls) == 0 {
 		return false
@@ -330,6 +381,21 @@ func (s *Scheduler) dispatchOne() bool {
 	}
 	s.ctl.backend.Submit(batch)
 	return true
+}
+
+// betterBucket reports whether bucket a (oldest head age oa) should
+// dispatch before bucket b (oldest head age ob). Light stage-ops beat
+// forwards; then older heads win; then bucket creation order — a total,
+// deterministic order independent of map iteration.
+func betterBucket(a *readyBucket, oa time.Duration, b *readyBucket, ob time.Duration) bool {
+	lightA, lightB := a.key.op != infer.OpForward, b.key.op != infer.OpForward
+	if lightA != lightB {
+		return lightA
+	}
+	if oa != ob {
+		return oa < ob
+	}
+	return a.seq < b.seq
 }
 
 func sortQueues(qs []*cmdQueue) {
@@ -354,7 +420,14 @@ func (s *Scheduler) queueOf(c *infer.Call) *cmdQueue { return s.callQ[c] }
 func (s *Scheduler) forgetCall(c *infer.Call) { delete(s.callQ, c) }
 
 // forgetQueue removes a closed queue from scheduling.
-func (s *Scheduler) forgetQueue(q *cmdQueue) { delete(s.queues, q) }
+func (s *Scheduler) forgetQueue(q *cmdQueue) {
+	s.readyCalls -= q.counted
+	q.counted = 0
+	if q.bucket != nil {
+		q.bucket.remove(q.bucketIdx)
+		q.bucket = nil
+	}
+}
 
 // AvgBatchSize reports mean calls per batch.
 func (s *Scheduler) AvgBatchSize() float64 {

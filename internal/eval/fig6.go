@@ -50,26 +50,35 @@ const (
 	swarmThink   = 16
 )
 
-// Figure6 runs the full grid.
+// Figure6 runs the full grid. Every (workflow, system) cell is an
+// independent pair of simulations on fresh clocks, so the 9 cells fan out
+// across the parallel harness; rows are written by index to keep output
+// order (and content) identical to a serial run.
 func Figure6(o Options) Fig6Result {
 	latencyConc := 4
 	thptConc := o.scale(96, 24)
 	total := o.scale(192, 36)
 
-	var out Fig6Result
+	type cell struct{ wf, system string }
+	var cells []cell
 	for _, wf := range []string{"react", "codeact", "swarm"} {
 		for _, system := range []string{"pie", "vllm", "sglang"} {
-			lat := runAgent(wf, system, latencyConc*3, latencyConc, o.seed())
-			thp := runAgent(wf, system, total, thptConc, o.seed())
-			out.Rows = append(out.Rows, Fig6Row{
-				Workflow:   wf,
-				System:     system,
-				Latency:    lat.Latency.Mean(),
-				Throughput: thp.Throughput(),
-			})
+			cells = append(cells, cell{wf, system})
 		}
 	}
-	return out
+	rows := make([]Fig6Row, len(cells))
+	parallelFor(len(cells), func(i int) {
+		c := cells[i]
+		lat := runAgent(c.wf, c.system, latencyConc*3, latencyConc, o.seed())
+		thp := runAgent(c.wf, c.system, total, thptConc, o.seed())
+		rows[i] = Fig6Row{
+			Workflow:   c.wf,
+			System:     c.system,
+			Latency:    lat.Latency.Mean(),
+			Throughput: thp.Throughput(),
+		}
+	})
+	return Fig6Result{Rows: rows}
 }
 
 // runAgent dispatches one (workflow, system) load. All systems see the

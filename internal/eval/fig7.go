@@ -59,33 +59,41 @@ func Figure7(o Options) Fig7Result {
 		{"+ call (#2)", "pie", true, true, false},
 		{"+ mask (#3)", "pie", true, true, true},
 	}
+	// Flatten the (config, agent count) grid: every sweep point is an
+	// independent simulation, so all of them fan out together.
 	var out Fig7Result
 	for _, cfg := range configs {
-		s := Fig7Series{Label: cfg.label, AgentCount: counts}
-		for _, n := range counts {
-			total := n * 2
-			if total < 8 {
-				total = 8
-			}
-			var res loadResult
-			if cfg.system == "pie" {
-				params := marshalParams(apps.FnCallParams{
-					Common:  apps.Common{Model: "llama-8b"},
-					NumAPIs: fnNumAPIs, HotAPIs: fnHotAPIs, SpecTokens: fnSpecToks,
-					Calls: fnCalls, ThinkTokens: fnThink,
-					OptCache: cfg.cache, OptAsync: cfg.async, OptMask: cfg.mask,
-				})
-				e := newPieEngine(o.seed(), nil)
-				res = runPieLoad(e, "fncall_agent", func(int) string { return params }, total, n)
-			} else {
-				res = runBaselineLoad(
-					baseline.Config{Kind: baseline.VLLM, ModelLabel: "8B"},
-					baselineFnCall(), total, n, o.seed())
-			}
-			s.Throughput = append(s.Throughput, res.Throughput())
-		}
-		out.Series = append(out.Series, s)
+		out.Series = append(out.Series, Fig7Series{
+			Label:      cfg.label,
+			AgentCount: counts,
+			Throughput: make([]float64, len(counts)),
+		})
 	}
+	parallelFor(len(configs)*len(counts), func(i int) {
+		cfg := configs[i/len(counts)]
+		ci := i % len(counts)
+		n := counts[ci]
+		total := n * 2
+		if total < 8 {
+			total = 8
+		}
+		var res loadResult
+		if cfg.system == "pie" {
+			params := marshalParams(apps.FnCallParams{
+				Common:  apps.Common{Model: "llama-8b"},
+				NumAPIs: fnNumAPIs, HotAPIs: fnHotAPIs, SpecTokens: fnSpecToks,
+				Calls: fnCalls, ThinkTokens: fnThink,
+				OptCache: cfg.cache, OptAsync: cfg.async, OptMask: cfg.mask,
+			})
+			e := newPieEngine(o.seed(), nil)
+			res = runPieLoad(e, "fncall_agent", func(int) string { return params }, total, n)
+		} else {
+			res = runBaselineLoad(
+				baseline.Config{Kind: baseline.VLLM, ModelLabel: "8B"},
+				baselineFnCall(), total, n, o.seed())
+		}
+		out.Series[i/len(counts)].Throughput[ci] = res.Throughput()
+	})
 	return out
 }
 

@@ -48,21 +48,24 @@ func Figure8(o Options) Fig8Result {
 	totalLat := latConc * 3
 	totalThpt := o.scale(64, 18)
 
-	for _, tech := range out.Techniques {
-		for _, sys := range out.Systems {
-			runner := fig8Cell(tech, sys)
-			if runner == nil {
-				out.Rows = append(out.Rows, Fig8Row{Technique: tech, System: sys})
-				continue
-			}
-			lat := runner(o, totalLat, latConc)
-			thp := runner(o, totalThpt, thptConc)
-			out.Rows = append(out.Rows, Fig8Row{
-				Technique: tech, System: sys, Supported: true,
-				Latency: lat.Latency.Mean(), Throughput: thp.Throughput(),
-			})
+	// All 55 grid cells are independent; fan them out and fill rows by
+	// index so the table reads identically to a serial run.
+	out.Rows = make([]Fig8Row, len(out.Techniques)*len(out.Systems))
+	parallelFor(len(out.Rows), func(i int) {
+		tech := out.Techniques[i/len(out.Systems)]
+		sys := out.Systems[i%len(out.Systems)]
+		runner := fig8Cell(tech, sys)
+		if runner == nil {
+			out.Rows[i] = Fig8Row{Technique: tech, System: sys}
+			return
 		}
-	}
+		lat := runner(o, totalLat, latConc)
+		thp := runner(o, totalThpt, thptConc)
+		out.Rows[i] = Fig8Row{
+			Technique: tech, System: sys, Supported: true,
+			Latency: lat.Latency.Mean(), Throughput: thp.Throughput(),
+		}
+	})
 	return out
 }
 

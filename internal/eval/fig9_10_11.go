@@ -35,14 +35,21 @@ func Figure9(o Options) Fig9Result {
 	if o.Quick {
 		counts = []int{1, 64, 256}
 	}
-	var out Fig9Result
-	for _, n := range counts {
-		out.Points = append(out.Points, Fig9Point{
-			Count: n,
-			Cold:  launchProbe(o.seed(), n, false),
-			Warm:  launchProbe(o.seed(), n, true),
-		})
+	// Each (count, cold/warm) probe is its own engine; fan all of them
+	// out. Counts are stamped serially up front so the two legs of a
+	// point never write the same field concurrently.
+	out := Fig9Result{Points: make([]Fig9Point, len(counts))}
+	for i, n := range counts {
+		out.Points[i].Count = n
 	}
+	parallelFor(2*len(counts), func(i int) {
+		n := counts[i/2]
+		if i%2 == 0 {
+			out.Points[i/2].Cold = launchProbe(o.seed(), n, false)
+		} else {
+			out.Points[i/2].Warm = launchProbe(o.seed(), n, true)
+		}
+	})
 	return out
 }
 
@@ -192,10 +199,10 @@ func Figure10(o Options) Fig10Result {
 	if o.Quick {
 		counts = []int{1, 128, 384}
 	}
-	var out Fig10Result
-	for _, n := range counts {
-		out.Points = append(out.Points, apiProbe(o.seed(), n))
-	}
+	out := Fig10Result{Points: make([]Fig10Point, len(counts))}
+	parallelFor(len(counts), func(i int) {
+		out.Points[i] = apiProbe(o.seed(), counts[i])
+	})
 	return out
 }
 
@@ -248,8 +255,9 @@ func Figure11(o Options) Fig11Result {
 		{"beam", "beam", apps.BeamParams{Width: 5, Steps: 24}},
 		{"swarm", "agent_swarm", apps.SwarmParams{Workers: swarmWorkers, IOsPerWorker: swarmIOs, ThinkTokens: swarmThink}},
 	}
-	var out Fig11Result
-	for _, task := range tasks {
+	out := Fig11Result{Rows: make([]Fig11Row, len(tasks))}
+	parallelFor(len(tasks), func(i int) {
+		task := tasks[i]
 		e := newPieEngine(o.seed(), nil)
 		var cc, ic, tok int
 		e.Go("driver", func() {
@@ -266,13 +274,13 @@ func Figure11(o Options) Fig11Result {
 		if tok == 0 {
 			tok = 1
 		}
-		out.Rows = append(out.Rows, Fig11Row{
+		out.Rows[i] = Fig11Row{
 			Task:         task.name,
 			ControlCalls: float64(cc) / float64(tok),
 			InferCalls:   float64(ic) / float64(tok),
 			OutputTokens: tok,
-		})
-	}
+		}
+	})
 	return out
 }
 

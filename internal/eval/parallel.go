@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(0..n-1) across up to GOMAXPROCS workers and blocks
+// until every leg finishes. Experiment legs are independent by
+// construction — each builds its own engines on fresh virtual clocks — so
+// the drivers fan legs out here and write results into index-addressed
+// slots, which keeps output identical to a serial run no matter how legs
+// interleave in wall time. A panicking leg is re-panicked on the caller
+// after the remaining legs drain, so a failed experiment aborts loudly
+// instead of deadlocking the harness.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, legPanic{leg: i, value: r, stack: debug.Stack()})
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.(legPanic))
+	}
+}
+
+// legPanic carries a failed leg's original panic value and stack across
+// the worker boundary, so the caller's panic still identifies the failing
+// site and typed panic values stay recoverable by type assertion.
+type legPanic struct {
+	leg   int
+	value interface{}
+	stack []byte
+}
+
+func (p legPanic) Error() string {
+	return fmt.Sprintf("eval: leg %d: %v\n%s", p.leg, p.value, p.stack)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (p legPanic) Unwrap() error {
+	if err, ok := p.value.(error); ok {
+		return err
+	}
+	return nil
+}

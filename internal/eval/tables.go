@@ -127,7 +127,7 @@ func pieTPOT(seed uint64, app string, paramsFor func(gen int) interface{}, mutat
 		res := runPieLoad(e, app, func(int) string { return blob }, t3Conc, t3Conc)
 		return res.Latency.Mean()
 	}
-	return (run(hi) - run(lo)) / time.Duration(hi-lo)
+	return slopeTPOT(lo, hi, run)
 }
 
 func vllmTPOT(seed uint64, label string, quick bool) time.Duration {
@@ -139,7 +139,22 @@ func vllmTPOT(seed uint64, label string, quick bool) time.Duration {
 			}, t3Conc, t3Conc, seed)
 		return res.Latency.Mean()
 	}
-	return (run(hi) - run(lo)) / time.Duration(hi-lo)
+	return slopeTPOT(lo, hi, run)
+}
+
+// slopeTPOT measures run at both generation lengths (the two legs are
+// independent engines, so they run concurrently) and returns the latency
+// slope per extra token.
+func slopeTPOT(lo, hi int, run func(gen int) time.Duration) time.Duration {
+	var loT, hiT time.Duration
+	parallelFor(2, func(i int) {
+		if i == 0 {
+			hiT = run(hi)
+		} else {
+			loT = run(lo)
+		}
+	})
+	return (hiT - loT) / time.Duration(hi-lo)
 }
 
 // Table3 measures the ablation ladder.
@@ -155,15 +170,26 @@ func Table3(o Options) Table3Result {
 		return apps.FusedCompletionParams{Common: apps.Common{Model: t3Model}, Prompt: prompt, MaxTokens: gen, FuseEmbed: true}
 	}
 
-	tpotStd := pieTPOT(o.seed(), "text_completion", std, nil, o.Quick)
-	tpotFusedSample := pieTPOT(o.seed(), "text_completion_fused", fusedSample, nil, o.Quick)
-	tpotFullFused := pieTPOT(o.seed(), "text_completion_fused", fullFused, nil, o.Quick)
-	tpotNoSched := pieTPOT(o.seed(), "text_completion", std, func(c *pie.Config) {
-		c.NoSchedOverhead = true
-	}, o.Quick)
-	tpotNoDist := pieTPOT(o.seed(), "text_completion", std, func(c *pie.Config) {
-		c.NoDistReturnOverhead = true
-	}, o.Quick)
+	// The six TPOT measurements (five Pie variants plus the vLLM anchor)
+	// are independent ladders; fan them out.
+	var tpotStd, tpotFusedSample, tpotFullFused, tpotNoSched, tpotNoDist, tpotVLLM time.Duration
+	measurements := []func(){
+		func() { tpotStd = pieTPOT(o.seed(), "text_completion", std, nil, o.Quick) },
+		func() { tpotFusedSample = pieTPOT(o.seed(), "text_completion_fused", fusedSample, nil, o.Quick) },
+		func() { tpotFullFused = pieTPOT(o.seed(), "text_completion_fused", fullFused, nil, o.Quick) },
+		func() {
+			tpotNoSched = pieTPOT(o.seed(), "text_completion", std, func(c *pie.Config) {
+				c.NoSchedOverhead = true
+			}, o.Quick)
+		},
+		func() {
+			tpotNoDist = pieTPOT(o.seed(), "text_completion", std, func(c *pie.Config) {
+				c.NoDistReturnOverhead = true
+			}, o.Quick)
+		},
+		func() { tpotVLLM = vllmTPOT(o.seed(), t3ModelLabel, o.Quick) },
+	}
+	parallelFor(len(measurements), func(i int) { measurements[i]() })
 
 	clampPos := func(d time.Duration) time.Duration {
 		if d < 0 {
@@ -172,7 +198,7 @@ func Table3(o Options) Table3Result {
 		return d
 	}
 	return Table3Result{
-		VLLMTPOT:           vllmTPOT(o.seed(), t3ModelLabel, o.Quick),
+		VLLMTPOT:           tpotVLLM,
 		PieTPOT:            tpotStd,
 		SamplingGap:        clampPos(tpotStd - tpotFusedSample),
 		EmbedGap:           clampPos(tpotFusedSample - tpotFullFused),
@@ -218,22 +244,31 @@ type Table4Row struct {
 // Table4Result holds all sizes.
 type Table4Result struct{ Rows []Table4Row }
 
-// Table4 measures TPOT for 1B/3B/8B.
+// Table4 measures TPOT for 1B/3B/8B; the six (model, system) ladders fan
+// out in parallel.
 func Table4(o Options) Table4Result {
-	var out Table4Result
-	for _, m := range []struct{ id, label string }{
+	models := []struct{ id, label string }{
 		{"llama-8b", "8B"}, {"llama-3b", "3B"}, {"llama-1b", "1B"},
-	} {
-		id := m.id
-		params := func(gen int) interface{} {
-			return apps.CompletionParams{Common: apps.Common{Model: id}, Prompt: f8Prompt[:400], MaxTokens: gen}
+	}
+	pieT := make([]time.Duration, len(models))
+	vllmT := make([]time.Duration, len(models))
+	parallelFor(2*len(models), func(i int) {
+		m := models[i/2]
+		if i%2 == 0 {
+			params := func(gen int) interface{} {
+				return apps.CompletionParams{Common: apps.Common{Model: m.id}, Prompt: f8Prompt[:400], MaxTokens: gen}
+			}
+			pieT[i/2] = pieTPOT(o.seed(), "text_completion", params, nil, o.Quick)
+		} else {
+			vllmT[i/2] = vllmTPOT(o.seed(), m.label, o.Quick)
 		}
-		pieT := pieTPOT(o.seed(), "text_completion", params, nil, o.Quick)
-		vllmT := vllmTPOT(o.seed(), m.label, o.Quick)
+	})
+	var out Table4Result
+	for i, m := range models {
 		out.Rows = append(out.Rows, Table4Row{
-			Params: m.label, VLLM: vllmT, Pie: pieT,
-			Overhead: pieT - vllmT,
-			Percent:  100 * float64(pieT-vllmT) / float64(vllmT),
+			Params: m.label, VLLM: vllmT[i], Pie: pieT[i],
+			Overhead: pieT[i] - vllmT[i],
+			Percent:  100 * float64(pieT[i]-vllmT[i]) / float64(vllmT[i]),
 		})
 	}
 	return out
@@ -271,8 +306,7 @@ func Table5(o Options) Table5Result {
 	total := o.scale(384, 96)
 	gen := 40
 	params := marshalParams(apps.CompletionParams{Prompt: f8Prompt[:200], MaxTokens: gen})
-	var out Table5Result
-	for _, pol := range []struct {
+	policies := []struct {
 		name   string
 		policy pie.Policy
 	}{
@@ -280,7 +314,10 @@ func Table5(o Options) Table5Result {
 		{"K-only", pie.PolicyKOnly},
 		{"T-only", pie.PolicyTOnly},
 		{"Adaptive", pie.PolicyAdaptive},
-	} {
+	}
+	out := Table5Result{Rows: make([]Table5Row, len(policies))}
+	parallelFor(len(policies), func(i int) {
+		pol := policies[i]
 		totalHere := total
 		if pol.policy == pie.PolicyEager {
 			// Eager is an order of magnitude slower; keep runtime sane
@@ -289,8 +326,8 @@ func Table5(o Options) Table5Result {
 		}
 		e := newPieEngine(o.seed(), func(c *pie.Config) { c.Policy = pol.policy })
 		res := runPieLoad(e, "text_completion", func(int) string { return params }, totalHere, conc)
-		out.Rows = append(out.Rows, Table5Row{Policy: pol.name, Throughput: res.Throughput()})
-	}
+		out.Rows[i] = Table5Row{Policy: pol.name, Throughput: res.Throughput()}
+	})
 	return out
 }
 

@@ -412,3 +412,52 @@ func TestQuickSchedulerMonotonicTime(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExternalModeInjectAfterIdle(t *testing.T) {
+	// Server mode: the clock must stay alive while idle — even when only
+	// daemons have run so far — so a later Inject can start work. (This
+	// used to finish the clock at the first idle moment and panic the
+	// first Inject with "Inject after clock finished".)
+	c := NewClock()
+	c.EnableExternal()
+	c.GoDaemon("service", func() {
+		m := NewMailbox[int](c)
+		m.Recv() // parks forever: the daemon is idle infrastructure
+	})
+	runDone := make(chan error, 1)
+	go func() { runDone <- c.Run() }()
+
+	injected := make(chan int, 1)
+	// Wait until Run has dispatched the daemon and gone idle: the daemon
+	// parked, the heap drained, and no process running. (Current() alone
+	// is nil before Run starts too, which would race Inject against Run's
+	// entry check.)
+	for i := 0; i < 5000; i++ {
+		_, parked, pending, _ := c.Stats()
+		if parked == 1 && pending == 0 && c.Current() == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Inject("work", func() {
+		c.Sleep(5 * time.Millisecond)
+		injected <- 42
+	})
+	select {
+	case v := <-injected:
+		if v != 42 {
+			t.Fatalf("injected work returned %d", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("injected work never ran")
+	}
+	c.Shutdown()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Shutdown")
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import "time"
+
+// heapEntry is one slot of the event heap. The ordering key (virtual time,
+// sequence number) is stored inline so sift comparisons never dereference
+// the event record — at a thousand pending events that is the difference
+// between comparing within one cache line and a pointer chase per step.
+type heapEntry struct {
+	t   time.Duration
+	seq uint64
+	ev  *event
+}
+
+// eventHeap is an inlined 4-ary min-heap specialized to *event, ordered by
+// (virtual time, sequence number). Compared to container/heap it avoids
+// interface dispatch and halves tree depth, which matters because every
+// scheduler decision is a push and a pop.
+//
+// Cancelled events (Kill on a sleeping process) stay in place and are
+// skipped at pop time; when they outnumber live entries the heap compacts
+// in one pass so a churny workload (many kills) cannot grow the array
+// without bound.
+type eventHeap struct {
+	es        []heapEntry
+	cancelled int // lazily-cancelled entries still occupying slots
+}
+
+func entryLess(a, b *heapEntry) bool {
+	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
+}
+
+func (h *eventHeap) len() int { return len(h.es) }
+
+// live reports the number of non-cancelled pending events.
+func (h *eventHeap) live() int { return len(h.es) - h.cancelled }
+
+// min returns the root entry; the heap must be non-empty.
+func (h *eventHeap) min() *heapEntry { return &h.es[0] }
+
+func (h *eventHeap) push(e *event) {
+	entry := heapEntry{t: e.t, seq: e.seq, ev: e}
+	i := len(h.es)
+	h.es = append(h.es, entry)
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryLess(&entry, &h.es[parent]) {
+			break
+		}
+		h.es[i] = h.es[parent]
+		i = parent
+	}
+	h.es[i] = entry
+}
+
+// pop removes and returns the minimum event. The caller must know the heap
+// is non-empty. Cancelled entries are the caller's concern: pop returns
+// them like any other (the clock filters and recycles them).
+func (h *eventHeap) pop() *event {
+	root := h.es[0].ev
+	n := len(h.es) - 1
+	last := h.es[n]
+	h.es[n] = heapEntry{}
+	h.es = h.es[:n]
+	if n > 0 {
+		h.siftDown(0, last)
+	}
+	if root.cancelled {
+		h.cancelled--
+	}
+	return root
+}
+
+// replaceMin swaps the root for a new event in a single sift — the fused
+// push+pop the Sleep fast path relies on — and returns the old minimum.
+func (h *eventHeap) replaceMin(e *event) *event {
+	root := h.es[0].ev
+	h.siftDown(0, heapEntry{t: e.t, seq: e.seq, ev: e})
+	if root.cancelled {
+		h.cancelled--
+	}
+	return root
+}
+
+// siftDown places entry at index i and restores heap order below it.
+func (h *eventHeap) siftDown(i int, entry heapEntry) {
+	es := h.es
+	n := len(es)
+	for {
+		child := i<<2 + 1
+		if child >= n {
+			break
+		}
+		end := child + 4
+		if end > n {
+			end = n
+		}
+		best := child
+		for c := child + 1; c < end; c++ {
+			if entryLess(&es[c], &es[best]) {
+				best = c
+			}
+		}
+		if !entryLess(&es[best], &entry) {
+			break
+		}
+		es[i] = es[best]
+		i = best
+	}
+	es[i] = entry
+}
+
+// compactThreshold gates compaction: below this size the dead entries are
+// too few to matter and the pass would dominate.
+const compactThreshold = 64
+
+// maybeCompact drops cancelled entries and re-heapifies when they are the
+// majority. Removed events are handed to recycle for pooling.
+func (h *eventHeap) maybeCompact(recycle func(*event)) {
+	if len(h.es) < compactThreshold || h.cancelled*2 <= len(h.es) {
+		return
+	}
+	kept := h.es[:0]
+	for _, entry := range h.es {
+		if entry.ev.cancelled {
+			recycle(entry.ev)
+			continue
+		}
+		kept = append(kept, entry)
+	}
+	for i := len(kept); i < len(h.es); i++ {
+		h.es[i] = heapEntry{}
+	}
+	h.es = kept
+	h.cancelled = 0
+	for i := (len(kept) - 2) >> 2; i >= 0; i-- {
+		h.siftDown(i, h.es[i])
+	}
+}

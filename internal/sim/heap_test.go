@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// drain pops every event, skipping cancelled entries, and returns the
+// live events in pop order.
+func drain(h *eventHeap) []*event {
+	var out []*event
+	for h.len() > 0 {
+		e := h.pop()
+		if e.cancelled {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestHeapPopOrdering(t *testing.T) {
+	h := &eventHeap{}
+	r := NewRNG(7)
+	const n = 500
+	for i := 0; i < n; i++ {
+		h.push(&event{t: time.Duration(r.Intn(50)) * time.Millisecond, seq: uint64(i + 1)})
+	}
+	out := drain(h)
+	if len(out) != n {
+		t.Fatalf("drained %d events, want %d", len(out), n)
+	}
+	for i := 1; i < len(out); i++ {
+		a, b := out[i-1], out[i]
+		if a.t > b.t {
+			t.Fatalf("pop %d: time %v after %v", i, b.t, a.t)
+		}
+		if a.t == b.t && a.seq > b.seq {
+			t.Fatalf("pop %d: duplicate timestamp %v ordered %d before %d", i, a.t, a.seq, b.seq)
+		}
+	}
+}
+
+func TestHeapDuplicateTimestampsFIFO(t *testing.T) {
+	// All events at the same instant must pop in push (seq) order — the
+	// determinism contract for same-time wakeups.
+	h := &eventHeap{}
+	const n = 64
+	for i := 0; i < n; i++ {
+		h.push(&event{t: time.Millisecond, seq: uint64(i + 1)})
+	}
+	for i := 0; i < n; i++ {
+		if got := h.pop().seq; got != uint64(i+1) {
+			t.Fatalf("pop %d: seq %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestHeapReplaceMin(t *testing.T) {
+	h := &eventHeap{}
+	for i := 1; i <= 16; i++ {
+		h.push(&event{t: time.Duration(i) * time.Millisecond, seq: uint64(i)})
+	}
+	// Replace the 1ms root with a 5ms event: the old root comes back and
+	// subsequent pops interleave the replacement correctly.
+	got := h.replaceMin(&event{t: 5 * time.Millisecond, seq: 100})
+	if got.t != time.Millisecond {
+		t.Fatalf("replaceMin returned %v, want 1ms", got.t)
+	}
+	out := drain(h)
+	if len(out) != 16 {
+		t.Fatalf("drained %d, want 16", len(out))
+	}
+	prev := out[0]
+	for _, e := range out[1:] {
+		if e.t < prev.t || (e.t == prev.t && e.seq < prev.seq) {
+			t.Fatalf("order violated after replaceMin: %v/%d before %v/%d", prev.t, prev.seq, e.t, e.seq)
+		}
+		prev = e
+	}
+}
+
+func TestHeapCancelledCompaction(t *testing.T) {
+	h := &eventHeap{}
+	const n = 200
+	evs := make([]*event, n)
+	for i := 0; i < n; i++ {
+		evs[i] = &event{t: time.Duration(i) * time.Millisecond, seq: uint64(i + 1)}
+		h.push(evs[i])
+	}
+	// Cancel a majority, like a mass Kill of sleeping inferlets.
+	recycled := 0
+	for i := 0; i < n; i++ {
+		if i%4 != 0 {
+			evs[i].cancelled = true
+			h.cancelled++
+		}
+	}
+	h.maybeCompact(func(*event) { recycled++ })
+	if h.cancelled != 0 {
+		t.Fatalf("cancelled count %d after compaction, want 0", h.cancelled)
+	}
+	if want := n - n/4; recycled != want {
+		t.Fatalf("recycled %d events, want %d", recycled, want)
+	}
+	if h.len() != n/4 {
+		t.Fatalf("heap len %d after compaction, want %d", h.len(), n/4)
+	}
+	out := drain(h)
+	for i := 1; i < len(out); i++ {
+		if out[i-1].t > out[i].t {
+			t.Fatalf("compaction broke heap order: %v before %v", out[i-1].t, out[i].t)
+		}
+	}
+	// Survivors are exactly the non-cancelled events.
+	if len(out) != n/4 {
+		t.Fatalf("%d live events drained, want %d", len(out), n/4)
+	}
+	for _, e := range out {
+		if (int(e.seq)-1)%4 != 0 {
+			t.Fatalf("cancelled event seq %d survived compaction", e.seq)
+		}
+	}
+}
+
+func TestHeapCompactionBelowThresholdIsNoop(t *testing.T) {
+	h := &eventHeap{}
+	for i := 0; i < compactThreshold/2; i++ {
+		e := &event{t: time.Duration(i), seq: uint64(i + 1), cancelled: true}
+		h.push(e)
+		h.cancelled++
+	}
+	h.maybeCompact(func(*event) { t.Fatal("compacted below threshold") })
+	if h.len() != compactThreshold/2 {
+		t.Fatalf("len changed to %d", h.len())
+	}
+}
+
+func TestClockKillCompactsHeap(t *testing.T) {
+	// A mass kill of sleeping processes must not leave the heap full of
+	// corpses: Kill marks events cancelled and compaction reclaims them.
+	c := NewClock()
+	const n = 4 * compactThreshold
+	victims := make([]*Proc, n)
+	c.Go("killer", func() {
+		c.Sleep(time.Millisecond)
+		for _, v := range victims {
+			c.Kill(v)
+		}
+		c.mu.Lock()
+		heapLen := c.heap.len()
+		c.mu.Unlock()
+		// n cancelled sleep events were replaced by n immediate wakeups;
+		// compaction must have dropped most of the cancelled slots.
+		if heapLen > n+compactThreshold {
+			t.Errorf("heap holds %d entries after mass kill of %d", heapLen, n)
+		}
+	})
+	for i := range victims {
+		victims[i] = c.Go("victim", func() { c.Sleep(time.Hour) })
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Now(); got >= time.Hour {
+		t.Fatalf("clock ran to %v; cancelled sleeps should never fire", got)
+	}
+}
+
+func TestEventPoolReuseUnderChurn(t *testing.T) {
+	// Steady-state churn (sleep storms) must recycle event records through
+	// the free list instead of allocating per event.
+	c := NewClock()
+	for p := 0; p < 8; p++ {
+		r := NewRNG(uint64(p) + 1)
+		c.Go("churn", func() {
+			for k := 0; k < 2000; k++ {
+				c.Sleep(time.Duration(r.Intn(100)) * time.Microsecond)
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, events := c.Stats()
+	if events < 8*2000 {
+		t.Fatalf("processed %d events, want >= 16000", events)
+	}
+	// The pool can never exceed the peak number of simultaneously pending
+	// events (8 sleepers + spawn events), far below the event count.
+	if got := len(c.pool); got > 32 {
+		t.Fatalf("free list grew to %d records; recycling is broken", got)
+	}
+	// Total event records materialized = pool + any still referenced;
+	// with the free list working this is bounded by peak concurrency, so
+	// the churn of 16k sleeps must not have built 16k records.
+	if cap(c.heap.es) > 64 {
+		t.Fatalf("heap backing array grew to %d for 8 concurrent procs", cap(c.heap.es))
+	}
+}
+
+func TestClockEventCounter(t *testing.T) {
+	before := TotalEvents()
+	c := NewClock()
+	c.Go("p", func() {
+		for i := 0; i < 10; i++ {
+			c.Sleep(time.Millisecond)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, events := c.Stats()
+	if events != 11 { // spawn dispatch + 10 sleeps
+		t.Fatalf("clock events = %d, want 11", events)
+	}
+	if got := TotalEvents() - before; got < 11 {
+		t.Fatalf("TotalEvents advanced by %d, want >= 11", got)
+	}
+}
