@@ -97,6 +97,9 @@ type CompletionParams struct {
 	// Ack makes the program message the client before generating (the
 	// Fig. 9 launch-latency probe).
 	Ack bool `json:"ack"`
+	// FirstTokenAck messages the client the moment the first token is
+	// accepted — the TTFT probe for the cluster scaling sweep.
+	FirstTokenAck bool `json:"first_token_ack"`
 }
 
 // TextCompletion is the standard autoregressive completion inferlet.
@@ -134,7 +137,17 @@ func TextCompletion() inferlet.Program {
 			if p.Temperature > 0 {
 				sampler = &support.TopK{K: p.TopK, Temperature: p.Temperature, Seed: p.Seed}
 			}
-			res, err := ctx.Generate(support.GenOpts{MaxTokens: p.MaxTokens, Sampler: sampler})
+			var onToken func(int)
+			if p.FirstTokenAck {
+				sent := false
+				onToken = func(int) {
+					if !sent {
+						sent = true
+						s.Send("first-token")
+					}
+				}
+			}
+			res, err := ctx.Generate(support.GenOpts{MaxTokens: p.MaxTokens, Sampler: sampler, OnToken: onToken})
 			if err != nil {
 				return err
 			}

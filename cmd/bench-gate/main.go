@@ -1,0 +1,172 @@
+// Command bench-gate compares a freshly generated pie-bench JSON report
+// against the committed baseline (BENCH_sim.json) and fails on regression.
+// CI runs it on every PR:
+//
+//	pie-bench -quick -cluster -json-out fresh_bench.json
+//	bench-gate -baseline BENCH_sim.json -fresh fresh_bench.json
+//
+// Two kinds of checks, with different physics:
+//
+//   - Headline metrics and per-experiment event counts derive from virtual
+//     time, so same-seed same-scale runs reproduce them exactly. Any drift
+//     beyond -tol means the simulation's behavior changed: either a real
+//     regression, or an intentional change that must regenerate the
+//     committed baseline in the same PR.
+//   - events/sec is wall-clock replay speed — machine-dependent — so only
+//     a regression beyond -perf-tol fails; running faster never does.
+//
+// Exit status: 0 clean, 1 violations, 2 usage/incomparable inputs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"pie/internal/benchfmt"
+)
+
+func load(path string) (benchfmt.Report, error) {
+	var r benchfmt.Report
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// relDiff is the symmetric relative difference, safe around zero.
+func relDiff(fresh, base float64) float64 {
+	if fresh == base {
+		return 0
+	}
+	denom := math.Max(math.Abs(base), math.Abs(fresh))
+	if denom == 0 {
+		return 0
+	}
+	return math.Abs(fresh-base) / denom
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_sim.json", "committed baseline report")
+	freshPath := flag.String("fresh", "fresh_bench.json", "freshly generated report")
+	tol := flag.Float64("tol", 0.20, "tolerance for deterministic metrics (headlines, event counts)")
+	perfTol := flag.Float64("perf-tol", 0.20, "allowed events/sec regression (faster is always fine)")
+	flag.Parse()
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-gate:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-gate:", err)
+		os.Exit(2)
+	}
+	if base.Seed != fresh.Seed || base.Quick != fresh.Quick {
+		fmt.Fprintf(os.Stderr, "bench-gate: incomparable reports: baseline seed=%d quick=%v, fresh seed=%d quick=%v\n",
+			base.Seed, base.Quick, fresh.Seed, fresh.Quick)
+		os.Exit(2)
+	}
+
+	freshByID := map[string]benchfmt.Experiment{}
+	for _, e := range fresh.Experiments {
+		freshByID[e.ID] = e
+	}
+
+	var violations []string
+	checked := 0
+	for _, b := range base.Experiments {
+		f, ok := freshByID[b.ID]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: experiment missing from fresh report", b.ID))
+			continue
+		}
+		if d := relDiff(float64(f.Events), float64(b.Events)); d > *tol {
+			violations = append(violations,
+				fmt.Sprintf("%s: event count drifted %.1f%% (%d -> %d)", b.ID, d*100, b.Events, f.Events))
+		}
+		keys := make([]string, 0, len(b.Headline))
+		for k := range b.Headline {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bv := b.Headline[k]
+			fv, ok := f.Headline[k]
+			if !ok {
+				violations = append(violations,
+					fmt.Sprintf("%s/%s: headline metric missing from fresh report", b.ID, k))
+				continue
+			}
+			checked++
+			if d := relDiff(fv, bv); d > *tol {
+				violations = append(violations,
+					fmt.Sprintf("%s/%s: drifted %.1f%% (%.4g -> %.4g)", b.ID, k, d*100, bv, fv))
+			}
+		}
+	}
+
+	// Anything present only in the fresh report means the committed
+	// baseline is stale (e.g. regenerated without -cluster): those metrics
+	// would silently lose regression coverage.
+	baseIDs := map[string]benchfmt.Experiment{}
+	for _, b := range base.Experiments {
+		baseIDs[b.ID] = b
+	}
+	for _, f := range fresh.Experiments {
+		b, ok := baseIDs[f.ID]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: experiment missing from baseline (stale BENCH_sim.json — regenerate it)", f.ID))
+			continue
+		}
+		keys := make([]string, 0, len(f.Headline))
+		for k := range f.Headline {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, ok := b.Headline[k]; !ok {
+				violations = append(violations, fmt.Sprintf(
+					"%s/%s: headline metric missing from baseline (stale BENCH_sim.json)", f.ID, k))
+			}
+		}
+	}
+
+	// Replay speed: regression-only, whole-suite, and only when the two
+	// reports come from the same machine class — wall-clock comparisons
+	// across different core counts measure the hardware, not the code.
+	if base.GoMaxProcs != fresh.GoMaxProcs {
+		fmt.Printf("bench-gate: gomaxprocs differs (baseline %d, fresh %d); events/sec check is advisory only\n",
+			base.GoMaxProcs, fresh.GoMaxProcs)
+	} else if base.EventsPerSec > 0 && fresh.EventsPerSec < base.EventsPerSec*(1-*perfTol) {
+		violations = append(violations, fmt.Sprintf(
+			"suite events/sec regressed %.1f%% (%.0f -> %.0f)",
+			(1-fresh.EventsPerSec/base.EventsPerSec)*100, base.EventsPerSec, fresh.EventsPerSec))
+	}
+
+	fmt.Printf("bench-gate: %d experiments, %d headline metrics checked (tol %.0f%%, perf-tol %.0f%%)\n",
+		len(base.Experiments), checked, *tol*100, *perfTol*100)
+	fmt.Printf("bench-gate: suite events/sec baseline %.0f, fresh %.0f (%+.1f%%)\n",
+		base.EventsPerSec, fresh.EventsPerSec,
+		(fresh.EventsPerSec/base.EventsPerSec-1)*100)
+	if len(violations) > 0 {
+		fmt.Println("bench-gate: FAIL")
+		for _, v := range violations {
+			fmt.Println("  -", v)
+		}
+		fmt.Println("(intentional behavior changes must regenerate BENCH_sim.json in the same PR:" +
+			" go run ./cmd/pie-bench -quick -cluster -json-out BENCH_sim.json)")
+		os.Exit(1)
+	}
+	fmt.Println("bench-gate: OK")
+}

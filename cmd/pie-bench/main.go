@@ -23,38 +23,20 @@ import (
 	"strings"
 	"time"
 
+	"pie/internal/benchfmt"
 	"pie/internal/eval"
 	"pie/internal/sim"
 )
-
-// experimentResult is one experiment's entry in BENCH_sim.json.
-type experimentResult struct {
-	ID           string             `json:"id"`
-	WallMS       float64            `json:"wall_ms"`
-	Events       uint64             `json:"events"`
-	EventsPerSec float64            `json:"events_per_sec"`
-	Headline     map[string]float64 `json:"headline,omitempty"`
-}
 
 // defaultJSONPath is where -json writes its report unless -json-out
 // overrides it.
 const defaultJSONPath = "BENCH_sim.json"
 
-// report is the top-level BENCH_sim.json document.
-type report struct {
-	Seed         uint64             `json:"seed"`
-	Quick        bool               `json:"quick"`
-	GoMaxProcs   int                `json:"gomaxprocs"`
-	TotalWallMS  float64            `json:"total_wall_ms"`
-	TotalEvents  uint64             `json:"total_events"`
-	EventsPerSec float64            `json:"events_per_sec"`
-	Experiments  []experimentResult `json:"experiments"`
-}
-
 func main() {
 	quick := flag.Bool("quick", false, "run CI-sized workloads")
 	seed := flag.Uint64("seed", 42, "deterministic seed for every experiment")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5)")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster)")
+	clusterExp := flag.Bool("cluster", false, "also run the replica-scaling cluster sweep (experiment id: cluster)")
 	jsonOut := flag.Bool("json", false, "write BENCH_sim.json with wall time and events/sec per experiment")
 	jsonPath := flag.String("json-out", defaultJSONPath, "path for the -json report (implies -json)")
 	flag.Parse()
@@ -71,9 +53,12 @@ func main() {
 	for _, e := range strings.Split(*exps, ",") {
 		want[strings.TrimSpace(e)] = true
 	}
+	if *clusterExp {
+		want["cluster"] = true
+	}
 	all := want["all"]
 
-	rep := report{Seed: *seed, Quick: *quick, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := benchfmt.Report{Seed: *seed, Quick: *quick, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	suiteStart := time.Now()
 	eventsStart := sim.TotalEvents()
 
@@ -89,7 +74,7 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("  [%s regenerated in %v wall time; %d events, %.0f events/sec]\n\n",
 			id, wall.Round(time.Millisecond), events, float64(events)/wall.Seconds())
-		rep.Experiments = append(rep.Experiments, experimentResult{
+		rep.Experiments = append(rep.Experiments, benchfmt.Experiment{
 			ID:           id,
 			WallMS:       float64(wall) / float64(time.Millisecond),
 			Events:       events,
@@ -196,8 +181,13 @@ func main() {
 		}
 		return r.Table(), h
 	})
+	if want["cluster"] {
+		// The replica-scaling sweep is opt-in (-cluster or -exp cluster):
+		// it is the one experiment beyond the paper's own evaluation.
+		run("cluster", clusterRun(o))
+	}
 
-	if !all && len(rep.Experiments) == 0 {
+	if len(rep.Experiments) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected")
 		os.Exit(2)
 	}
@@ -220,5 +210,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// clusterRun adapts the replica-scaling sweep to the experiment harness.
+func clusterRun(o eval.Options) func() (string, map[string]float64) {
+	return func() (string, map[string]float64) {
+		r := eval.ClusterSweep(o)
+		h := map[string]float64{}
+		for _, p := range r.Sweep {
+			h[fmt.Sprintf("batch-%d-tok-per-sec", p.Replicas)] = p.TokensPerSec
+		}
+		if len(r.Sweep) > 0 && r.Sweep[0].TokensPerSec > 0 {
+			last := r.Sweep[len(r.Sweep)-1]
+			h["scaling-x"] = last.TokensPerSec / r.Sweep[0].TokensPerSec
+			h["batch-1-ttft-ms"] = float64(r.Sweep[0].TTFT) / float64(time.Millisecond)
+			h["batch-1-tpot-ms"] = float64(r.Sweep[0].TPOT) / float64(time.Millisecond)
+		}
+		if r.AffinityRR.ReqPerSec > 0 {
+			h["affinity-speedup-x"] = r.AffinityKV.ReqPerSec / r.AffinityRR.ReqPerSec
+		}
+		h["autoscale-ups"] = float64(r.Auto.ScaleUps)
+		h["autoscale-drains-done"] = float64(r.Auto.DrainDone)
+		h["autoscale-final-active"] = float64(r.Auto.FinalActive)
+		return r.Table(), h
 	}
 }

@@ -5,12 +5,16 @@
 // HTTP requests inject work, simulated time advances instantly between
 // them, and responses report virtual timings.
 //
+// Cluster mode fronts N backend replicas behind the placement router:
+//
 //	pie-server -addr :8080
+//	pie-server -replicas 4 -placement kv-affinity
+//	pie-server -replicas 1 -autoscale-max 8 -placement least
 //	curl -X POST 'localhost:8080/launch?program=text_completion' \
 //	     -d '{"prompt":"Hello, ","max_tokens":8}'
 //	curl 'localhost:8080/recv?id=1'
 //	curl 'localhost:8080/wait?id=1'
-//	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/stats'       # engine totals + per-replica stats
 package main
 
 import (
@@ -26,6 +30,8 @@ import (
 
 	"pie"
 	"pie/apps"
+	"pie/internal/cluster"
+	"pie/internal/metrics"
 )
 
 type server struct {
@@ -35,12 +41,11 @@ type server struct {
 	runs   map[int]*pie.Handle
 }
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	seed := flag.Uint64("seed", 42, "deterministic seed")
-	flag.Parse()
-
-	e := pie.New(pie.Config{Seed: *seed})
+// newEngine assembles the serving engine exactly as main runs it: every
+// app registered, tool services installed, external clock enabled, and the
+// event loop running. Tests drive the same path.
+func newEngine(cfg pie.Config) *pie.Engine {
+	e := pie.New(cfg)
 	e.MustRegister(apps.All()...)
 	e.RegisterTool("search.api", 40*time.Millisecond, func(string) string { return "search results" })
 	e.RegisterTool("code.exec", 80*time.Millisecond, func(string) string { return "exit 0" })
@@ -51,8 +56,15 @@ func main() {
 			log.Printf("engine: %v", err)
 		}
 	}()
+	return e
+}
 
-	s := &server{engine: e, runs: make(map[int]*pie.Handle)}
+func newServer(e *pie.Engine) *server {
+	return &server{engine: e, runs: make(map[int]*pie.Handle)}
+}
+
+// mux routes the HTTP API.
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/launch", s.launch)
 	mux.HandleFunc("/send", s.send)
@@ -60,8 +72,29 @@ func main() {
 	mux.HandleFunc("/wait", s.wait)
 	mux.HandleFunc("/stats", s.stats)
 	mux.HandleFunc("/programs", s.programs)
-	log.Printf("pie-server listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	replicas := flag.Int("replicas", 1, "backend replicas behind the cluster router")
+	placement := flag.String("placement", "round-robin", "placement policy: round-robin | least-outstanding-tokens | kv-affinity")
+	autoMax := flag.Int("autoscale-max", 0, "enable the autoscaler with this max replica bound (0 disables)")
+	autoMin := flag.Int("autoscale-min", 1, "autoscaler min replica bound")
+	flag.Parse()
+
+	pol, err := cluster.ParsePlacement(*placement)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pie.Config{Seed: *seed, Replicas: *replicas, Placement: pol}
+	if *autoMax > 0 {
+		cfg.Autoscale = pie.AutoscaleConfig{Enabled: true, Min: *autoMin, Max: *autoMax}
+	}
+	s := newServer(newEngine(cfg))
+	log.Printf("pie-server listening on %s (%v)", *addr, s.engine)
+	log.Fatal(http.ListenAndServe(*addr, s.mux()))
 }
 
 // inject runs fn as a sim process and blocks the HTTP handler until done.
@@ -158,8 +191,20 @@ func (s *server) wait(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// stats reports engine totals plus per-replica counters. The snapshot
+// runs as an injected sim process like every other handler: the counters
+// live on the engine's event-loop goroutine.
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.engine.Stats())
+	var engine pie.Stats
+	var replicas []metrics.ReplicaStats
+	s.inject("http:stats", func() {
+		engine = s.engine.Stats()
+		replicas = s.engine.ReplicaStats()
+	})
+	writeJSON(w, map[string]interface{}{
+		"engine":   engine,
+		"replicas": replicas,
+	})
 }
 
 func (s *server) programs(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pie"
+)
+
+// startTestServer brings up the full serving path a real deployment uses:
+// external-clock engine, running event loop, HTTP mux. This exercises the
+// Inject path from real goroutines — the external-mode regression fixed in
+// PR 1 (the clock must not finish itself while only daemons are live).
+func startTestServer(t *testing.T, cfg pie.Config) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(newEngine(cfg))
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+		}
+	}
+	return resp
+}
+
+func TestLaunchRecvWaitRoundTrip(t *testing.T) {
+	_, ts := startTestServer(t, pie.Config{Seed: 7})
+
+	resp, err := http.Post(ts.URL+"/launch?program=text_completion", "application/json",
+		strings.NewReader(`{"prompt":"Hello, ","max_tokens":4,"first_token_ack":true}`))
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	var launched struct {
+		ID      int    `json:"id"`
+		Program string `json:"program"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("launch: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &launched); err != nil {
+		t.Fatalf("launch: bad JSON %q: %v", body, err)
+	}
+	if launched.ID != 1 || launched.Program != "text_completion" {
+		t.Fatalf("launch: got %+v", launched)
+	}
+
+	// First message is the first-token ack, second the completion text.
+	var msg struct {
+		Message string `json:"message"`
+	}
+	if resp := getJSON(t, fmt.Sprintf("%s/recv?id=%d", ts.URL, launched.ID), &msg); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recv: status %d", resp.StatusCode)
+	}
+	if msg.Message != "first-token" {
+		t.Fatalf("recv: got %q, want first-token ack", msg.Message)
+	}
+	if resp := getJSON(t, fmt.Sprintf("%s/recv?id=%d", ts.URL, launched.ID), &msg); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recv 2: status %d", resp.StatusCode)
+	}
+	if msg.Message == "" {
+		t.Fatal("recv 2: empty completion text")
+	}
+
+	var waited struct {
+		OutputTokens int    `json:"outputTokens"`
+		InferCalls   int    `json:"inferCalls"`
+		VirtualTime  string `json:"virtualTime"`
+		Error        string `json:"error"`
+	}
+	if resp := getJSON(t, fmt.Sprintf("%s/wait?id=%d", ts.URL, launched.ID), &waited); resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait: status %d", resp.StatusCode)
+	}
+	if waited.Error != "" {
+		t.Fatalf("wait: inferlet error %q", waited.Error)
+	}
+	if waited.OutputTokens != 4 {
+		t.Fatalf("wait: outputTokens = %d, want 4", waited.OutputTokens)
+	}
+	if waited.InferCalls == 0 || waited.VirtualTime == "" {
+		t.Fatalf("wait: missing instrumentation: %+v", waited)
+	}
+}
+
+func TestSendRecvEcho(t *testing.T) {
+	_, ts := startTestServer(t, pie.Config{Seed: 7})
+
+	// agent_react waits for a task message before acting; use
+	// text_completion's ack probe instead: Ack sends before generation.
+	resp, err := http.Post(ts.URL+"/launch?program=text_completion", "application/json",
+		strings.NewReader(`{"prompt":"Hi","max_tokens":2,"ack":true}`))
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	var msg struct {
+		Message string `json:"message"`
+	}
+	getJSON(t, ts.URL+"/recv?id=1", &msg)
+	if msg.Message != "ack" {
+		t.Fatalf("recv: got %q, want ack", msg.Message)
+	}
+	// Send is fire-and-forget into the inferlet mailbox; the handler must
+	// still return OK even though text_completion never reads it.
+	sresp, err := http.Post(ts.URL+"/send?id=1", "text/plain", strings.NewReader("ping"))
+	if err != nil || sresp.StatusCode != http.StatusOK {
+		t.Fatalf("send: %v status %v", err, sresp.Status)
+	}
+	io.Copy(io.Discard, sresp.Body)
+	sresp.Body.Close()
+}
+
+func TestStatsReportsReplicas(t *testing.T) {
+	_, ts := startTestServer(t, pie.Config{
+		Seed:      7,
+		Replicas:  2,
+		Placement: pie.PlaceRoundRobin,
+	})
+
+	// Two launches round-robin across both replicas.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/launch?program=text_completion", "application/json",
+			strings.NewReader(`{"prompt":"Hi","max_tokens":2}`))
+		if err != nil {
+			t.Fatalf("launch %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	getJSON(t, ts.URL+"/wait?id=1", nil)
+	getJSON(t, ts.URL+"/wait?id=2", nil)
+
+	var stats struct {
+		Engine struct {
+			Launches       int
+			Batches        int
+			ActiveReplicas int
+		} `json:"engine"`
+		Replicas []struct {
+			ID         int    `json:"id"`
+			Device     string `json:"device"`
+			Active     bool   `json:"active"`
+			Placements int    `json:"placements"`
+			Batches    int    `json:"batches"`
+		} `json:"replicas"`
+	}
+	if resp := getJSON(t, ts.URL+"/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	if stats.Engine.Launches != 2 || stats.Engine.ActiveReplicas != 2 {
+		t.Fatalf("stats: engine = %+v", stats.Engine)
+	}
+	if len(stats.Replicas) != 2 {
+		t.Fatalf("stats: %d replica entries, want 2", len(stats.Replicas))
+	}
+	for i, r := range stats.Replicas {
+		if r.ID != i || !r.Active || r.Device != fmt.Sprintf("l4-%d", i) {
+			t.Fatalf("stats: replica %d = %+v", i, r)
+		}
+		if r.Placements != 1 {
+			t.Fatalf("stats: replica %d placements = %d, want 1 (round-robin)", i, r.Placements)
+		}
+		if r.Batches == 0 {
+			t.Fatalf("stats: replica %d ran no batches", i)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, ts := startTestServer(t, pie.Config{Seed: 7})
+
+	resp, err := http.Post(ts.URL+"/launch?program=no_such_program", "application/json", nil)
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("launch unknown program: status %d, want 400", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/recv?id=99", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("recv unknown id: status %d, want 400", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/wait?id=notanumber", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wait bad id: status %d, want 400", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/programs", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("programs: status %d", resp.StatusCode)
+	}
+}
+
+// TestRecvAfterFinishGone covers the message path on a finished inferlet:
+// queued messages stay readable, then the closed mailbox reports Gone.
+func TestRecvAfterFinishGone(t *testing.T) {
+	_, ts := startTestServer(t, pie.Config{Seed: 7})
+
+	resp, err := http.Post(ts.URL+"/launch?program=text_completion", "application/json",
+		strings.NewReader(`{"prompt":"Hi","max_tokens":2}`))
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	getJSON(t, ts.URL+"/wait?id=1", nil)
+
+	// The completion text was queued before the inferlet finished.
+	var msg struct {
+		Message string `json:"message"`
+	}
+	if resp := getJSON(t, ts.URL+"/recv?id=1", &msg); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recv queued: status %d", resp.StatusCode)
+	}
+	// Nothing else will ever arrive: the mailbox is closed.
+	if resp := getJSON(t, ts.URL+"/recv?id=1", nil); resp.StatusCode != http.StatusGone {
+		t.Fatalf("recv drained: status %d, want 410", resp.StatusCode)
+	}
+}

@@ -1,0 +1,398 @@
+// Package cluster is the multi-backend layer between the application layer
+// and N single-device serving replicas. The paper's Pie engine virtualizes
+// one GPU behind inferlet APIs; production deployments front many such
+// engines with a router. Here each replica owns a full inference stack —
+// an infer.Backend (its own device clock domain and ingress), a
+// core.Controller (its own scheduler ready-buckets and KV page pools) —
+// and the Cluster decides, per inferlet launch, which replica hosts the
+// instance.
+//
+// Placement policies:
+//
+//   - round-robin: cycle over active replicas.
+//   - least-outstanding-tokens: place on the replica with the least
+//     token-weighted outstanding inference work (llm-d-style load-aware
+//     dispatch).
+//   - kv-affinity: route an inferlet to the replica already holding the KV
+//     export it will import (probed via explicit cache_key/affinity hints
+//     in the launch params); cold keys hash-stick to a replica so racing
+//     launches of the same key converge, and hint-less launches fall back
+//     to least-outstanding-tokens.
+//
+// A queue-depth-driven autoscaler can grow and drain the active replica
+// set within configured bounds. Everything runs on the engine's virtual
+// clock, so same-seed runs make identical placement and scaling decisions.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"pie/internal/core"
+	"pie/internal/infer"
+	"pie/internal/metrics"
+	"pie/internal/sim"
+)
+
+// PlacementPolicy selects the routing strategy.
+type PlacementPolicy int
+
+const (
+	// PlaceRoundRobin cycles launches over active replicas.
+	PlaceRoundRobin PlacementPolicy = iota
+	// PlaceLeastLoaded places on the replica with the fewest outstanding
+	// tokens (queued + in-flight, token-weighted).
+	PlaceLeastLoaded
+	// PlaceKVAffinity routes to the replica holding the launch's KV export
+	// hint, hash-sticking cold keys; falls back to least-loaded.
+	PlaceKVAffinity
+)
+
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlaceRoundRobin:
+		return "round-robin"
+	case PlaceLeastLoaded:
+		return "least-outstanding-tokens"
+	case PlaceKVAffinity:
+		return "kv-affinity"
+	}
+	return "unknown"
+}
+
+// ParsePlacement resolves a policy name (CLI flags).
+func ParsePlacement(s string) (PlacementPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "rr", "round-robin", "roundrobin":
+		return PlaceRoundRobin, nil
+	case "llt", "least", "least-loaded", "least-outstanding-tokens":
+		return PlaceLeastLoaded, nil
+	case "affinity", "kv", "kv-affinity", "prefix":
+		return PlaceKVAffinity, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown placement policy %q", s)
+}
+
+// AutoscaleConfig bounds and tunes the queue-depth autoscaler. The zero
+// value disables autoscaling.
+type AutoscaleConfig struct {
+	Enabled bool
+	// Min and Max bound the active replica count (defaults: 1 and the
+	// replica set size).
+	Min, Max int
+	// Interval is the evaluation period on the virtual clock (default 25ms).
+	Interval time.Duration
+	// UpDepth adds a replica when mean outstanding calls per active replica
+	// reaches it (default 48); DownDepth drains one when the mean falls to
+	// it or below (default 4).
+	UpDepth   float64
+	DownDepth float64
+}
+
+func (a AutoscaleConfig) withDefaults(total int) AutoscaleConfig {
+	if a.Min <= 0 {
+		a.Min = 1
+	}
+	if a.Max <= 0 || a.Max > total {
+		a.Max = total
+	}
+	if a.Min > a.Max {
+		a.Min = a.Max
+	}
+	if a.Interval <= 0 {
+		a.Interval = 25 * time.Millisecond
+	}
+	if a.UpDepth <= 0 {
+		a.UpDepth = 48
+	}
+	if a.DownDepth <= 0 {
+		a.DownDepth = 4
+	}
+	return a
+}
+
+// Replica is one serving stack: a backend with its own device, and a
+// controller with its own scheduler and resource pools.
+type Replica struct {
+	ID      int
+	Backend *infer.Backend
+	Ctl     *core.Controller
+
+	active   bool
+	draining bool
+	// Placements counts inferlet instances routed here.
+	Placements int
+}
+
+// Active reports whether the replica accepts or serves work.
+func (r *Replica) Active() bool { return r.active }
+
+// Draining reports whether the replica is finishing existing work only.
+func (r *Replica) Draining() bool { return r.draining }
+
+// Cluster routes inferlet launches across replicas and autoscales the
+// active set.
+type Cluster struct {
+	clock    *sim.Clock
+	policy   PlacementPolicy
+	auto     AutoscaleConfig
+	replicas []*Replica
+	rr       int
+
+	// Scaling stats.
+	ScaleUps   int // replicas activated (or un-drained) by the autoscaler
+	DrainStart int // drains initiated
+	DrainDone  int // drains completed (replica deactivated)
+}
+
+// New builds a cluster over the prebuilt replica set, activating the first
+// `active` replicas. When auto.Enabled, the autoscaler daemon starts on
+// the clock and keeps the active count within [auto.Min, auto.Max].
+func New(clock *sim.Clock, policy PlacementPolicy, auto AutoscaleConfig, replicas []*Replica, active int) *Cluster {
+	if len(replicas) == 0 {
+		panic("cluster: no replicas")
+	}
+	auto = auto.withDefaults(len(replicas))
+	if active <= 0 {
+		active = 1
+	}
+	if active > len(replicas) {
+		active = len(replicas)
+	}
+	if auto.Enabled {
+		if active < auto.Min {
+			active = auto.Min
+		}
+		if active > auto.Max {
+			active = auto.Max
+		}
+	}
+	c := &Cluster{clock: clock, policy: policy, auto: auto, replicas: replicas}
+	for i := 0; i < active; i++ {
+		replicas[i].active = true
+	}
+	if auto.Enabled {
+		clock.GoDaemon("cluster:autoscaler", c.autoscaleLoop)
+	}
+	return c
+}
+
+// Replicas exposes the full replica set (including inactive ones).
+func (c *Cluster) Replicas() []*Replica { return c.replicas }
+
+// Policy reports the placement policy.
+func (c *Cluster) Policy() PlacementPolicy { return c.policy }
+
+// ActiveReplicas counts replicas currently serving (draining included).
+func (c *Cluster) ActiveReplicas() int {
+	n := 0
+	for _, r := range c.replicas {
+		if r.active {
+			n++
+		}
+	}
+	return n
+}
+
+// placeable returns replicas eligible for new work, in ID order.
+func (c *Cluster) placeable() []*Replica {
+	out := make([]*Replica, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		if r.active && !r.draining {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		// Every active replica is draining (or none is active): revive the
+		// lowest-ID replica so placement always succeeds.
+		r := c.replicas[0]
+		r.active, r.draining = true, false
+		out = append(out, r)
+	}
+	return out
+}
+
+// Place picks a replica for a new inferlet instance and returns its
+// controller (the ilm.Placer contract).
+func (c *Cluster) Place(program string, args []string) *core.Controller {
+	r := c.pick(args)
+	r.Placements++
+	return r.Ctl
+}
+
+func (c *Cluster) pick(args []string) *Replica {
+	cands := c.placeable()
+	switch c.policy {
+	case PlaceRoundRobin:
+		r := cands[c.rr%len(cands)]
+		c.rr++
+		return r
+	case PlaceKVAffinity:
+		return c.pickAffinity(affinityHints(args), cands)
+	default:
+		return pickLeastLoaded(cands)
+	}
+}
+
+func pickLeastLoaded(cands []*Replica) *Replica {
+	best := cands[0]
+	for _, r := range cands[1:] {
+		if r.Ctl.OutstandingTokens() < best.Ctl.OutstandingTokens() {
+			best = r
+		}
+	}
+	return best
+}
+
+func (c *Cluster) pickAffinity(hints []string, cands []*Replica) *Replica {
+	for _, h := range hints {
+		for _, r := range cands {
+			if r.Ctl.HasExportNamed(h) {
+				return r
+			}
+		}
+	}
+	if len(hints) > 0 {
+		// Cold key: stick it to a replica by hash so concurrent launches of
+		// the same key converge before the first export even lands. The
+		// hash indexes the full (stable) replica set, then walks to the
+		// nearest placeable replica — hashing the placeable set directly
+		// would move every cold key whenever the autoscaler resizes it.
+		h := fnv.New64a()
+		h.Write([]byte(hints[0]))
+		start := int(h.Sum64() % uint64(len(c.replicas)))
+		for i := 0; i < len(c.replicas); i++ {
+			r := c.replicas[(start+i)%len(c.replicas)]
+			if r.active && !r.draining {
+				return r
+			}
+		}
+		return cands[0]
+	}
+	return pickLeastLoaded(cands)
+}
+
+// affinityHints extracts KV-affinity keys from a launch's first argument,
+// the JSON parameter blob every app takes: an explicit "affinity" routing
+// hint, or the "cache_key" the prefix-caching apps export under.
+func affinityHints(args []string) []string {
+	if len(args) == 0 || args[0] == "" {
+		return nil
+	}
+	var params struct {
+		Affinity string `json:"affinity"`
+		CacheKey string `json:"cache_key"`
+	}
+	if err := json.Unmarshal([]byte(args[0]), &params); err != nil {
+		return nil
+	}
+	var hints []string
+	if params.Affinity != "" {
+		hints = append(hints, params.Affinity)
+	}
+	if params.CacheKey != "" {
+		hints = append(hints, params.CacheKey)
+	}
+	return hints
+}
+
+// --- Autoscaler ---------------------------------------------------------
+
+func (c *Cluster) autoscaleLoop() {
+	for {
+		c.clock.Sleep(c.auto.Interval)
+		c.evaluate()
+	}
+}
+
+// evaluate runs one autoscaler tick: finish completed drains, then compare
+// the mean queue depth per serving replica against the thresholds. All
+// iteration is in replica-ID order, so same-seed runs scale identically.
+func (c *Cluster) evaluate() {
+	for _, r := range c.replicas {
+		if r.active && r.draining && r.Ctl.Instances() == 0 && r.Ctl.OutstandingCalls() == 0 {
+			r.active, r.draining = false, false
+			c.DrainDone++
+		}
+	}
+	serving := 0
+	depth := 0
+	for _, r := range c.replicas {
+		if r.active && !r.draining {
+			serving++
+			depth += r.Ctl.OutstandingCalls()
+		}
+	}
+	if serving == 0 {
+		return
+	}
+	mean := float64(depth) / float64(serving)
+	switch {
+	case mean >= c.auto.UpDepth && serving < c.auto.Max:
+		c.scaleUp()
+	case mean <= c.auto.DownDepth && serving > c.auto.Min:
+		c.scaleDown()
+	}
+}
+
+// scaleUp prefers un-draining a still-warm replica (lowest ID first), then
+// activates the lowest-ID inactive one.
+func (c *Cluster) scaleUp() {
+	for _, r := range c.replicas {
+		if r.active && r.draining {
+			r.draining = false
+			c.ScaleUps++
+			return
+		}
+	}
+	for _, r := range c.replicas {
+		if !r.active {
+			r.active = true
+			c.ScaleUps++
+			return
+		}
+	}
+}
+
+// scaleDown drains the highest-ID serving replica: it stops receiving
+// placements and deactivates once its instances and queues empty.
+func (c *Cluster) scaleDown() {
+	for i := len(c.replicas) - 1; i >= 0; i-- {
+		r := c.replicas[i]
+		if r.active && !r.draining {
+			r.draining = true
+			c.DrainStart++
+			return
+		}
+	}
+}
+
+// --- Stats --------------------------------------------------------------
+
+// ReplicaStats snapshots every replica's counters in ID order.
+func (c *Cluster) ReplicaStats() []metrics.ReplicaStats {
+	out := make([]metrics.ReplicaStats, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		s := r.Ctl.Scheduler()
+		out = append(out, metrics.ReplicaStats{
+			ID:           r.ID,
+			Device:       r.Backend.Name,
+			Active:       r.active,
+			Draining:     r.draining,
+			Placements:   r.Placements,
+			Instances:    r.Ctl.Instances(),
+			Outstanding:  r.Ctl.OutstandingCalls(),
+			OutTokens:    r.Ctl.OutstandingTokens(),
+			Batches:      s.Batches,
+			BatchedCalls: s.BatchedCalls,
+			MaxBatch:     s.MaxBatch,
+			Kernels:      r.Backend.Device.Kernels(),
+			GPUBusyMS:    float64(r.Backend.Device.BusyTime()) / float64(time.Millisecond),
+			Terminations: r.Ctl.Terminations,
+		})
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+// Engine-level tests of the cluster layer: placement policies, the
+// autoscaler, and the determinism contract. These drive real engines (the
+// external test package may import pie) because placement decisions depend
+// on live controller state — outstanding work, export registries — that
+// only a full serving stack produces.
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"pie"
+	"pie/apps"
+	"pie/internal/cluster"
+)
+
+func newEngine(t *testing.T, cfg pie.Config) *pie.Engine {
+	t.Helper()
+	cfg.Mode = pie.ModeTiming
+	e := pie.New(cfg)
+	e.MustRegister(apps.All()...)
+	return e
+}
+
+func completionParams(maxTokens int, extra string) string {
+	p := fmt.Sprintf(`{"prompt":"cluster test prompt","max_tokens":%d`, maxTokens)
+	if extra != "" {
+		p += "," + extra
+	}
+	return p + "}"
+}
+
+func placements(e *pie.Engine) []int {
+	var out []int
+	for _, r := range e.Cluster().Replicas() {
+		out = append(out, r.Placements)
+	}
+	return out
+}
+
+func TestParsePlacement(t *testing.T) {
+	for in, want := range map[string]cluster.PlacementPolicy{
+		"rr": cluster.PlaceRoundRobin, "round-robin": cluster.PlaceRoundRobin,
+		"least": cluster.PlaceLeastLoaded, "least-outstanding-tokens": cluster.PlaceLeastLoaded,
+		"kv-affinity": cluster.PlaceKVAffinity, "affinity": cluster.PlaceKVAffinity,
+	} {
+		got, err := cluster.ParsePlacement(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePlacement(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := cluster.ParsePlacement("bogus"); err == nil {
+		t.Fatal("ParsePlacement(bogus) succeeded")
+	}
+	for _, p := range []cluster.PlacementPolicy{
+		cluster.PlaceRoundRobin, cluster.PlaceLeastLoaded, cluster.PlaceKVAffinity,
+	} {
+		if p.String() == "unknown" {
+			t.Fatalf("policy %d has no name", p)
+		}
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	e := newEngine(t, pie.Config{Seed: 11, Replicas: 3, Placement: pie.PlaceRoundRobin})
+	err := e.RunClient(func() {
+		for i := 0; i < 6; i++ {
+			if _, err := e.LaunchAndWait("text_completion", completionParams(2, "")); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := placements(e)
+	for i, n := range got {
+		if n != 2 {
+			t.Fatalf("replica %d placements = %v, want [2 2 2]", i, got)
+		}
+	}
+}
+
+func TestLeastLoadedPlacementBalances(t *testing.T) {
+	e := newEngine(t, pie.Config{Seed: 11, Replicas: 2, Placement: pie.PlaceLeastLoaded})
+	err := e.RunClient(func() {
+		var hs []*pie.Handle
+		for i := 0; i < 4; i++ {
+			h, err := e.Launch("text_completion", completionParams(32, ""))
+			if err != nil {
+				panic(err)
+			}
+			hs = append(hs, h)
+		}
+		for _, h := range hs {
+			if err := h.Wait(); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := placements(e)
+	if got[0]+got[1] != 4 || got[0] == 0 || got[1] == 0 {
+		t.Fatalf("placements = %v, want 4 split across both replicas", got)
+	}
+}
+
+func TestKVAffinityRoutesToExportHolder(t *testing.T) {
+	e := newEngine(t, pie.Config{Seed: 11, Replicas: 4, Placement: pie.PlaceKVAffinity})
+	prefixParams := func(key string, task int) string {
+		b, _ := json.Marshal(apps.PrefixCachingParams{
+			SharedPrefix: "a long shared prefix, repeated enough to fill a KV page or two; " +
+				"the router should pin every request that names it to one replica. key=" + key,
+			Prompt:    fmt.Sprintf("q%d", task),
+			MaxTokens: 2,
+			CacheKey:  key,
+		})
+		return string(b)
+	}
+	err := e.RunClient(func() {
+		for task := 0; task < 3; task++ {
+			if _, err := e.LaunchAndWait("prefix_caching", prefixParams("aff:key-a", task)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every task for the key must land on one replica, and exactly that
+	// replica holds the export.
+	holders, placed := 0, 0
+	for _, r := range e.Cluster().Replicas() {
+		if r.Ctl.HasExportNamed("aff:key-a") {
+			holders++
+			placed = r.Placements
+		} else if r.Placements != 0 {
+			t.Fatalf("replica %d got placements without holding the key", r.ID)
+		}
+	}
+	if holders != 1 || placed != 3 {
+		t.Fatalf("holders = %d, placements on holder = %d; want 1 and 3", holders, placed)
+	}
+}
+
+func TestAffinityHintRoutesPlainLaunches(t *testing.T) {
+	// A launch with only an "affinity" hint (no cache_key, no export yet)
+	// hash-sticks: same hint, same replica, every time.
+	e := newEngine(t, pie.Config{Seed: 11, Replicas: 4, Placement: pie.PlaceKVAffinity})
+	err := e.RunClient(func() {
+		for i := 0; i < 4; i++ {
+			if _, err := e.LaunchAndWait("text_completion",
+				completionParams(2, `"affinity":"tenant-42"`)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonZero := 0
+	for _, n := range placements(e) {
+		if n > 0 {
+			nonZero++
+			if n != 4 {
+				t.Fatalf("sticky replica got %d placements, want all 4", n)
+			}
+		}
+	}
+	if nonZero != 1 {
+		t.Fatalf("%d replicas got placements, want exactly 1 (hash-stick)", nonZero)
+	}
+}
+
+func TestAutoscalerGrowsAndDrains(t *testing.T) {
+	e := newEngine(t, pie.Config{
+		Seed:      11,
+		Replicas:  1,
+		Placement: pie.PlaceLeastLoaded,
+		Autoscale: pie.AutoscaleConfig{Enabled: true, Min: 1, Max: 4, UpDepth: 8, DownDepth: 1},
+	})
+	const conc = 32
+	err := e.RunClient(func() {
+		var hs []*pie.Handle
+		for i := 0; i < conc; i++ {
+			h, err := e.Launch("text_completion", completionParams(48, ""))
+			if err != nil {
+				panic(err)
+			}
+			hs = append(hs, h)
+		}
+		for _, h := range hs {
+			if err := h.Wait(); err != nil {
+				panic(err)
+			}
+		}
+		// Idle long enough for the autoscaler to drain back to Min.
+		e.Sleep(2 * e.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := e.Cluster()
+	if cl.ScaleUps == 0 {
+		t.Fatal("autoscaler never scaled up under load")
+	}
+	if cl.DrainDone == 0 {
+		t.Fatal("autoscaler never completed a drain after load")
+	}
+	if got := cl.ActiveReplicas(); got != 1 {
+		t.Fatalf("active replicas after drain = %d, want 1", got)
+	}
+	if e.Stats().ActiveReplicas != 1 {
+		t.Fatal("engine Stats does not reflect the drained cluster")
+	}
+}
+
+func TestAutoscalerBoundsClampInitialActive(t *testing.T) {
+	// Replicas above Autoscale.Max must not start active: the autoscaler's
+	// [Min, Max] bound holds from the first event.
+	e := newEngine(t, pie.Config{
+		Seed:      11,
+		Replicas:  8,
+		Autoscale: pie.AutoscaleConfig{Enabled: true, Min: 1, Max: 4},
+	})
+	if got := e.Cluster().ActiveReplicas(); got != 4 {
+		t.Fatalf("initial active replicas = %d, want 4 (clamped to Max)", got)
+	}
+}
+
+// TestSameSeedByteIdenticalReplicaStats pins the determinism contract:
+// identical seeds produce byte-identical per-replica stats documents.
+func TestSameSeedByteIdenticalReplicaStats(t *testing.T) {
+	run := func() []byte {
+		e := newEngine(t, pie.Config{Seed: 33, Replicas: 3, Placement: pie.PlaceLeastLoaded})
+		err := e.RunClient(func() {
+			var hs []*pie.Handle
+			for i := 0; i < 9; i++ {
+				h, err := e.Launch("text_completion", completionParams(8, ""))
+				if err != nil {
+					panic(err)
+				}
+				hs = append(hs, h)
+			}
+			for _, h := range hs {
+				if err := h.Wait(); err != nil {
+					panic(err)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(e.ReplicaStats())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("same-seed replica stats differ:\n%s\n%s", a, b)
+	}
+}

@@ -30,6 +30,13 @@ type Controller struct {
 
 	sched *Scheduler
 
+	// Outstanding inference-layer work, maintained incrementally on
+	// enqueue/complete/close. The cluster router's least-loaded placement
+	// and the autoscaler's queue-depth signal read these; control-side ops
+	// (dealloc, sync) never count.
+	outstandingCalls  int
+	outstandingTokens int
+
 	// Stats.
 	Terminations int
 }
@@ -99,6 +106,7 @@ func (ctl *Controller) ReleaseInstance(inst *Instance) {
 	for _, q := range inst.queues {
 		q.closed = true
 		for _, c := range q.pending {
+			ctl.retireCall(c)
 			c.Err = api.ErrTerminated
 			failCall(c)
 		}
@@ -684,8 +692,57 @@ func (ctl *Controller) resolveEmbeds(inst *Instance, q *cmdQueue, ids []api.Embe
 	return out, nil
 }
 
+// callTokenWeight prices a call's share of outstanding work in tokens:
+// forwards and embeds weigh their fresh tokens, other inference ops weigh
+// one, control-side ops weigh nothing.
+func callTokenWeight(c *infer.Call) int {
+	if c.Op.ControlSide() {
+		return 0
+	}
+	if n := c.NewTokens(); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// admitCall / retireCall maintain the outstanding-work counters. A call is
+// admitted once at enqueue and retired exactly once: at batch completion
+// for dispatched calls, or at queue close for calls that never dispatched.
+func (ctl *Controller) admitCall(c *infer.Call) {
+	if c.Op.ControlSide() {
+		return
+	}
+	ctl.outstandingCalls++
+	ctl.outstandingTokens += callTokenWeight(c)
+}
+
+func (ctl *Controller) retireCall(c *infer.Call) {
+	if c.Op.ControlSide() {
+		return
+	}
+	ctl.outstandingCalls--
+	ctl.outstandingTokens -= callTokenWeight(c)
+}
+
+// OutstandingCalls reports inference-layer calls admitted but not yet
+// completed (queued or in flight).
+func (ctl *Controller) OutstandingCalls() int { return ctl.outstandingCalls }
+
+// OutstandingTokens reports the token-weighted outstanding work — the
+// cluster's least-outstanding-tokens placement signal.
+func (ctl *Controller) OutstandingTokens() int { return ctl.outstandingTokens }
+
+// HasExportNamed reports whether a KV export is registered under name,
+// without charging any instance: the cluster router probes replicas with
+// it for KV/prefix-affinity placement.
+func (ctl *Controller) HasExportNamed(name string) bool {
+	_, ok := ctl.exports[name]
+	return ok
+}
+
 // enqueue adds a call to its queue and pokes the scheduler.
 func (ctl *Controller) enqueue(q *cmdQueue, c *infer.Call) {
+	ctl.admitCall(c)
 	q.pending = append(q.pending, c)
 	ctl.sched.onEnqueue(q)
 }
@@ -694,6 +751,7 @@ func (ctl *Controller) enqueue(q *cmdQueue, c *infer.Call) {
 // from the inference layer; release queue ordering and keep dispatching.
 func (ctl *Controller) onBatchComplete(b *infer.Batch) {
 	for _, c := range b.Calls {
+		ctl.retireCall(c)
 		q := ctl.sched.queueOf(c)
 		if q != nil {
 			q.inflight--

@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestClusterSweepScalesMonotonically pins the headline acceptance claim:
+// aggregate tokens/sec grows with every added replica on the batch
+// workload, the affinity policy beats round-robin on the shared-prefix
+// workload, and the autoscaler both grows under load and drains back.
+func TestClusterSweepScalesMonotonically(t *testing.T) {
+	r := ClusterSweep(quick)
+	if len(r.Sweep) != clusterSweepMaxN {
+		t.Fatalf("%d sweep points, want %d", len(r.Sweep), clusterSweepMaxN)
+	}
+	for i, p := range r.Sweep {
+		if p.Replicas != i+1 {
+			t.Fatalf("point %d has Replicas=%d", i, p.Replicas)
+		}
+		if p.Failures != 0 {
+			t.Fatalf("point N=%d had %d failures", p.Replicas, p.Failures)
+		}
+		if p.Done == 0 || p.Tokens == 0 || p.TTFT == 0 || p.TPOT == 0 {
+			t.Fatalf("point N=%d incomplete: %+v", p.Replicas, p)
+		}
+		if i > 0 && p.TokensPerSec <= r.Sweep[i-1].TokensPerSec {
+			t.Fatalf("tokens/sec not monotonic: N=%d %.0f <= N=%d %.0f",
+				p.Replicas, p.TokensPerSec, r.Sweep[i-1].Replicas, r.Sweep[i-1].TokensPerSec)
+		}
+		if len(p.PerReplica) != p.Replicas {
+			t.Fatalf("point N=%d has %d replica stats", p.Replicas, len(p.PerReplica))
+		}
+	}
+	if r.AffinityKV.ReqPerSec <= r.AffinityRR.ReqPerSec {
+		t.Fatalf("kv-affinity %.2f req/s did not beat round-robin %.2f req/s",
+			r.AffinityKV.ReqPerSec, r.AffinityRR.ReqPerSec)
+	}
+	if r.Auto.ScaleUps == 0 || r.Auto.DrainDone == 0 {
+		t.Fatalf("autoscaler trajectory missing: %+v", r.Auto)
+	}
+	if r.Auto.FinalActive != 1 {
+		t.Fatalf("autoscaler ended with %d active replicas, want 1", r.Auto.FinalActive)
+	}
+}
+
+// TestClusterSweepDeterministic pins the byte-identical contract for the
+// whole experiment document, per-replica stats included.
+func TestClusterSweepDeterministic(t *testing.T) {
+	a, err := json.Marshal(ClusterSweep(quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(ClusterSweep(quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("same-seed cluster sweeps produced different documents")
+	}
+}

@@ -94,6 +94,7 @@ type loadResult struct {
 	Makespan time.Duration
 	Done     int
 	Failures int
+	Tokens   int // accepted output tokens across completed tasks
 }
 
 // Throughput returns completed tasks per second of virtual time.
@@ -104,6 +105,14 @@ func (r loadResult) Throughput() float64 { return metrics.Throughput(r.Done, r.M
 // reclamation) are retried and counted. One uncounted warmup run
 // populates the binary cache so steady-state numbers exclude cold JIT.
 func runPieLoad(e *pie.Engine, app string, paramsFor func(task int) string, total, concurrency int) loadResult {
+	return runPieLoadAfter(e, app, paramsFor, total, concurrency, nil)
+}
+
+// runPieLoadAfter is runPieLoad with a hook that runs in the loadgen
+// process after the load drains (and after Makespan is stamped) — e.g. an
+// idle period so the cluster autoscaler's drain-back is observable before
+// the simulation finishes.
+func runPieLoadAfter(e *pie.Engine, app string, paramsFor func(task int) string, total, concurrency int, after func()) loadResult {
 	res := loadResult{Latency: &metrics.Series{Name: app}}
 	e.Go("loadgen", func() {
 		if h, err := e.Launch(app, paramsFor(0)); err == nil {
@@ -134,6 +143,8 @@ func runPieLoad(e *pie.Engine, app string, paramsFor func(task int) string, tota
 							continue
 						}
 						res.Latency.Add(e.Now() - t0)
+						_, _, tok := h.Stats()
+						res.Tokens += tok
 						res.Done++
 						break
 					}
@@ -142,6 +153,9 @@ func runPieLoad(e *pie.Engine, app string, paramsFor func(task int) string, tota
 		}
 		g.Wait()
 		res.Makespan = e.Now() - start
+		if after != nil {
+			after()
+		}
 	})
 	if err := e.Run(); err != nil {
 		panic(fmt.Sprintf("eval: pie load run: %v", err))

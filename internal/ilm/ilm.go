@@ -40,10 +40,17 @@ const (
 	poolOverflowCost = 5 * time.Millisecond
 )
 
+// Placer decides which control layer hosts a new inferlet instance. A
+// cluster router places across replica controllers; a single-replica
+// deployment always returns the same one.
+type Placer interface {
+	Place(program string, args []string) *core.Controller
+}
+
 // ILM is the inferlet lifecycle manager.
 type ILM struct {
 	clock    *sim.Clock
-	ctl      *core.Controller
+	place    Placer
 	world    *netsim.World
 	programs map[string]*inferlet.Program
 	compiled map[string]bool // JIT cache
@@ -62,11 +69,12 @@ type launchReq struct {
 	grant *sim.Signal
 }
 
-// New starts the ILM on the clock.
-func New(clock *sim.Clock, ctl *core.Controller, world *netsim.World) *ILM {
+// New starts the ILM on the clock. Launched instances are placed onto a
+// control layer by place — the cluster router in multi-replica engines.
+func New(clock *sim.Clock, place Placer, world *netsim.World) *ILM {
 	m := &ILM{
 		clock:    clock,
-		ctl:      ctl,
+		place:    place,
 		world:    world,
 		programs: make(map[string]*inferlet.Program),
 		compiled: make(map[string]bool),
@@ -122,6 +130,7 @@ type Handle struct {
 	ID      uint64
 	Program string
 	ilm     *ILM
+	ctl     *core.Controller // the replica control layer hosting the instance
 	inst    *core.Instance
 	proc    *sim.Proc
 	toUser  *sim.Mailbox[string]
@@ -190,11 +199,12 @@ func (m *ILM) Launch(program string, args []string) (*Handle, error) {
 		ID:      m.handleID,
 		Program: program,
 		ilm:     m,
+		ctl:     m.place.Place(program, args),
 		toUser:  sim.NewMailbox[string](m.clock),
 		toInflt: sim.NewMailbox[string](m.clock),
 		done:    sim.NewFuture[error](m.clock),
 	}
-	sess := &session{ilm: m, handle: h, args: append([]string(nil), args...)}
+	sess := &session{ilm: m, handle: h, ctl: h.ctl, args: append([]string(nil), args...)}
 	sess.rng = sim.NewRNG(0x5EED ^ uint64(h.ID))
 
 	h.proc = m.clock.Go("inferlet:"+program, func() {
@@ -215,7 +225,7 @@ func (m *ILM) Launch(program string, args []string) (*Handle, error) {
 			err = p.Run(sess)
 		}()
 		sess.cancelSubscriptions()
-		m.ctl.ReleaseInstance(h.inst)
+		h.ctl.ReleaseInstance(h.inst)
 		m.live--
 		h.done.Resolve(err)
 		// Fail any client still waiting on messages (queued messages stay
@@ -223,7 +233,7 @@ func (m *ILM) Launch(program string, args []string) (*Handle, error) {
 		h.toUser.Close()
 		h.toInflt.Close()
 	})
-	h.inst = m.ctl.RegisterInstance(program, h.proc, func(reason error) {
+	h.inst = h.ctl.RegisterInstance(program, h.proc, func(reason error) {
 		h.killErr = reason
 		m.clock.Kill(h.proc)
 	})

@@ -18,6 +18,7 @@ import (
 type session struct {
 	ilm    *ILM
 	handle *Handle
+	ctl    *core.Controller // the replica hosting this instance
 	inst   *core.Instance
 	args   []string
 	rng    *sim.RNG
@@ -111,98 +112,98 @@ func (c *child) Wait() api.Future[error] {
 // --- Model discovery ------------------------------------------------------
 
 func (s *session) AvailableModels() []api.ModelInfo {
-	return s.ilm.ctl.Models(s.inst)
+	return s.ctl.Models(s.inst)
 }
 
 func (s *session) AvailableTraits(m api.ModelID) ([]api.Trait, error) {
-	return s.ilm.ctl.Traits(s.inst, m)
+	return s.ctl.Traits(s.inst, m)
 }
 
 // --- Queues ---------------------------------------------------------------
 
 func (s *session) CreateQueue(m api.ModelID) (api.Queue, error) {
-	return s.ilm.ctl.CreateQueue(s.inst, m)
+	return s.ctl.CreateQueue(s.inst, m)
 }
 
 func (s *session) SetQueuePriority(q api.Queue, pri int) error {
-	return s.ilm.ctl.SetQueuePriority(s.inst, q, pri)
+	return s.ctl.SetQueuePriority(s.inst, q, pri)
 }
 
 func (s *session) Synchronize(q api.Queue) (api.Future[struct{}], error) {
-	return s.ilm.ctl.Synchronize(s.inst, q)
+	return s.ctl.Synchronize(s.inst, q)
 }
 
 // --- Allocate trait ---------------------------------------------------------
 
 func (s *session) AllocEmbeds(q api.Queue, n int) ([]api.Embed, error) {
-	return s.ilm.ctl.AllocEmbeds(s.inst, q, n)
+	return s.ctl.AllocEmbeds(s.inst, q, n)
 }
 
 func (s *session) DeallocEmbeds(q api.Queue, ids []api.Embed) error {
-	return s.ilm.ctl.DeallocEmbeds(s.inst, q, ids)
+	return s.ctl.DeallocEmbeds(s.inst, q, ids)
 }
 
 func (s *session) AllocKvPages(q api.Queue, n int) ([]api.KvPage, error) {
-	return s.ilm.ctl.AllocPages(s.inst, q, n)
+	return s.ctl.AllocPages(s.inst, q, n)
 }
 
 func (s *session) DeallocKvPages(q api.Queue, ids []api.KvPage) error {
-	return s.ilm.ctl.DeallocPages(s.inst, q, ids)
+	return s.ctl.DeallocPages(s.inst, q, ids)
 }
 
 func (s *session) ExportKvPages(name string, ids []api.KvPage) error {
-	return s.ilm.ctl.ExportPages(s.inst, name, ids)
+	return s.ctl.ExportPages(s.inst, name, ids)
 }
 
 func (s *session) ImportKvPages(name string) ([]api.KvPage, error) {
-	return s.ilm.ctl.ImportPages(s.inst, name)
+	return s.ctl.ImportPages(s.inst, name)
 }
 
 func (s *session) HasExport(name string) bool {
-	return s.ilm.ctl.HasExport(s.inst, name)
+	return s.ctl.HasExport(s.inst, name)
 }
 
 func (s *session) ReleaseExport(name string) error {
-	return s.ilm.ctl.ReleaseExport(s.inst, name)
+	return s.ctl.ReleaseExport(s.inst, name)
 }
 
 func (s *session) CopyKvPage(q api.Queue, src, dst api.KvPage, srcOff, dstOff, n int) (api.Future[struct{}], error) {
-	return s.ilm.ctl.CopyKv(s.inst, q, src, dst, srcOff, dstOff, n)
+	return s.ctl.CopyKv(s.inst, q, src, dst, srcOff, dstOff, n)
 }
 
 // --- Forward trait ----------------------------------------------------------
 
 func (s *session) Forward(q api.Queue, args api.ForwardArgs) (api.Future[struct{}], error) {
-	return s.ilm.ctl.Forward(s.inst, q, args)
+	return s.ctl.Forward(s.inst, q, args)
 }
 
 func (s *session) ForwardWithAdapter(q api.Queue, adapter string, args api.ForwardArgs) (api.Future[struct{}], error) {
 	args.Adapter = adapter
-	return s.ilm.ctl.Forward(s.inst, q, args)
+	return s.ctl.Forward(s.inst, q, args)
 }
 
 func (s *session) ForwardSampled(q api.Queue, args api.ForwardArgs, inlineTokens, inlinePos []int, spec api.SampleSpec) (api.Future[[]int], error) {
-	return s.ilm.ctl.ForwardSampled(s.inst, q, args, inlineTokens, inlinePos, infer.SampleSpec{
+	return s.ctl.ForwardSampled(s.inst, q, args, inlineTokens, inlinePos, infer.SampleSpec{
 		TopK: spec.TopK, Temperature: spec.Temperature, Seed: spec.Seed,
 	})
 }
 
 func (s *session) MaskKvPage(q api.Queue, page api.KvPage, bits []bool) (api.Future[struct{}], error) {
-	return s.ilm.ctl.MaskKv(s.inst, q, page, bits)
+	return s.ctl.MaskKv(s.inst, q, page, bits)
 }
 
 // --- InputText / InputImage traits -------------------------------------------
 
 func (s *session) EmbedText(q api.Queue, tokens, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
-	return s.ilm.ctl.EmbedText(s.inst, q, tokens, positions, dst)
+	return s.ctl.EmbedText(s.inst, q, tokens, positions, dst)
 }
 
 func (s *session) EmbedImage(q api.Queue, blob []byte, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
-	return s.ilm.ctl.EmbedImage(s.inst, q, blob, positions, dst)
+	return s.ctl.EmbedImage(s.inst, q, blob, positions, dst)
 }
 
 func (s *session) NumEmbedsNeeded(m api.ModelID, imageBytes int) (int, error) {
-	rt := s.ilm.ctl.ModelRuntime(string(m))
+	rt := s.ctl.ModelRuntime(string(m))
 	if rt == nil {
 		return 0, api.ErrNoSuchModel
 	}
@@ -212,21 +213,21 @@ func (s *session) NumEmbedsNeeded(m api.ModelID, imageBytes int) (int, error) {
 // --- Tokenize trait -----------------------------------------------------------
 
 func (s *session) Tokenize(q api.Queue, text string) (api.Future[[]int], error) {
-	return s.ilm.ctl.Tokenize(s.inst, q, text)
+	return s.ctl.Tokenize(s.inst, q, text)
 }
 
 func (s *session) Detokenize(q api.Queue, ids []int) (api.Future[string], error) {
-	return s.ilm.ctl.Detokenize(s.inst, q, ids)
+	return s.ctl.Detokenize(s.inst, q, ids)
 }
 
 func (s *session) GetVocabs(q api.Queue) (api.Future[[][]byte], error) {
-	return s.ilm.ctl.GetVocabs(s.inst, q)
+	return s.ctl.GetVocabs(s.inst, q)
 }
 
 // --- OutputText trait -----------------------------------------------------------
 
 func (s *session) GetNextDist(q api.Queue, emb api.Embed) (api.Future[api.Dist], error) {
-	return s.ilm.ctl.NextDist(s.inst, q, emb)
+	return s.ctl.NextDist(s.inst, q, emb)
 }
 
 var _ inferlet.Session = (*session)(nil)

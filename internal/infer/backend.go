@@ -20,7 +20,10 @@ const (
 // Backend is the inference-layer server: one GPU device plus the
 // single-threaded ingress that deserializes batched API calls.
 type Backend struct {
-	clock  *sim.Clock
+	clock *sim.Clock
+	// Name identifies the backend (the device name); cluster deployments
+	// run one backend per replica and report stats under this name.
+	Name   string
 	Device *gpu.Device
 	ingest *sim.Mailbox[*Batch]
 
@@ -41,6 +44,7 @@ type Backend struct {
 func NewBackend(c *sim.Clock, deviceName string) *Backend {
 	b := &Backend{
 		clock:  c,
+		Name:   deviceName,
 		Device: gpu.NewDevice(c, deviceName),
 		ingest: sim.NewMailbox[*Batch](c),
 	}

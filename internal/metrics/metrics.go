@@ -132,6 +132,47 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// ReplicaStats snapshots one cluster replica's counters. The JSON shape is
+// part of the pie-server /stats contract and the determinism contract:
+// same-seed runs must marshal to byte-identical documents.
+type ReplicaStats struct {
+	ID           int     `json:"id"`
+	Device       string  `json:"device"`
+	Active       bool    `json:"active"`
+	Draining     bool    `json:"draining"`
+	Placements   int     `json:"placements"`
+	Instances    int     `json:"instances"`
+	Outstanding  int     `json:"outstanding_calls"`
+	OutTokens    int     `json:"outstanding_tokens"`
+	Batches      int     `json:"batches"`
+	BatchedCalls int     `json:"batched_calls"`
+	MaxBatch     int     `json:"max_batch"`
+	Kernels      int     `json:"kernels"`
+	GPUBusyMS    float64 `json:"gpu_busy_ms"`
+	Terminations int     `json:"terminations"`
+}
+
+// ReplicaTable renders per-replica stats in paper style.
+func ReplicaTable(rows []ReplicaStats) *Table {
+	t := &Table{
+		Title:  "Per-replica stats",
+		Header: []string{"replica", "state", "placed", "batches", "calls", "maxbatch", "kernels", "gpu-busy", "terms"},
+	}
+	for _, r := range rows {
+		state := "inactive"
+		switch {
+		case r.Active && r.Draining:
+			state = "draining"
+		case r.Active:
+			state = "active"
+		}
+		t.AddRow(r.Device, state, fmt.Sprint(r.Placements), fmt.Sprint(r.Batches),
+			fmt.Sprint(r.BatchedCalls), fmt.Sprint(r.MaxBatch), fmt.Sprint(r.Kernels),
+			fmt.Sprintf("%.2f ms", r.GPUBusyMS), fmt.Sprint(r.Terminations))
+	}
+	return t
+}
+
 // Ms formats a duration as milliseconds with two decimals.
 func Ms(d time.Duration) string { return fmt.Sprintf("%.2f ms", float64(d)/float64(time.Millisecond)) }
 

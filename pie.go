@@ -26,9 +26,11 @@ import (
 
 	"pie/api"
 	"pie/inferlet"
+	"pie/internal/cluster"
 	"pie/internal/core"
 	"pie/internal/ilm"
 	"pie/internal/infer"
+	"pie/internal/metrics"
 	"pie/internal/model"
 	"pie/internal/netsim"
 	"pie/internal/sim"
@@ -57,6 +59,19 @@ const (
 	PolicyTOnly    = core.PolicyTOnly
 )
 
+// PlacementPolicy names a cluster routing strategy (internal/cluster).
+type PlacementPolicy = cluster.PlacementPolicy
+
+// Re-exported placement policies.
+const (
+	PlaceRoundRobin  = cluster.PlaceRoundRobin
+	PlaceLeastLoaded = cluster.PlaceLeastLoaded
+	PlaceKVAffinity  = cluster.PlaceKVAffinity
+)
+
+// AutoscaleConfig tunes the cluster's queue-depth autoscaler.
+type AutoscaleConfig = cluster.AutoscaleConfig
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Seed drives every random stream (weights, workloads, sampling).
@@ -83,6 +98,16 @@ type Config struct {
 	// control-layer charges for the Table 3 opportunity-cost ablation.
 	NoSchedOverhead      bool
 	NoDistReturnOverhead bool
+	// Replicas is the number of backend replicas, each a full serving
+	// stack (device, scheduler, KV pools) behind one cluster router.
+	// Default 1: the paper's single-device engine.
+	Replicas int
+	// Placement selects the cluster routing policy. Default round-robin.
+	Placement PlacementPolicy
+	// Autoscale enables and bounds the queue-depth replica autoscaler;
+	// when Autoscale.Max exceeds Replicas, the extra replicas are built
+	// cold and activated on demand.
+	Autoscale AutoscaleConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +126,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchCalls == 0 {
 		c.MaxBatchCalls = 256
 	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
 	return c
 }
 
@@ -109,14 +137,16 @@ type Engine struct {
 	cfg     Config
 	clock   *sim.Clock
 	catalog *model.Catalog
-	backend *infer.Backend
-	ctl     *core.Controller
+	cluster *cluster.Cluster
 	ilm     *ilm.ILM
 	world   *netsim.World
 }
 
 // New assembles an engine. The standard catalog (llama-1b/3b/8b) is always
-// installed; pick the model per command queue.
+// installed; pick the model per command queue. With cfg.Replicas > 1 (or
+// autoscaling enabled) the engine builds one full serving stack per
+// replica — its own device, scheduler, and KV pools — behind the cluster
+// router; model weights and the tokenizer are shared read-only.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	clock := sim.NewClock()
@@ -125,8 +155,7 @@ func New(cfg Config) *Engine {
 	if cfg.Mode == ModeTiming {
 		mode = infer.ExecTiming
 	}
-	backend := infer.NewBackend(clock, "l4-0")
-	var rts []*infer.ModelRuntime
+	var models []*model.Model
 	for _, name := range cat.Names() {
 		m, _ := cat.Get(name)
 		if cfg.TopKOverride > 0 {
@@ -136,7 +165,7 @@ func New(cfg Config) *Engine {
 			m.RegisterAdapter("chat", 4, 0.5, c.Seed^0xA1)
 			m.RegisterAdapter("code", 4, 0.5, c.Seed^0xB2)
 		}
-		rts = append(rts, infer.NewModelRuntime(m, mode))
+		models = append(models, m)
 	}
 	sched := core.DefaultSchedConfig()
 	sched.Policy = cfg.Policy
@@ -149,13 +178,30 @@ func New(cfg Config) *Engine {
 	if cfg.NoDistReturnOverhead {
 		sched.DistReturnOverhead = 0
 	}
-	ctl := core.NewController(clock, backend, rts, sched)
+	total := cfg.Replicas
+	if cfg.Autoscale.Enabled && cfg.Autoscale.Max > total {
+		total = cfg.Autoscale.Max
+	}
+	replicas := make([]*cluster.Replica, 0, total)
+	for i := 0; i < total; i++ {
+		backend := infer.NewBackend(clock, fmt.Sprintf("l4-%d", i))
+		rts := make([]*infer.ModelRuntime, 0, len(models))
+		for _, m := range models {
+			rts = append(rts, infer.NewModelRuntime(m, mode))
+		}
+		replicas = append(replicas, &cluster.Replica{
+			ID:      i,
+			Backend: backend,
+			Ctl:     core.NewController(clock, backend, rts, sched),
+		})
+	}
+	cl := cluster.New(clock, cfg.Placement, cfg.Autoscale, replicas, cfg.Replicas)
 	world := netsim.NewWorld(clock)
 	world.DefaultLatency = cfg.ExternalLatency
-	lifecycle := ilm.New(clock, ctl, world)
+	lifecycle := ilm.New(clock, cl, world)
 	return &Engine{
 		cfg: cfg, clock: clock, catalog: cat,
-		backend: backend, ctl: ctl, ilm: lifecycle, world: world,
+		cluster: cl, ilm: lifecycle, world: world,
 	}
 }
 
@@ -251,40 +297,58 @@ func (e *Engine) Sleep(d time.Duration) { e.clock.Sleep(d) }
 // ClientRTT reports the configured client link round trip.
 func (e *Engine) ClientRTT() time.Duration { return e.cfg.ClientRTT }
 
-// Stats summarizes engine activity.
+// Stats summarizes engine activity, aggregated across replicas.
 type Stats struct {
-	GPUBusy      time.Duration
-	Kernels      int
-	Batches      int
-	BatchedCalls int
-	AvgBatch     float64
-	MaxBatch     int
-	Terminations int
-	Launches     int
-	ColdLaunches int
-	ToolCalls    int
+	GPUBusy        time.Duration
+	Kernels        int
+	Batches        int
+	BatchedCalls   int
+	AvgBatch       float64
+	MaxBatch       int
+	Terminations   int
+	Launches       int
+	ColdLaunches   int
+	ToolCalls      int
+	ActiveReplicas int
 }
 
-// Stats snapshots engine counters.
+// Stats snapshots engine counters. Per-device counters (busy time,
+// kernels, batches) sum over replicas; MaxBatch is the cluster-wide max.
 func (e *Engine) Stats() Stats {
-	s := e.ctl.Scheduler()
-	return Stats{
-		GPUBusy:      e.backend.Device.BusyTime(),
-		Kernels:      e.backend.Device.Kernels(),
-		Batches:      s.Batches,
-		BatchedCalls: s.BatchedCalls,
-		AvgBatch:     s.AvgBatchSize(),
-		MaxBatch:     s.MaxBatch,
-		Terminations: e.ctl.Terminations,
-		Launches:     e.ilm.Launches,
-		ColdLaunches: e.ilm.ColdLaunches,
-		ToolCalls:    e.world.Calls,
+	out := Stats{
+		Launches:       e.ilm.Launches,
+		ColdLaunches:   e.ilm.ColdLaunches,
+		ToolCalls:      e.world.Calls,
+		ActiveReplicas: e.cluster.ActiveReplicas(),
 	}
+	for _, r := range e.cluster.Replicas() {
+		s := r.Ctl.Scheduler()
+		out.GPUBusy += r.Backend.Device.BusyTime()
+		out.Kernels += r.Backend.Device.Kernels()
+		out.Batches += s.Batches
+		out.BatchedCalls += s.BatchedCalls
+		if s.MaxBatch > out.MaxBatch {
+			out.MaxBatch = s.MaxBatch
+		}
+		out.Terminations += r.Ctl.Terminations
+	}
+	if out.Batches > 0 {
+		out.AvgBatch = float64(out.BatchedCalls) / float64(out.Batches)
+	}
+	return out
 }
 
-// PoolStats reports KV page occupancy for a model.
+// ReplicaStats snapshots every replica's counters in ID order.
+func (e *Engine) ReplicaStats() []metrics.ReplicaStats { return e.cluster.ReplicaStats() }
+
+// PoolStats reports KV page occupancy for a model, summed over replicas.
 func (e *Engine) PoolStats(modelName string) (inUse, capacity int) {
-	return e.ctl.PoolStats(modelName)
+	for _, r := range e.cluster.Replicas() {
+		u, c := r.Ctl.PoolStats(modelName)
+		inUse += u
+		capacity += c
+	}
+	return inUse, capacity
 }
 
 // Models lists the installed model ids.
@@ -292,8 +356,9 @@ func (e *Engine) Models() []string { return e.catalog.Names() }
 
 // String describes the engine configuration.
 func (e *Engine) String() string {
-	return fmt.Sprintf("pie.Engine{mode=%d policy=%s rtt=%v}", e.cfg.Mode,
-		e.ctl.Scheduler().Config().Policy, e.cfg.ClientRTT)
+	return fmt.Sprintf("pie.Engine{mode=%d policy=%s replicas=%d placement=%s rtt=%v}",
+		e.cfg.Mode, e.Controller().Scheduler().Config().Policy,
+		len(e.cluster.Replicas()), e.cluster.Policy(), e.cfg.ClientRTT)
 }
 
 // Internal hooks for the experiment harness (internal/eval) and advanced
@@ -302,11 +367,15 @@ func (e *Engine) String() string {
 // Clock returns the engine's virtual clock.
 func (e *Engine) Clock() *sim.Clock { return e.clock }
 
-// Controller returns the control layer.
-func (e *Engine) Controller() *core.Controller { return e.ctl }
+// Cluster returns the multi-backend routing layer.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
 
-// Backend returns the inference layer.
-func (e *Engine) Backend() *infer.Backend { return e.backend }
+// Controller returns replica 0's control layer (the only one in
+// single-replica engines).
+func (e *Engine) Controller() *core.Controller { return e.cluster.Replicas()[0].Ctl }
+
+// Backend returns replica 0's inference layer.
+func (e *Engine) Backend() *infer.Backend { return e.cluster.Replicas()[0].Backend }
 
 // Lifecycle returns the application layer.
 func (e *Engine) Lifecycle() *ilm.ILM { return e.ilm }
