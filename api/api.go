@@ -73,12 +73,38 @@ type ModelInfo struct {
 	Adapters  []string // registered LoRA-style adapters
 }
 
-// HasTrait reports whether the model implements t.
+// HasTrait reports whether the model declares t directly. Most callers
+// want HasTraitClosure: a declared trait implies its transitive
+// supertraits (a model cannot implement `fused` without `forward` and
+// `allocate`), and capability negotiation walks that closure.
 func (m ModelInfo) HasTrait(t Trait) bool {
 	for _, x := range m.Traits {
 		if x == t {
 			return true
 		}
+	}
+	return false
+}
+
+// HasTraitClosure reports whether the model implements t, either by
+// declaring it or because a declared trait transitively requires it
+// through the Supertraits DAG. This is the check capability negotiation
+// uses: e.g. a model declaring only TraitFused still satisfies
+// TraitForward and TraitAllocate.
+func (m ModelInfo) HasTraitClosure(t Trait) bool {
+	seen := make(map[Trait]bool, len(m.Traits)*2)
+	stack := append([]Trait(nil), m.Traits...)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == t {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		stack = append(stack, Supertraits(x)...)
 	}
 	return false
 }

@@ -1,0 +1,123 @@
+package api
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSupertraitClosureChain(t *testing.T) {
+	// A model declaring only the fused trait transitively implements
+	// forward (fused ⇒ forward) and allocate (forward ⇒ allocate), plus
+	// output_text (fused ⇒ output_text).
+	m := ModelInfo{ID: "fused-only", Traits: []Trait{TraitFused}}
+	for _, want := range []Trait{TraitFused, TraitForward, TraitAllocate, TraitOutputText} {
+		if !m.HasTraitClosure(want) {
+			t.Errorf("fused-only model: HasTraitClosure(%s) = false, want true", want)
+		}
+	}
+	for _, absent := range []Trait{TraitInputText, TraitTokenize, TraitInputImage, TraitAdapter, TraitCore} {
+		if m.HasTraitClosure(absent) {
+			t.Errorf("fused-only model: HasTraitClosure(%s) = true, want false", absent)
+		}
+	}
+	// HasTrait stays a direct-declaration check.
+	if m.HasTrait(TraitForward) {
+		t.Error("HasTrait(forward) must not walk the closure")
+	}
+}
+
+func TestSupertraitClosureTokenizeChain(t *testing.T) {
+	// tokenize ⇒ input_text ⇒ {allocate, forward} ⇒ allocate.
+	m := ModelInfo{ID: "tok-only", Traits: []Trait{TraitTokenize}}
+	for _, want := range []Trait{TraitTokenize, TraitInputText, TraitForward, TraitAllocate} {
+		if !m.HasTraitClosure(want) {
+			t.Errorf("tok-only model: HasTraitClosure(%s) = false, want true", want)
+		}
+	}
+	if m.HasTraitClosure(TraitOutputText) {
+		t.Error("tok-only model must not imply output_text")
+	}
+}
+
+// fakeFuture is a pre-completed or never-completing Future for combinator
+// unit tests (runtime futures are covered by the engine-level tests).
+type fakeFuture[T any] struct {
+	done bool
+	val  T
+	err  error
+}
+
+func (f *fakeFuture[T]) Get() (T, error) { return f.val, f.err }
+func (f *fakeFuture[T]) Done() bool      { return f.done }
+
+func TestAllResolvesInOrder(t *testing.T) {
+	f := All[int](
+		&fakeFuture[int]{done: true, val: 1},
+		&fakeFuture[int]{done: true, val: 2},
+		&fakeFuture[int]{done: true, val: 3},
+	)
+	if !f.Done() {
+		t.Fatal("All of resolved futures not Done")
+	}
+	vals, err := f.Get()
+	if err != nil || len(vals) != 3 || vals[0] != 1 || vals[2] != 3 {
+		t.Fatalf("All.Get() = %v, %v", vals, err)
+	}
+}
+
+func TestAllPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	f := All[int](
+		&fakeFuture[int]{done: true, val: 1},
+		&fakeFuture[int]{done: true, err: boom},
+	)
+	if _, err := f.Get(); !errors.Is(err, boom) {
+		t.Fatalf("All.Get() err = %v, want boom", err)
+	}
+	// Cached on re-Get.
+	if _, err := f.Get(); !errors.Is(err, boom) {
+		t.Fatalf("second All.Get() err = %v, want boom", err)
+	}
+}
+
+func TestAnyPicksFirstDone(t *testing.T) {
+	f := Any[string](
+		&fakeFuture[string]{done: false},
+		&fakeFuture[string]{done: true, val: "winner"},
+	)
+	if !f.Done() {
+		t.Fatal("Any with a done future not Done")
+	}
+	v, err := f.Get()
+	if err != nil || v != "winner" {
+		t.Fatalf("Any.Get() = %q, %v", v, err)
+	}
+}
+
+func TestThenTransformsOnce(t *testing.T) {
+	calls := 0
+	f := Then[int, int](&fakeFuture[int]{done: true, val: 21}, func(v int) (int, error) {
+		calls++
+		return v * 2, nil
+	})
+	for i := 0; i < 2; i++ {
+		v, err := f.Get()
+		if err != nil || v != 42 {
+			t.Fatalf("Then.Get() = %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("transform ran %d times, want 1", calls)
+	}
+}
+
+func TestMap(t *testing.T) {
+	fs := []Future[int]{
+		&fakeFuture[int]{done: true, val: 1},
+		&fakeFuture[int]{done: true, val: 2},
+	}
+	vals, err := Map(fs, func(v int) (int, error) { return v + 10, nil }).Get()
+	if err != nil || len(vals) != 2 || vals[0] != 11 || vals[1] != 12 {
+		t.Fatalf("Map.Get() = %v, %v", vals, err)
+	}
+}

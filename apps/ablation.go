@@ -1,7 +1,6 @@
 package apps
 
 import (
-	"pie/api"
 	"pie/inferlet"
 	"pie/support"
 )
@@ -17,9 +16,9 @@ type FusedCompletionParams struct {
 }
 
 // TextCompletionFused is the Table 3 ablation program: it decodes with
-// forward_with_sampling (TraitFused), emulating the monolithic pipeline's
-// fused sampling (and optionally fused embedding) to measure the
-// opportunity cost of Pie's decomposed APIs.
+// forward_with_sampling (the negotiated Fused capability), emulating the
+// monolithic pipeline's fused sampling (and optionally fused embedding)
+// to measure the opportunity cost of Pie's decomposed APIs.
 func TextCompletionFused() inferlet.Program {
 	return inferlet.Program{
 		Name:       "text_completion_fused",
@@ -39,11 +38,27 @@ func TextCompletionFused() inferlet.Program {
 			if err != nil {
 				return err
 			}
-			q, err := s.CreateQueue(m.ID)
+			q, err := s.Open(m.ID)
 			if err != nil {
 				return err
 			}
-			tf, err := s.Tokenize(q, p.Prompt)
+			tok, err := q.Tokenizer()
+			if err != nil {
+				return err
+			}
+			alloc, err := q.Alloc()
+			if err != nil {
+				return err
+			}
+			text, err := q.Text()
+			if err != nil {
+				return err
+			}
+			fused, err := q.Fused()
+			if err != nil {
+				return err
+			}
+			tf, err := tok.Encode(p.Prompt)
 			if err != nil {
 				return err
 			}
@@ -52,31 +67,32 @@ func TextCompletionFused() inferlet.Program {
 				return err
 			}
 			limit := len(prom) + p.MaxTokens
-			pages, err := s.AllocKvPages(q, (limit+m.PageSize-1)/m.PageSize)
+			pages, err := alloc.Pages((limit + m.PageSize - 1) / m.PageSize)
 			if err != nil {
 				return err
 			}
-			gen, err := s.AllocEmbeds(q, 1)
+			gen, err := alloc.Embeds(1)
 			if err != nil {
 				return err
 			}
-			spec := api.SampleSpec{TopK: 1, Seed: p.Seed}
+			sampling := inferlet.WithSampling(inferlet.TopK(1), inferlet.SampleSeed(p.Seed))
 
 			// Prefill with fused sampling: one call yields the first token.
 			pos := make([]int, len(prom))
 			for i := range pos {
 				pos[i] = i
 			}
-			promEmb, err := s.AllocEmbeds(q, len(prom))
+			promEmb, err := alloc.Embeds(len(prom))
 			if err != nil {
 				return err
 			}
-			if _, err := s.EmbedText(q, prom, pos, promEmb); err != nil {
+			if _, err := text.Embed(prom, pos, promEmb); err != nil {
 				return err
 			}
-			tokF, err := s.ForwardSampled(q, api.ForwardArgs{
-				InputEmb: promEmb, OutputKv: pages, OutputEmb: gen,
-			}, nil, nil, spec)
+			tokF, err := fused.Run(
+				inferlet.Input(promEmb...), inferlet.AppendKv(pages...),
+				inferlet.Output(gen...), sampling,
+			)
 			if err != nil {
 				return err
 			}
@@ -87,24 +103,24 @@ func TextCompletionFused() inferlet.Program {
 			cur := toks[0]
 			out := []int{cur}
 			s.ReportOutputTokens(1)
-			if err := s.DeallocEmbeds(q, promEmb); err != nil {
+			if err := alloc.FreeEmbeds(promEmb); err != nil {
 				return err
 			}
 
 			for i := len(prom); len(out) < p.MaxTokens; i++ {
-				args := api.ForwardArgs{InputKv: pages, OutputKv: pages, OutputEmb: gen}
-				var inline []int
-				var inlinePos []int
+				opts := []inferlet.ForwardOption{
+					inferlet.ReadKv(pages...), inferlet.AppendKv(pages...),
+					inferlet.Output(gen...), sampling,
+				}
 				if p.FuseEmbed {
-					inline = []int{cur}
-					inlinePos = []int{i}
+					opts = append(opts, inferlet.InlineTokens([]int{cur}, []int{i}))
 				} else {
-					if _, err := s.EmbedText(q, []int{cur}, []int{i}, gen); err != nil {
+					if _, err := text.Embed([]int{cur}, []int{i}, gen); err != nil {
 						return err
 					}
-					args.InputEmb = gen
+					opts = append(opts, inferlet.Input(gen...))
 				}
-				tf, err := s.ForwardSampled(q, args, inline, inlinePos, spec)
+				tf, err := fused.Run(opts...)
 				if err != nil {
 					return err
 				}
@@ -116,22 +132,20 @@ func TextCompletionFused() inferlet.Program {
 				out = append(out, cur)
 				s.ReportOutputTokens(1)
 			}
-			text, err := mustText(s, q, out)
+			textF, err := tok.Decode(out)
 			if err != nil {
 				return err
 			}
-			s.Send(text)
-			return nil
+			decoded, err := textF.Get()
+			if err != nil {
+				return err
+			}
+			s.Send(decoded)
+			// Queue-scoped reclamation: one Close frees the pages and both
+			// embed allocations this program made.
+			return q.Close()
 		},
 	}
-}
-
-func mustText(s inferlet.Session, q api.Queue, ids []int) (string, error) {
-	f, err := s.Detokenize(q, ids)
-	if err != nil {
-		return "", err
-	}
-	return f.Get()
 }
 
 // PrefixTreeParams configures PrefixTree.

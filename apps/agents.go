@@ -112,11 +112,7 @@ func agentProgram(name string, binSize int, defaultTool string) inferlet.Program
 // fillPadded tokenizes text and clamps/pads it to exactly n tokens so
 // workload token budgets are deterministic across modes.
 func fillPadded(ctx *support.Context, text string, n int) error {
-	f, err := ctx.S.Tokenize(ctx.Q, text)
-	if err != nil {
-		return err
-	}
-	toks, err := f.Get()
+	toks, err := ctx.Encode(text)
 	if err != nil {
 		return err
 	}
@@ -332,16 +328,17 @@ func FunctionCallAgent() inferlet.Program {
 			var pinned []api.KvPage
 			basePos := 0
 			if p.OptCache {
+				alloc := ctx.Alloc()
 				for h := 0; h < p.HotAPIs; h++ {
 					key := fmt.Sprintf("apispec:%d:%d", h, p.SpecTokens)
-					if !s.HasExport(key) {
-						if err := cacheModule(s, ctx.Q, m,
+					if !alloc.HasExport(key) {
+						if err := cacheModule(ctx.Q, m,
 							Module{Name: key, Text: specText(h)},
 							h*p.SpecTokens, p.SpecTokens, key); err != nil {
 							return err
 						}
 					}
-					pages, err := s.ImportKvPages(key)
+					pages, err := alloc.Import(key)
 					if err != nil {
 						return err
 					}

@@ -193,11 +193,19 @@ func PrefixCaching() inferlet.Program {
 			if key == "" {
 				key = fmt.Sprintf("prefix:%d:%x", len(p.SharedPrefix), hash64(p.SharedPrefix))
 			}
-			q, err := s.CreateQueue(m.ID)
+			q, err := s.Open(m.ID)
 			if err != nil {
 				return err
 			}
-			toksF, err := s.Tokenize(q, p.SharedPrefix)
+			tok, err := q.Tokenizer()
+			if err != nil {
+				return err
+			}
+			alloc, err := q.Alloc()
+			if err != nil {
+				return err
+			}
+			toksF, err := tok.Encode(p.SharedPrefix)
 			if err != nil {
 				return err
 			}
@@ -209,7 +217,7 @@ func PrefixCaching() inferlet.Program {
 			aligned := len(prefixToks) / m.PageSize * m.PageSize
 
 			var ctx *support.Context
-			if aligned > 0 && s.HasExport(key) {
+			if aligned > 0 && alloc.HasExport(key) {
 				ctx, err = support.ImportContext(s, m, key, prefixToks[:aligned])
 				if err != nil {
 					return err
@@ -294,7 +302,11 @@ func ModularCaching() inferlet.Program {
 				p.SlotTokens = 2 * m.PageSize
 			}
 			p.SlotTokens = (p.SlotTokens + m.PageSize - 1) / m.PageSize * m.PageSize
-			q, err := s.CreateQueue(m.ID)
+			q, err := s.Open(m.ID)
+			if err != nil {
+				return err
+			}
+			alloc, err := q.Alloc()
 			if err != nil {
 				return err
 			}
@@ -313,12 +325,12 @@ func ModularCaching() inferlet.Program {
 				}
 				mod := p.Schema[idx]
 				key := fmt.Sprintf("module:%x:%d", hash64(mod.Text), idx)
-				if !s.HasExport(key) {
-					if err := cacheModule(s, q, m, mod, idx*p.SlotTokens, p.SlotTokens, key); err != nil {
+				if !alloc.HasExport(key) {
+					if err := cacheModule(q, m, mod, idx*p.SlotTokens, p.SlotTokens, key); err != nil {
 						return err
 					}
 				}
-				pages, err := s.ImportKvPages(key)
+				pages, err := alloc.Import(key)
 				if err != nil {
 					return err
 				}
@@ -351,8 +363,24 @@ func ModularCaching() inferlet.Program {
 
 // cacheModule prefills one module in isolation at its schema position and
 // exports the page-aligned KV.
-func cacheModule(s inferlet.Session, q api.Queue, m api.ModelInfo, mod Module, startPos, slotTokens int, key string) error {
-	toksF, err := s.Tokenize(q, mod.Text)
+func cacheModule(q *inferlet.Queue, m api.ModelInfo, mod Module, startPos, slotTokens int, key string) error {
+	tok, err := q.Tokenizer()
+	if err != nil {
+		return err
+	}
+	alloc, err := q.Alloc()
+	if err != nil {
+		return err
+	}
+	text, err := q.Text()
+	if err != nil {
+		return err
+	}
+	fwd, err := q.Forward()
+	if err != nil {
+		return err
+	}
+	toksF, err := tok.Encode(mod.Text)
 	if err != nil {
 		return err
 	}
@@ -367,33 +395,29 @@ func cacheModule(s inferlet.Session, q api.Queue, m api.ModelInfo, mod Module, s
 	for len(toks) < slotTokens {
 		toks = append(toks, 0)
 	}
-	pages, err := s.AllocKvPages(q, slotTokens/m.PageSize)
+	pages, err := alloc.Pages(slotTokens / m.PageSize)
 	if err != nil {
 		return err
 	}
-	emb, err := s.AllocEmbeds(q, len(toks))
+	emb, err := alloc.Embeds(len(toks))
 	if err != nil {
 		return err
 	}
-	defer s.DeallocEmbeds(q, emb)
+	defer alloc.FreeEmbeds(emb)
 	pos := make([]int, len(toks))
 	for i := range pos {
 		pos[i] = startPos + i
 	}
-	if _, err := s.EmbedText(q, toks, pos, emb); err != nil {
+	if _, err := text.Embed(toks, pos, emb); err != nil {
 		return err
 	}
-	if _, err := s.Forward(q, api.ForwardArgs{InputEmb: emb, OutputKv: pages}); err != nil {
+	if _, err := fwd.Run(inferlet.Input(emb...), inferlet.AppendKv(pages...)); err != nil {
 		return err
 	}
-	syncF, err := s.Synchronize(q)
-	if err != nil {
+	if err := q.Sync(); err != nil {
 		return err
 	}
-	if _, err := syncF.Get(); err != nil {
-		return err
-	}
-	return s.ExportKvPages(key, pages)
+	return alloc.Export(key, pages)
 }
 
 // hash64 is FNV-1a for cache keys.

@@ -76,11 +76,7 @@ func EBNFDecoding() inferlet.Program {
 			if err := ctx.Fill(p.Prompt); err != nil {
 				return err
 			}
-			vocabF, err := s.GetVocabs(ctx.Q)
-			if err != nil {
-				return err
-			}
-			vocab, err := vocabF.Get()
+			vocab, err := ctx.Vocabs()
 			if err != nil {
 				return err
 			}

@@ -1,20 +1,27 @@
 // Command pie-server exposes a Pie engine over HTTP, mirroring the
 // paper's ILM front end: clients upload nothing (programs are registered
-// at startup) but can launch inferlets, exchange messages with them, and
-// inspect engine stats. The virtual clock runs in external mode: real
-// HTTP requests inject work, simulated time advances instantly between
-// them, and responses report virtual timings.
+// at startup) but can launch inferlets, exchange messages with them,
+// stream their output, and inspect engine stats. The virtual clock runs
+// in external mode: real HTTP requests inject work, simulated time
+// advances instantly between them, and responses report virtual timings.
+//
+// The HTTP surface is versioned under /v1/ with structured JSON errors
+// ({"error":{"code","message"}}); the original unversioned paths remain
+// as deprecated aliases. Completed runs are evicted from the handle table
+// by /v1/wait and /v1/close, so long-lived servers do not accumulate
+// finished runs.
 //
 // Cluster mode fronts N backend replicas behind the placement router:
 //
 //	pie-server -addr :8080
 //	pie-server -replicas 4 -placement kv-affinity
 //	pie-server -replicas 1 -autoscale-max 8 -placement least
-//	curl -X POST 'localhost:8080/launch?program=text_completion' \
+//	curl -X POST 'localhost:8080/v1/launch?program=text_completion' \
 //	     -d '{"prompt":"Hello, ","max_tokens":8}'
-//	curl 'localhost:8080/recv?id=1'
-//	curl 'localhost:8080/wait?id=1'
-//	curl 'localhost:8080/stats'       # engine totals + per-replica stats
+//	curl 'localhost:8080/v1/recv?id=1'
+//	curl -N 'localhost:8080/v1/stream?id=1'   # SSE message stream
+//	curl 'localhost:8080/v1/wait?id=1'        # waits, reports, evicts
+//	curl 'localhost:8080/v1/stats'            # engine + per-replica stats
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -63,16 +71,34 @@ func newServer(e *pie.Engine) *server {
 	return &server{engine: e, runs: make(map[int]*pie.Handle)}
 }
 
-// mux routes the HTTP API.
+// mux routes the HTTP API: versioned paths first, then the legacy
+// unversioned aliases (deprecated; they answer with a Deprecation header).
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/launch", s.launch)
-	mux.HandleFunc("/send", s.send)
-	mux.HandleFunc("/recv", s.recv)
-	mux.HandleFunc("/wait", s.wait)
-	mux.HandleFunc("/stats", s.stats)
-	mux.HandleFunc("/programs", s.programs)
+	routes := map[string]http.HandlerFunc{
+		"/launch":   s.launch,
+		"/send":     s.send,
+		"/recv":     s.recv,
+		"/wait":     s.wait,
+		"/close":    s.close,
+		"/stream":   s.stream,
+		"/stats":    s.stats,
+		"/programs": s.programs,
+	}
+	for path, h := range routes {
+		mux.HandleFunc("/v1"+path, h)
+		mux.HandleFunc(path, deprecated("/v1"+path, h))
+	}
 	return mux
+}
+
+// deprecated wraps a handler for a legacy alias path.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
 }
 
 func main() {
@@ -107,6 +133,15 @@ func (s *server) inject(name string, fn func()) {
 	<-done
 }
 
+// writeErr emits the structured error body shared by every endpoint.
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{
+		"error": map[string]string{"code": code, "message": msg},
+	})
+}
+
 func (s *server) launch(w http.ResponseWriter, r *http.Request) {
 	program := r.URL.Query().Get("program")
 	body, _ := io.ReadAll(r.Body)
@@ -120,7 +155,7 @@ func (s *server) launch(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeErr(w, http.StatusBadRequest, "launch_failed", err.Error())
 		return
 	}
 	s.mu.Lock()
@@ -131,24 +166,41 @@ func (s *server) launch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]interface{}{"id": id, "program": program})
 }
 
-func (s *server) handle(r *http.Request) (*pie.Handle, error) {
+// handle resolves the id parameter to a live run, or reports the
+// structured error it wrote.
+func (s *server) handle(w http.ResponseWriter, r *http.Request) (*pie.Handle, int, bool) {
 	id, err := strconv.Atoi(r.URL.Query().Get("id"))
 	if err != nil {
-		return nil, fmt.Errorf("bad id")
+		writeErr(w, http.StatusBadRequest, "invalid_argument", "id must be an integer")
+		return nil, 0, false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h, ok := s.runs[id]
 	if !ok {
-		return nil, fmt.Errorf("unknown id %d", id)
+		writeErr(w, http.StatusNotFound, "unknown_id", fmt.Sprintf("no run with id %d", id))
+		return nil, id, false
 	}
-	return h, nil
+	return h, id, true
+}
+
+// evict removes a finished run from the handle table.
+func (s *server) evict(id int) {
+	s.mu.Lock()
+	delete(s.runs, id)
+	s.mu.Unlock()
+}
+
+// liveRuns reports the handle-table size (eviction tests).
+func (s *server) liveRuns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs)
 }
 
 func (s *server) send(w http.ResponseWriter, r *http.Request) {
-	h, err := s.handle(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	h, _, ok := s.handle(w, r)
+	if !ok {
 		return
 	}
 	body, _ := io.ReadAll(r.Body)
@@ -157,25 +209,26 @@ func (s *server) send(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) recv(w http.ResponseWriter, r *http.Request) {
-	h, err := s.handle(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	h, _, ok := s.handle(w, r)
+	if !ok {
 		return
 	}
 	var msg string
 	var recvErr error
 	s.inject("http:recv", func() { msg, recvErr = h.Recv().Get() })
 	if recvErr != nil {
-		http.Error(w, recvErr.Error(), http.StatusGone)
+		writeErr(w, http.StatusGone, "gone", recvErr.Error())
 		return
 	}
 	writeJSON(w, map[string]string{"message": msg})
 }
 
+// wait blocks until the run finishes, reports its result, and evicts the
+// handle: a waited-on run is finished business and must not leak in the
+// table. Clients drain messages (recv/stream) before waiting.
 func (s *server) wait(w http.ResponseWriter, r *http.Request) {
-	h, err := s.handle(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	h, id, ok := s.handle(w, r)
+	if !ok {
 		return
 	}
 	var runErr error
@@ -188,7 +241,70 @@ func (s *server) wait(w http.ResponseWriter, r *http.Request) {
 	if runErr != nil {
 		resp["error"] = runErr.Error()
 	}
+	s.evict(id)
 	writeJSON(w, resp)
+}
+
+// close evicts a run without waiting: the client is done with it.
+func (s *server) close(w http.ResponseWriter, r *http.Request) {
+	_, id, ok := s.handle(w, r)
+	if !ok {
+		return
+	}
+	s.evict(id)
+	writeJSON(w, map[string]interface{}{"status": "closed", "id": id})
+}
+
+// stream serves the run's messages as Server-Sent Events: one `data:`
+// event per inferlet message, then `event: end` when the inferlet's
+// mailbox closes (all messages delivered, inferlet finished).
+func (s *server) stream(w http.ResponseWriter, r *http.Request) {
+	h, _, ok := s.handle(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeErr(w, http.StatusInternalServerError, "no_streaming", "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	// Poll with TryRecv instead of parking a sim process in a blocking
+	// Recv: an abandoned connection must neither leak a goroutine stuck
+	// in inject nor consume a message a live consumer was waiting for.
+	for {
+		var msg string
+		var got, finished bool
+		s.inject("http:stream", func() {
+			msg, got = h.TryRecv()
+			if !got {
+				// Messages enqueue before the run resolves done, so
+				// done + drained means nothing more will ever arrive.
+				finished = h.Done()
+			}
+		})
+		switch {
+		case got:
+			for _, line := range strings.Split(msg, "\n") {
+				fmt.Fprintf(w, "data: %s\n", line)
+			}
+			fmt.Fprint(w, "\n")
+			fl.Flush()
+		case finished:
+			fmt.Fprint(w, "event: end\ndata: closed\n\n")
+			fl.Flush()
+			return
+		default:
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}
 }
 
 // stats reports engine totals plus per-replica counters. The snapshot

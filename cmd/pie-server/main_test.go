@@ -187,52 +187,193 @@ func TestStatsReportsReplicas(t *testing.T) {
 	}
 }
 
+// errBody decodes the structured {"error":{code,message}} body.
+type errBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
 func TestErrorPaths(t *testing.T) {
 	_, ts := startTestServer(t, pie.Config{Seed: 7})
 
-	resp, err := http.Post(ts.URL+"/launch?program=no_such_program", "application/json", nil)
+	resp, err := http.Post(ts.URL+"/v1/launch?program=no_such_program", "application/json", nil)
 	if err != nil {
 		t.Fatalf("launch: %v", err)
 	}
-	io.Copy(io.Discard, resp.Body)
+	var launchErr errBody
+	blob, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("launch unknown program: status %d, want 400", resp.StatusCode)
 	}
-	if resp := getJSON(t, ts.URL+"/recv?id=99", nil); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("recv unknown id: status %d, want 400", resp.StatusCode)
+	if err := json.Unmarshal(blob, &launchErr); err != nil || launchErr.Error.Code != "launch_failed" {
+		t.Fatalf("launch error body %s (code %q), want launch_failed", blob, launchErr.Error.Code)
 	}
-	if resp := getJSON(t, ts.URL+"/wait?id=notanumber", nil); resp.StatusCode != http.StatusBadRequest {
+	if resp := getJSON(t, ts.URL+"/v1/recv?id=99", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("recv unknown id: status %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/wait?id=notanumber", nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("wait bad id: status %d, want 400", resp.StatusCode)
 	}
-	if resp := getJSON(t, ts.URL+"/programs", nil); resp.StatusCode != http.StatusOK {
+	if resp := getJSON(t, ts.URL+"/v1/programs", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("programs: status %d", resp.StatusCode)
 	}
 }
 
-// TestRecvAfterFinishGone covers the message path on a finished inferlet:
-// queued messages stay readable, then the closed mailbox reports Gone.
-func TestRecvAfterFinishGone(t *testing.T) {
+// TestLegacyAliasDeprecated: the unversioned paths keep working, answer
+// identically to /v1/, and carry the Deprecation header.
+func TestLegacyAliasDeprecated(t *testing.T) {
 	_, ts := startTestServer(t, pie.Config{Seed: 7})
 
 	resp, err := http.Post(ts.URL+"/launch?program=text_completion", "application/json",
+		strings.NewReader(`{"prompt":"Hi","max_tokens":2}`))
+	if err != nil {
+		t.Fatalf("legacy launch: %v", err)
+	}
+	var launched struct {
+		ID int `json:"id"`
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy launch: status %d: %s", resp.StatusCode, blob)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy alias missing Deprecation header")
+	}
+	if !strings.Contains(resp.Header.Get("Link"), "/v1/launch") {
+		t.Fatalf("legacy alias Link header %q lacks successor", resp.Header.Get("Link"))
+	}
+	if err := json.Unmarshal(blob, &launched); err != nil || launched.ID != 1 {
+		t.Fatalf("legacy launch body %s", blob)
+	}
+	// Legacy error paths share the structured bodies.
+	resp = getJSON(t, ts.URL+"/recv?id=99", nil)
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get("Deprecation") != "true" {
+		t.Fatalf("legacy recv unknown id: status %d, deprecation %q",
+			resp.StatusCode, resp.Header.Get("Deprecation"))
+	}
+	getJSON(t, ts.URL+"/wait?id=1", nil)
+}
+
+// TestRecvAfterFinishGone covers the message path on a finished inferlet:
+// queued messages stay readable, the closed mailbox reports 410, and a
+// waited-on run is evicted entirely (404).
+func TestRecvAfterFinishGone(t *testing.T) {
+	_, ts := startTestServer(t, pie.Config{Seed: 7})
+
+	resp, err := http.Post(ts.URL+"/v1/launch?program=text_completion", "application/json",
 		strings.NewReader(`{"prompt":"Hi","max_tokens":2}`))
 	if err != nil {
 		t.Fatalf("launch: %v", err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	getJSON(t, ts.URL+"/wait?id=1", nil)
 
-	// The completion text was queued before the inferlet finished.
+	// The completion text queues once the inferlet finishes.
 	var msg struct {
 		Message string `json:"message"`
 	}
-	if resp := getJSON(t, ts.URL+"/recv?id=1", &msg); resp.StatusCode != http.StatusOK {
+	if resp := getJSON(t, ts.URL+"/v1/recv?id=1", &msg); resp.StatusCode != http.StatusOK {
 		t.Fatalf("recv queued: status %d", resp.StatusCode)
 	}
 	// Nothing else will ever arrive: the mailbox is closed.
-	if resp := getJSON(t, ts.URL+"/recv?id=1", nil); resp.StatusCode != http.StatusGone {
+	if resp := getJSON(t, ts.URL+"/v1/recv?id=1", nil); resp.StatusCode != http.StatusGone {
 		t.Fatalf("recv drained: status %d, want 410", resp.StatusCode)
+	}
+	// Wait reports and evicts; the id is gone afterwards.
+	if resp := getJSON(t, ts.URL+"/v1/wait?id=1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/recv?id=1", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("recv after wait eviction: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRunTableEviction: /v1/wait and /v1/close both shrink the handle
+// table, so a long-lived server does not leak completed runs.
+func TestRunTableEviction(t *testing.T) {
+	s, ts := startTestServer(t, pie.Config{Seed: 7})
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/v1/launch?program=text_completion", "application/json",
+			strings.NewReader(`{"prompt":"Hi","max_tokens":2}`))
+		if err != nil {
+			t.Fatalf("launch %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if n := s.liveRuns(); n != 3 {
+		t.Fatalf("live runs = %d, want 3", n)
+	}
+	getJSON(t, ts.URL+"/v1/wait?id=1", nil)
+	if n := s.liveRuns(); n != 2 {
+		t.Fatalf("live runs after wait = %d, want 2", n)
+	}
+	var closed struct {
+		Status string `json:"status"`
+		ID     int    `json:"id"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/close?id=2", &closed); resp.StatusCode != http.StatusOK {
+		t.Fatalf("close: status %d", resp.StatusCode)
+	}
+	if closed.Status != "closed" || closed.ID != 2 {
+		t.Fatalf("close body %+v", closed)
+	}
+	if n := s.liveRuns(); n != 1 {
+		t.Fatalf("live runs after close = %d, want 1", n)
+	}
+	// Closing twice is a 404: the handle is gone.
+	if resp := getJSON(t, ts.URL+"/v1/close?id=2", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double close: status %d, want 404", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/v1/wait?id=3", nil)
+	if n := s.liveRuns(); n != 0 {
+		t.Fatalf("live runs after full drain = %d, want 0", n)
+	}
+}
+
+// TestSSEStream: /v1/stream delivers every inferlet message as an SSE
+// data event, then event: end when the mailbox closes.
+func TestSSEStream(t *testing.T) {
+	_, ts := startTestServer(t, pie.Config{Seed: 7})
+
+	resp, err := http.Post(ts.URL+"/v1/launch?program=text_completion", "application/json",
+		strings.NewReader(`{"prompt":"Hello, ","max_tokens":4,"first_token_ack":true}`))
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	sresp, err := http.Get(ts.URL + "/v1/stream?id=1")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	body, err := io.ReadAll(sresp.Body) // server closes at event: end
+	if err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	events := string(body)
+	if !strings.HasPrefix(events, "data: first-token\n\n") {
+		t.Fatalf("stream did not lead with the first-token ack:\n%s", events)
+	}
+	if !strings.Contains(events, "event: end\n") {
+		t.Fatalf("stream did not terminate with event: end:\n%s", events)
+	}
+	// Two data events (ack + completion text) precede the end.
+	if n := strings.Count(events, "data: "); n < 3 { // 2 messages + end's data line
+		t.Fatalf("stream carried %d data lines, want >= 3:\n%s", n, events)
+	}
+	// Streaming does not evict: wait still knows the run.
+	if resp := getJSON(t, ts.URL+"/v1/wait?id=1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait after stream: status %d", resp.StatusCode)
 	}
 }

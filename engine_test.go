@@ -11,19 +11,39 @@ import (
 )
 
 // autoregressive10 is the paper's §4.2 "putting it all together" example:
-// prefill a prompt, then decode 10 tokens with greedy sampling, using only
-// raw API calls (alloc, embed_txt, forward, get_next_dist, detokenize).
+// prefill a prompt, then decode 10 tokens with greedy sampling, using the
+// raw v2 capability API (alloc, text, forward, sample, tokenizer).
 func autoregressive10(prompt string) inferlet.Program {
 	return inferlet.Program{
 		Name:       "autoregressive10",
 		BinarySize: 129 << 10,
 		Run: func(s inferlet.Session) error {
 			models := s.AvailableModels()
-			q, err := s.CreateQueue(models[0].ID)
+			q, err := s.Open(models[0].ID)
 			if err != nil {
 				return err
 			}
-			promToks, err := mustGet(s.Tokenize(q, prompt))
+			tok, err := q.Tokenizer()
+			if err != nil {
+				return err
+			}
+			alloc, err := q.Alloc()
+			if err != nil {
+				return err
+			}
+			text, err := q.Text()
+			if err != nil {
+				return err
+			}
+			fwd, err := q.Forward()
+			if err != nil {
+				return err
+			}
+			sample, err := q.Sample()
+			if err != nil {
+				return err
+			}
+			promToks, err := mustGet(tok.Encode(prompt))
 			if err != nil {
 				return err
 			}
@@ -31,15 +51,15 @@ func autoregressive10(prompt string) inferlet.Program {
 			pageSize := models[0].PageSize
 			nPages := (tokLimit + pageSize - 1) / pageSize
 
-			promEmb, err := s.AllocEmbeds(q, len(promToks))
+			promEmb, err := alloc.Embeds(len(promToks))
 			if err != nil {
 				return err
 			}
-			genEmb, err := s.AllocEmbeds(q, 1)
+			genEmb, err := alloc.Embeds(1)
 			if err != nil {
 				return err
 			}
-			kv, err := s.AllocKvPages(q, nPages)
+			kv, err := alloc.Pages(nPages)
 			if err != nil {
 				return err
 			}
@@ -49,65 +69,47 @@ func autoregressive10(prompt string) inferlet.Program {
 			for i := range pos {
 				pos[i] = i
 			}
-			if _, err := s.EmbedText(q, promToks, pos, promEmb); err != nil {
+			if _, err := text.Embed(promToks, pos, promEmb); err != nil {
 				return err
 			}
-			if _, err := s.Forward(q, api.ForwardArgs{
-				InputEmb:  promEmb,
-				OutputKv:  kv,
-				OutputEmb: genEmb,
-			}); err != nil {
+			if _, err := fwd.Run(
+				inferlet.Input(promEmb...),
+				inferlet.AppendKv(kv...),
+				inferlet.Output(genEmb...),
+			); err != nil {
 				return err
 			}
 
 			// Decode.
 			var out []int
 			for i := len(promToks); i < tokLimit; i++ {
-				distF, err := s.GetNextDist(q, genEmb[0])
-				if err != nil {
-					return err
-				}
-				dist, err := distF.Get()
+				dist, err := mustGet(sample.NextDist(genEmb[0]))
 				if err != nil {
 					return err
 				}
 				gen := dist.ArgMax()
 				out = append(out, gen)
 				s.ReportOutputTokens(1)
-				if _, err := s.EmbedText(q, []int{gen}, []int{i}, genEmb); err != nil {
+				if _, err := text.Embed([]int{gen}, []int{i}, genEmb); err != nil {
 					return err
 				}
-				if _, err := s.Forward(q, api.ForwardArgs{
-					InputKv:   kv,
-					InputEmb:  genEmb,
-					OutputKv:  kv,
-					OutputEmb: genEmb,
-				}); err != nil {
+				if _, err := fwd.Run(
+					inferlet.ReadKv(kv...),
+					inferlet.Input(genEmb...),
+					inferlet.AppendKv(kv...),
+					inferlet.Output(genEmb...),
+				); err != nil {
 					return err
 				}
 			}
-			text, err := mustGet(s.Detokenize(q, out))
+			answer, err := mustGet(tok.Decode(out))
 			if err != nil {
 				return err
 			}
-			s.Send(text)
+			s.Send(answer)
 
-			// Cleanup.
-			if err := s.DeallocEmbeds(q, promEmb); err != nil {
-				return err
-			}
-			if err := s.DeallocEmbeds(q, genEmb); err != nil {
-				return err
-			}
-			if err := s.DeallocKvPages(q, kv); err != nil {
-				return err
-			}
-			syncF, err := s.Synchronize(q)
-			if err != nil {
-				return err
-			}
-			_, err = syncF.Get()
-			return err
+			// Cleanup: queue-scoped reclamation frees every handle above.
+			return q.Close()
 		},
 	}
 }

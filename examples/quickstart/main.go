@@ -11,7 +11,6 @@ import (
 	"log"
 
 	"pie"
-	"pie/api"
 	"pie/inferlet"
 	"pie/support"
 )
@@ -39,37 +38,44 @@ func main() {
 		},
 	})
 
-	// The same loop with raw handles: explicit embeds, KV pages, forwards,
-	// and host-side greedy sampling (the paper's §4.2 listing).
+	// The same loop with raw handles: negotiated capabilities, explicit
+	// embeds, KV pages, forwards, and host-side greedy sampling (the
+	// paper's §4.2 listing in the v2 capability idiom).
 	engine.MustRegister(inferlet.Program{
 		Name: "hello-raw", BinarySize: 129 << 10,
 		Run: func(s inferlet.Session) error {
 			m := s.AvailableModels()[0]
-			q, err := s.CreateQueue(m.ID)
+			q, err := s.Open(m.ID)
 			if err != nil {
 				return err
 			}
-			promF, _ := s.Tokenize(q, "Hello, ")
+			tok, _ := q.Tokenizer() // trait: tokenize
+			alloc, _ := q.Alloc()   // trait: allocate
+			text, _ := q.Text()     // trait: input_text
+			fwd, _ := q.Forward()   // trait: forward
+			sample, _ := q.Sample() // trait: output_text
+
+			promF, _ := tok.Encode("Hello, ")
 			prom, err := promF.Get()
 			if err != nil {
 				return err
 			}
 			tokLimit := len(prom) + 10
 
-			promEmb, _ := s.AllocEmbeds(q, len(prom))
-			genEmb, _ := s.AllocEmbeds(q, 1)
-			kv, _ := s.AllocKvPages(q, (tokLimit+m.PageSize-1)/m.PageSize)
+			promEmb, _ := alloc.Embeds(len(prom))
+			genEmb, _ := alloc.Embeds(1)
+			kv, _ := alloc.Pages((tokLimit + m.PageSize - 1) / m.PageSize)
 
 			pos := make([]int, len(prom))
 			for i := range pos {
 				pos[i] = i
 			}
-			s.EmbedText(q, prom, pos, promEmb)
-			s.Forward(q, api.ForwardArgs{InputEmb: promEmb, OutputKv: kv, OutputEmb: genEmb})
+			text.Embed(prom, pos, promEmb)
+			fwd.Run(inferlet.Input(promEmb...), inferlet.AppendKv(kv...), inferlet.Output(genEmb...))
 
 			var out []int
 			for i := len(prom); i < tokLimit; i++ {
-				distF, _ := s.GetNextDist(q, genEmb[0])
+				distF, _ := sample.NextDist(genEmb[0])
 				dist, err := distF.Get()
 				if err != nil {
 					return err
@@ -77,22 +83,20 @@ func main() {
 				gen := dist.ArgMax()
 				out = append(out, gen)
 				s.ReportOutputTokens(1)
-				s.EmbedText(q, []int{gen}, []int{i}, genEmb)
-				s.Forward(q, api.ForwardArgs{InputKv: kv, InputEmb: genEmb, OutputKv: kv, OutputEmb: genEmb})
+				text.Embed([]int{gen}, []int{i}, genEmb)
+				fwd.Run(inferlet.ReadKv(kv...), inferlet.Input(genEmb...),
+					inferlet.AppendKv(kv...), inferlet.Output(genEmb...))
 			}
-			textF, _ := s.Detokenize(q, out)
-			text, err := textF.Get()
+			textF, _ := tok.Decode(out)
+			answer, err := textF.Get()
 			if err != nil {
 				return err
 			}
-			s.Send(text)
+			s.Send(answer)
 
-			s.DeallocEmbeds(q, promEmb)
-			s.DeallocEmbeds(q, genEmb)
-			s.DeallocKvPages(q, kv)
-			syncF, _ := s.Synchronize(q)
-			_, err = syncF.Get()
-			return err
+			// One call drains the queue and reclaims every embed and page
+			// allocated through it.
+			return q.Close()
 		},
 	})
 

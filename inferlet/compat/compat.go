@@ -1,0 +1,451 @@
+// Package compat adapts the v2 capability API back to the legacy flat
+// Session interface (the pre-v2 42-method surface), so existing inferlet
+// code — third-party snippets, the paper's listings as originally
+// transcribed — keeps compiling and running without modification:
+//
+//	engine.MustRegister(inferlet.Program{
+//	    Name: "legacy",
+//	    Run:  compat.Adapt(func(s compat.Session) error { ... old code ... }),
+//	})
+//
+// The shim opens queues through Session.Open and negotiates capabilities
+// lazily per queue; trait gating therefore still applies — a legacy call
+// against a model lacking the trait fails with api.ErrNoSuchTrait at call
+// time instead of capability-request time.
+package compat
+
+import (
+	"fmt"
+	"time"
+
+	"pie/api"
+	"pie/inferlet"
+)
+
+// Session is the legacy flat inferlet API: every trait's methods in one
+// interface, with command queues as opaque api.Queue handles. New code
+// should program against inferlet.Session and negotiated capabilities.
+type Session interface {
+	// Core runtime.
+	GetArg() []string
+	Send(msg string)
+	Receive() api.Future[string]
+	Print(msg string)
+	InstanceID() string
+	Now() time.Duration
+	Sleep(d time.Duration)
+	Yield()
+	Random() uint64
+	ReportOutputTokens(n int)
+
+	// Integrated I/O and messaging.
+	HTTPGet(url string) api.Future[string]
+	HTTPPost(url, body string) api.Future[string]
+	Broadcast(topic, msg string)
+	Subscribe(topic string) inferlet.Subscription
+	Spawn(program string, args []string) (inferlet.Child, error)
+
+	// Model discovery.
+	AvailableModels() []api.ModelInfo
+	AvailableTraits(m api.ModelID) ([]api.Trait, error)
+
+	// Command queues.
+	CreateQueue(m api.ModelID) (api.Queue, error)
+	SetQueuePriority(q api.Queue, pri int) error
+	Synchronize(q api.Queue) (api.Future[struct{}], error)
+
+	// Allocate trait.
+	AllocEmbeds(q api.Queue, n int) ([]api.Embed, error)
+	DeallocEmbeds(q api.Queue, ids []api.Embed) error
+	AllocKvPages(q api.Queue, n int) ([]api.KvPage, error)
+	DeallocKvPages(q api.Queue, ids []api.KvPage) error
+	ExportKvPages(name string, ids []api.KvPage) error
+	ImportKvPages(name string) ([]api.KvPage, error)
+	HasExport(name string) bool
+	ReleaseExport(name string) error
+	CopyKvPage(q api.Queue, src, dst api.KvPage, srcOff, dstOff, n int) (api.Future[struct{}], error)
+
+	// Forward trait.
+	Forward(q api.Queue, args api.ForwardArgs) (api.Future[struct{}], error)
+	ForwardWithAdapter(q api.Queue, adapter string, args api.ForwardArgs) (api.Future[struct{}], error)
+	ForwardSampled(q api.Queue, args api.ForwardArgs, inlineTokens, inlinePos []int, spec api.SampleSpec) (api.Future[[]int], error)
+	MaskKvPage(q api.Queue, page api.KvPage, bits []bool) (api.Future[struct{}], error)
+
+	// InputText / InputImage traits.
+	EmbedText(q api.Queue, tokens, positions []int, dst []api.Embed) (api.Future[struct{}], error)
+	EmbedImage(q api.Queue, blob []byte, positions []int, dst []api.Embed) (api.Future[struct{}], error)
+	NumEmbedsNeeded(m api.ModelID, imageBytes int) (int, error)
+
+	// Tokenize trait.
+	Tokenize(q api.Queue, text string) (api.Future[[]int], error)
+	Detokenize(q api.Queue, ids []int) (api.Future[string], error)
+	GetVocabs(q api.Queue) (api.Future[[][]byte], error)
+
+	// OutputText trait.
+	GetNextDist(q api.Queue, emb api.Embed) (api.Future[api.Dist], error)
+}
+
+// Wrap adapts a v2 capability session to the legacy flat interface.
+func Wrap(s inferlet.Session) Session {
+	return &shim{s: s, queues: make(map[api.Queue]*inferlet.Queue)}
+}
+
+// Adapt lifts a legacy program body into a v2 inferlet.Program body.
+func Adapt(run func(Session) error) func(inferlet.Session) error {
+	return func(s inferlet.Session) error { return run(Wrap(s)) }
+}
+
+// shim multiplexes legacy queue handles onto v2 queue objects.
+type shim struct {
+	s      inferlet.Session
+	queues map[api.Queue]*inferlet.Queue
+	order  []api.Queue // creation order, for instance-scoped legacy ops
+	nextID api.Queue
+}
+
+// --- Pass-through core, I/O, discovery -------------------------------------
+
+func (c *shim) GetArg() []string            { return c.s.GetArg() }
+func (c *shim) Send(msg string)             { c.s.Send(msg) }
+func (c *shim) Receive() api.Future[string] { return c.s.Receive() }
+func (c *shim) Print(msg string)            { c.s.Print(msg) }
+func (c *shim) InstanceID() string          { return c.s.InstanceID() }
+func (c *shim) Now() time.Duration          { return c.s.Now() }
+func (c *shim) Sleep(d time.Duration)       { c.s.Sleep(d) }
+func (c *shim) Yield()                      { c.s.Yield() }
+func (c *shim) Random() uint64              { return c.s.Random() }
+func (c *shim) ReportOutputTokens(n int)    { c.s.ReportOutputTokens(n) }
+func (c *shim) HTTPGet(url string) api.Future[string] {
+	return c.s.HTTPGet(url)
+}
+func (c *shim) HTTPPost(url, body string) api.Future[string] {
+	return c.s.HTTPPost(url, body)
+}
+func (c *shim) Broadcast(topic, msg string) { c.s.Broadcast(topic, msg) }
+func (c *shim) Subscribe(topic string) inferlet.Subscription {
+	return c.s.Subscribe(topic)
+}
+func (c *shim) Spawn(program string, args []string) (inferlet.Child, error) {
+	return c.s.Spawn(program, args)
+}
+func (c *shim) AvailableModels() []api.ModelInfo { return c.s.AvailableModels() }
+func (c *shim) AvailableTraits(m api.ModelID) ([]api.Trait, error) {
+	return c.s.AvailableTraits(m)
+}
+
+// --- Queue handle table -----------------------------------------------------
+
+func (c *shim) CreateQueue(m api.ModelID) (api.Queue, error) {
+	q, err := c.s.Open(m)
+	if err != nil {
+		return 0, err
+	}
+	c.nextID++
+	c.queues[c.nextID] = q
+	c.order = append(c.order, c.nextID)
+	return c.nextID, nil
+}
+
+func (c *shim) queue(qid api.Queue) (*inferlet.Queue, error) {
+	q, ok := c.queues[qid]
+	if !ok || q.Closed() {
+		return nil, api.ErrQueueClosed
+	}
+	return q, nil
+}
+
+// anyQueue returns the oldest open queue: legacy export/import calls are
+// instance-scoped, so any queue of this inferlet serves them.
+func (c *shim) anyQueue() (*inferlet.Queue, error) {
+	for _, id := range c.order {
+		if q, ok := c.queues[id]; ok && !q.Closed() {
+			return q, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no open command queue", api.ErrBadArgument)
+}
+
+// modelQueue returns (opening if needed) a queue bound to model m.
+func (c *shim) modelQueue(m api.ModelID) (*inferlet.Queue, error) {
+	for _, id := range c.order {
+		if q, ok := c.queues[id]; ok && !q.Closed() && q.Model().ID == m {
+			return q, nil
+		}
+	}
+	qid, err := c.CreateQueue(m)
+	if err != nil {
+		return nil, err
+	}
+	return c.queues[qid], nil
+}
+
+func (c *shim) SetQueuePriority(qid api.Queue, pri int) error {
+	q, err := c.queue(qid)
+	if err != nil {
+		return err
+	}
+	return q.SetPriority(pri)
+}
+
+func (c *shim) Synchronize(qid api.Queue) (api.Future[struct{}], error) {
+	q, err := c.queue(qid)
+	if err != nil {
+		return nil, err
+	}
+	return q.Barrier()
+}
+
+// --- Allocate trait ---------------------------------------------------------
+
+func (c *shim) alloc(qid api.Queue) (*inferlet.Alloc, error) {
+	q, err := c.queue(qid)
+	if err != nil {
+		return nil, err
+	}
+	return q.Alloc()
+}
+
+func (c *shim) AllocEmbeds(qid api.Queue, n int) ([]api.Embed, error) {
+	a, err := c.alloc(qid)
+	if err != nil {
+		return nil, err
+	}
+	return a.Embeds(n)
+}
+
+func (c *shim) DeallocEmbeds(qid api.Queue, ids []api.Embed) error {
+	a, err := c.alloc(qid)
+	if err != nil {
+		return err
+	}
+	return a.FreeEmbeds(ids)
+}
+
+func (c *shim) AllocKvPages(qid api.Queue, n int) ([]api.KvPage, error) {
+	a, err := c.alloc(qid)
+	if err != nil {
+		return nil, err
+	}
+	return a.Pages(n)
+}
+
+func (c *shim) DeallocKvPages(qid api.Queue, ids []api.KvPage) error {
+	a, err := c.alloc(qid)
+	if err != nil {
+		return err
+	}
+	return a.FreePages(ids)
+}
+
+func (c *shim) ExportKvPages(name string, ids []api.KvPage) error {
+	q, err := c.anyQueue()
+	if err != nil {
+		return err
+	}
+	a, err := q.Alloc()
+	if err != nil {
+		return err
+	}
+	return a.Export(name, ids)
+}
+
+func (c *shim) ImportKvPages(name string) ([]api.KvPage, error) {
+	q, err := c.anyQueue()
+	if err != nil {
+		return nil, err
+	}
+	a, err := q.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	return a.Import(name)
+}
+
+func (c *shim) HasExport(name string) bool {
+	q, err := c.anyQueue()
+	if err != nil {
+		return false
+	}
+	a, err := q.Alloc()
+	if err != nil {
+		return false
+	}
+	return a.HasExport(name)
+}
+
+func (c *shim) ReleaseExport(name string) error {
+	q, err := c.anyQueue()
+	if err != nil {
+		return err
+	}
+	a, err := q.Alloc()
+	if err != nil {
+		return err
+	}
+	return a.ReleaseExport(name)
+}
+
+func (c *shim) CopyKvPage(qid api.Queue, src, dst api.KvPage, srcOff, dstOff, n int) (api.Future[struct{}], error) {
+	a, err := c.alloc(qid)
+	if err != nil {
+		return nil, err
+	}
+	return a.CopyPage(src, dst, srcOff, dstOff, n)
+}
+
+// --- Forward trait ----------------------------------------------------------
+
+// forwardOpts translates a legacy ForwardArgs bundle to v2 options.
+func forwardOpts(args api.ForwardArgs) []inferlet.ForwardOption {
+	opts := []inferlet.ForwardOption{
+		inferlet.ReadKv(args.InputKv...),
+		inferlet.Input(args.InputEmb...),
+		inferlet.AppendKv(args.OutputKv...),
+		inferlet.Output(args.OutputEmb...),
+	}
+	if args.Mask != nil {
+		opts = append(opts, inferlet.WithMask(args.Mask))
+	}
+	if args.Adapter != "" {
+		opts = append(opts, inferlet.WithAdapter(args.Adapter))
+	}
+	return opts
+}
+
+func (c *shim) Forward(qid api.Queue, args api.ForwardArgs) (api.Future[struct{}], error) {
+	q, err := c.queue(qid)
+	if err != nil {
+		return nil, err
+	}
+	fwd, err := q.Forward()
+	if err != nil {
+		return nil, err
+	}
+	return fwd.Run(forwardOpts(args)...)
+}
+
+func (c *shim) ForwardWithAdapter(qid api.Queue, adapter string, args api.ForwardArgs) (api.Future[struct{}], error) {
+	args.Adapter = adapter
+	return c.Forward(qid, args)
+}
+
+func (c *shim) ForwardSampled(qid api.Queue, args api.ForwardArgs, inlineTokens, inlinePos []int, spec api.SampleSpec) (api.Future[[]int], error) {
+	q, err := c.queue(qid)
+	if err != nil {
+		return nil, err
+	}
+	fused, err := q.Fused()
+	if err != nil {
+		return nil, err
+	}
+	opts := forwardOpts(args)
+	if len(inlineTokens) > 0 {
+		opts = append(opts, inferlet.InlineTokens(inlineTokens, inlinePos))
+	}
+	opts = append(opts, inferlet.WithSampling(
+		inferlet.TopK(spec.TopK),
+		inferlet.Temperature(spec.Temperature),
+		inferlet.SampleSeed(spec.Seed),
+	))
+	return fused.Run(opts...)
+}
+
+func (c *shim) MaskKvPage(qid api.Queue, page api.KvPage, bits []bool) (api.Future[struct{}], error) {
+	q, err := c.queue(qid)
+	if err != nil {
+		return nil, err
+	}
+	fwd, err := q.Forward()
+	if err != nil {
+		return nil, err
+	}
+	return fwd.MaskPage(page, bits)
+}
+
+// --- InputText / InputImage traits ------------------------------------------
+
+func (c *shim) EmbedText(qid api.Queue, tokens, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
+	q, err := c.queue(qid)
+	if err != nil {
+		return nil, err
+	}
+	text, err := q.Text()
+	if err != nil {
+		return nil, err
+	}
+	return text.Embed(tokens, positions, dst)
+}
+
+func (c *shim) EmbedImage(qid api.Queue, blob []byte, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
+	q, err := c.queue(qid)
+	if err != nil {
+		return nil, err
+	}
+	img, err := q.Image()
+	if err != nil {
+		return nil, err
+	}
+	return img.Embed(blob, positions, dst)
+}
+
+func (c *shim) NumEmbedsNeeded(m api.ModelID, imageBytes int) (int, error) {
+	q, err := c.modelQueue(m)
+	if err != nil {
+		return 0, err
+	}
+	img, err := q.Image()
+	if err != nil {
+		return 0, err
+	}
+	return img.EmbedsNeeded(imageBytes)
+}
+
+// --- Tokenize trait ----------------------------------------------------------
+
+func (c *shim) tokenizer(qid api.Queue) (*inferlet.Tokenizer, error) {
+	q, err := c.queue(qid)
+	if err != nil {
+		return nil, err
+	}
+	return q.Tokenizer()
+}
+
+func (c *shim) Tokenize(qid api.Queue, text string) (api.Future[[]int], error) {
+	t, err := c.tokenizer(qid)
+	if err != nil {
+		return nil, err
+	}
+	return t.Encode(text)
+}
+
+func (c *shim) Detokenize(qid api.Queue, ids []int) (api.Future[string], error) {
+	t, err := c.tokenizer(qid)
+	if err != nil {
+		return nil, err
+	}
+	return t.Decode(ids)
+}
+
+func (c *shim) GetVocabs(qid api.Queue) (api.Future[[][]byte], error) {
+	t, err := c.tokenizer(qid)
+	if err != nil {
+		return nil, err
+	}
+	return t.Vocabs()
+}
+
+// --- OutputText trait ---------------------------------------------------------
+
+func (c *shim) GetNextDist(qid api.Queue, emb api.Embed) (api.Future[api.Dist], error) {
+	q, err := c.queue(qid)
+	if err != nil {
+		return nil, err
+	}
+	sample, err := q.Sample()
+	if err != nil {
+		return nil, err
+	}
+	return sample.NextDist(emb)
+}
+
+var _ Session = (*shim)(nil)

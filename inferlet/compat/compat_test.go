@@ -1,0 +1,230 @@
+package compat_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pie"
+	"pie/api"
+	"pie/inferlet"
+	"pie/inferlet/compat"
+)
+
+// legacyAutoregressive is pre-v2 inferlet code, verbatim: flat session,
+// api.Queue handles, ForwardArgs bundles. It must keep compiling and
+// running through the compat shim.
+func legacyAutoregressive(s compat.Session) (string, error) {
+	m := s.AvailableModels()[0]
+	q, err := s.CreateQueue(m.ID)
+	if err != nil {
+		return "", err
+	}
+	promF, err := s.Tokenize(q, "the answer is ")
+	if err != nil {
+		return "", err
+	}
+	prom, err := promF.Get()
+	if err != nil {
+		return "", err
+	}
+	limit := len(prom) + 8
+	emb, _ := s.AllocEmbeds(q, len(prom))
+	gen, _ := s.AllocEmbeds(q, 1)
+	kv, _ := s.AllocKvPages(q, (limit+m.PageSize-1)/m.PageSize)
+	pos := make([]int, len(prom))
+	for i := range pos {
+		pos[i] = i
+	}
+	s.EmbedText(q, prom, pos, emb)
+	s.Forward(q, api.ForwardArgs{InputEmb: emb, OutputKv: kv, OutputEmb: gen})
+	var out []int
+	for i := len(prom); i < limit; i++ {
+		distF, err := s.GetNextDist(q, gen[0])
+		if err != nil {
+			return "", err
+		}
+		dist, err := distF.Get()
+		if err != nil {
+			return "", err
+		}
+		tok := dist.ArgMax()
+		out = append(out, tok)
+		s.EmbedText(q, []int{tok}, []int{i}, gen)
+		s.Forward(q, api.ForwardArgs{InputKv: kv, InputEmb: gen, OutputKv: kv, OutputEmb: gen})
+	}
+	s.DeallocEmbeds(q, emb)
+	s.DeallocEmbeds(q, gen)
+	s.DeallocKvPages(q, kv)
+	f, err := s.Synchronize(q)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Get(); err != nil {
+		return "", err
+	}
+	return fmt.Sprint(out), nil
+}
+
+func runProgram(t *testing.T, p inferlet.Program) string {
+	t.Helper()
+	e := pie.New(pie.Config{Seed: 7, Mode: pie.ModeFull})
+	e.MustRegister(p)
+	var got string
+	if err := e.RunClient(func() {
+		h, err := e.Launch(p.Name)
+		if err != nil {
+			t.Errorf("launch: %v", err)
+			return
+		}
+		got, _ = h.Recv().Get()
+		if err := h.Wait(); err != nil {
+			t.Errorf("inferlet: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestLegacyProgramMatchesV2 pins the shim's fidelity: the legacy flat
+// program and the equivalent v2 capability program generate identical
+// tokens from the same seed.
+func TestLegacyProgramMatchesV2(t *testing.T) {
+	legacy := runProgram(t, inferlet.Program{
+		Name: "legacy", BinarySize: 64 << 10,
+		Run: compat.Adapt(func(s compat.Session) error {
+			out, err := legacyAutoregressive(s)
+			if err != nil {
+				return err
+			}
+			s.Send(out)
+			return nil
+		}),
+	})
+
+	v2 := runProgram(t, inferlet.Program{
+		Name: "v2", BinarySize: 64 << 10,
+		Run: func(s inferlet.Session) error {
+			m := s.AvailableModels()[0]
+			q, err := s.Open(m.ID)
+			if err != nil {
+				return err
+			}
+			tok, _ := q.Tokenizer()
+			alloc, _ := q.Alloc()
+			text, _ := q.Text()
+			fwd, _ := q.Forward()
+			sample, _ := q.Sample()
+			promF, _ := tok.Encode("the answer is ")
+			prom, err := promF.Get()
+			if err != nil {
+				return err
+			}
+			limit := len(prom) + 8
+			emb, _ := alloc.Embeds(len(prom))
+			gen, _ := alloc.Embeds(1)
+			kv, _ := alloc.Pages((limit + m.PageSize - 1) / m.PageSize)
+			pos := make([]int, len(prom))
+			for i := range pos {
+				pos[i] = i
+			}
+			text.Embed(prom, pos, emb)
+			fwd.Run(inferlet.Input(emb...), inferlet.AppendKv(kv...), inferlet.Output(gen...))
+			var out []int
+			for i := len(prom); i < limit; i++ {
+				distF, err := sample.NextDist(gen[0])
+				if err != nil {
+					return err
+				}
+				dist, err := distF.Get()
+				if err != nil {
+					return err
+				}
+				tk := dist.ArgMax()
+				out = append(out, tk)
+				text.Embed([]int{tk}, []int{i}, gen)
+				fwd.Run(inferlet.ReadKv(kv...), inferlet.Input(gen...),
+					inferlet.AppendKv(kv...), inferlet.Output(gen...))
+			}
+			if err := q.Close(); err != nil {
+				return err
+			}
+			s.Send(fmt.Sprint(out))
+			return nil
+		},
+	})
+
+	if legacy == "" || legacy != v2 {
+		t.Fatalf("legacy shim diverged from v2: legacy=%s v2=%s", legacy, v2)
+	}
+}
+
+// TestShimExportImport covers the instance-scoped legacy calls that have
+// no queue parameter (export/import/probe) routing through an open queue.
+func TestShimExportImport(t *testing.T) {
+	got := runProgram(t, inferlet.Program{
+		Name: "shim-export", BinarySize: 8 << 10,
+		Run: compat.Adapt(func(s compat.Session) error {
+			m := s.AvailableModels()[0]
+			q, err := s.CreateQueue(m.ID)
+			if err != nil {
+				return err
+			}
+			if s.HasExport("shim-key") {
+				return fmt.Errorf("phantom export")
+			}
+			pages, err := s.AllocKvPages(q, 2)
+			if err != nil {
+				return err
+			}
+			if err := s.ExportKvPages("shim-key", pages); err != nil {
+				return err
+			}
+			back, err := s.ImportKvPages("shim-key")
+			if err != nil {
+				return err
+			}
+			if len(back) != 2 {
+				return fmt.Errorf("imported %d pages, want 2", len(back))
+			}
+			if err := s.ReleaseExport("shim-key"); err != nil {
+				return err
+			}
+			s.Send("ok")
+			return nil
+		}),
+	})
+	if got != "ok" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestShimTraitGating: legacy calls against a model lacking the trait
+// still fail with ErrNoSuchTrait (negotiation moved to call time).
+func TestShimTraitGating(t *testing.T) {
+	got := runProgram(t, inferlet.Program{
+		Name: "shim-gate", BinarySize: 8 << 10,
+		Run: compat.Adapt(func(s compat.Session) error {
+			// llama-1b is not multimodal: embed_img must be refused.
+			m := s.AvailableModels()[0]
+			q, err := s.CreateQueue(m.ID)
+			if err != nil {
+				return err
+			}
+			emb, err := s.AllocEmbeds(q, 1)
+			if err != nil {
+				return err
+			}
+			_, err = s.EmbedImage(q, []byte{1, 2, 3}, []int{0}, emb)
+			if !errors.Is(err, api.ErrNoSuchTrait) {
+				return fmt.Errorf("EmbedImage on llama-1b: got %v, want ErrNoSuchTrait", err)
+			}
+			s.Send("gated")
+			return nil
+		}),
+	})
+	if got != "gated" {
+		t.Fatalf("got %q", got)
+	}
+}

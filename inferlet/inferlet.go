@@ -6,14 +6,25 @@
 // runtime (the paper uses WebAssembly; this reproduction runs Go closures
 // under an equivalent cooperative sandbox — see internal/ilm). Concurrency
 // within an inferlet comes from asynchronous, non-blocking API calls that
-// return futures.
+// return futures, composed with the api package's combinators.
 //
-// The Session interface is the complete API surface of Table 1 — 42 entry
-// points split between the control layer (runtime, messaging, I/O; cheap,
-// handled without touching the GPU) and the inference layer
-// (embed/forward/sample and KV-cache operations, which flow through
-// command queues and the batch scheduler). See the README's API table for
-// the full inventory and trait assignment.
+// The API is layered (v2). Session carries only what every inferlet
+// needs: the core runtime, messaging and I/O, and model discovery.
+// Everything model-bound hangs off a *Queue obtained from
+// Session.Open, and each trait of Table 1 is a capability object
+// negotiated from the queue:
+//
+//	q, _ := s.Open("llama-1b")
+//	tok, _ := q.Tokenizer()       // trait: tokenize
+//	alloc, _ := q.Alloc()         // trait: allocate
+//	fwd, _ := q.Forward()         // trait: forward
+//	sample, _ := q.Sample()       // trait: output_text
+//
+// Negotiation enforces the supertrait DAG (api.Supertraits): requesting a
+// capability whose trait — or any transitive supertrait — the model lacks
+// fails with api.ErrNoSuchTrait, so programs discover at queue-open time
+// exactly which parts of the surface a model serves, and new traits can be
+// added without widening any existing interface.
 package inferlet
 
 import (
@@ -55,9 +66,10 @@ type Child interface {
 	Wait() api.Future[error]
 }
 
-// Session is the API an inferlet programs against. Methods that take an
-// api.Queue are processed by the inference layer via the batch scheduler;
-// the rest are handled directly by the control layer (§4, Table 1).
+// Session is the core API an inferlet programs against: the control-layer
+// runtime, messaging and I/O, and model discovery (§4, Table 1 "core"
+// trait). All inference-layer access goes through Open, which returns a
+// command-queue object whose trait capabilities are negotiated per model.
 type Session interface {
 	// --- Core runtime (control layer) ---
 
@@ -101,74 +113,13 @@ type Session interface {
 
 	// AvailableModels lists servable models.
 	AvailableModels() []api.ModelInfo
-	// AvailableTraits lists a model's traits.
+	// AvailableTraits lists a model's declared traits.
 	AvailableTraits(m api.ModelID) ([]api.Trait, error)
 
-	// --- Command queues ---
+	// --- Command queues (the gateway to the inference layer) ---
 
-	// CreateQueue opens a command queue against a model.
-	CreateQueue(m api.ModelID) (api.Queue, error)
-	// SetQueuePriority hints the batch scheduler.
-	SetQueuePriority(q api.Queue, pri int) error
-	// Synchronize resolves when all previously enqueued calls complete.
-	Synchronize(q api.Queue) (api.Future[struct{}], error)
-
-	// --- Allocate trait ---
-
-	// AllocEmbeds allocates embedding slots.
-	AllocEmbeds(q api.Queue, n int) ([]api.Embed, error)
-	// DeallocEmbeds releases embedding slots (queue-ordered).
-	DeallocEmbeds(q api.Queue, ids []api.Embed) error
-	// AllocKvPages allocates KV-cache pages.
-	AllocKvPages(q api.Queue, n int) ([]api.KvPage, error)
-	// DeallocKvPages releases KV pages (queue-ordered).
-	DeallocKvPages(q api.Queue, ids []api.KvPage) error
-	// ExportKvPages publishes pages under a global name for other
-	// inferlets.
-	ExportKvPages(name string, ids []api.KvPage) error
-	// ImportKvPages maps another inferlet's exported pages (shared).
-	ImportKvPages(name string) ([]api.KvPage, error)
-	// HasExport probes the export registry.
-	HasExport(name string) bool
-	// ReleaseExport removes an export registration.
-	ReleaseExport(name string) error
-	// CopyKvPage copies KV entries token-by-token between pages.
-	CopyKvPage(q api.Queue, src, dst api.KvPage, srcOff, dstOff, n int) (api.Future[struct{}], error)
-
-	// --- Forward trait ---
-
-	// Forward runs the transformer pass described by args.
-	Forward(q api.Queue, args api.ForwardArgs) (api.Future[struct{}], error)
-	// ForwardWithAdapter is Forward with a LoRA adapter applied.
-	ForwardWithAdapter(q api.Queue, adapter string, args api.ForwardArgs) (api.Future[struct{}], error)
-	// ForwardSampled is the fused monolithic-style pipeline (TraitFused):
-	// optional inline embedding of token ids, forward, and on-GPU
-	// sampling in a single kernel. Used by the Table 3 ablation.
-	ForwardSampled(q api.Queue, args api.ForwardArgs, inlineTokens, inlinePos []int, spec api.SampleSpec) (api.Future[[]int], error)
-	// MaskKvPage sets token-level attention mask bits on a page.
-	MaskKvPage(q api.Queue, page api.KvPage, bits []bool) (api.Future[struct{}], error)
-
-	// --- InputText / InputImage traits ---
-
-	// EmbedText embeds token ids into slots at explicit positions.
-	EmbedText(q api.Queue, tokens, positions []int, dst []api.Embed) (api.Future[struct{}], error)
-	// EmbedImage embeds an image blob into slots.
-	EmbedImage(q api.Queue, blob []byte, positions []int, dst []api.Embed) (api.Future[struct{}], error)
-	// NumEmbedsNeeded sizes the slot allocation for an image.
-	NumEmbedsNeeded(m api.ModelID, imageBytes int) (int, error)
-
-	// --- Tokenize trait ---
-
-	// Tokenize converts text to token ids.
-	Tokenize(q api.Queue, text string) (api.Future[[]int], error)
-	// Detokenize converts token ids back to text.
-	Detokenize(q api.Queue, ids []int) (api.Future[string], error)
-	// GetVocabs retrieves the byte expansion of every vocabulary entry.
-	GetVocabs(q api.Queue) (api.Future[[][]byte], error)
-
-	// --- OutputText trait ---
-
-	// GetNextDist resolves with the truncated next-token distribution of
-	// an output embedding.
-	GetNextDist(q api.Queue, emb api.Embed) (api.Future[api.Dist], error)
+	// Open creates a command queue against a model and returns the queue
+	// object from which trait capabilities are negotiated. It fails with
+	// api.ErrNoSuchModel when the model is not installed.
+	Open(m api.ModelID, opts ...QueueOption) (*Queue, error)
 }

@@ -268,6 +268,30 @@ func (ctl *Controller) queue(inst *Instance, qid api.Queue) (*cmdQueue, error) {
 	return q, nil
 }
 
+// CloseQueue closes a command queue (close_queue). Callers that want a
+// graceful close synchronize first; anything still pending fails with
+// ErrQueueClosed. The queue leaves the scheduler and its id dies — the
+// queue-scoped half of v2 resource reclamation (handles themselves are
+// instance-scoped and are released by the dealloc calls the queue object
+// issues before closing).
+func (ctl *Controller) CloseQueue(inst *Instance, qid api.Queue) error {
+	ctl.chargeControl(inst)
+	q, err := ctl.queue(inst, qid)
+	if err != nil {
+		return err
+	}
+	q.closed = true
+	for _, c := range q.pending {
+		ctl.retireCall(c)
+		c.Err = api.ErrQueueClosed
+		failCall(c)
+	}
+	q.pending = nil
+	ctl.sched.forgetQueue(q)
+	delete(inst.queues, qid)
+	return nil
+}
+
 // --- Allocation -----------------------------------------------------------
 
 // AllocEmbeds allocates n embedding slots (alloc_emb).
@@ -323,7 +347,9 @@ func (ctl *Controller) AllocPages(inst *Instance, qid api.Queue, n int) ([]api.K
 }
 
 // DeallocEmbeds releases embedding slots after prior queue ops complete
-// (dealloc_emb): it is a queue-ordered control op.
+// (dealloc_emb): it is a queue-ordered control op. Validation is
+// all-or-nothing — a bad handle anywhere in ids releases nothing, so a
+// failed call leaves the caller's handle view unchanged.
 func (ctl *Controller) DeallocEmbeds(inst *Instance, qid api.Queue, ids []api.Embed) error {
 	ctl.chargeControl(inst)
 	q, err := ctl.queue(inst, qid)
@@ -331,12 +357,16 @@ func (ctl *Controller) DeallocEmbeds(inst *Instance, qid api.Queue, ids []api.Em
 		return err
 	}
 	refs := make([]resRef, 0, len(ids))
+	seen := make(map[api.Embed]bool, len(ids))
 	for _, id := range ids {
 		ref, ok := inst.vEmbeds[id]
-		if !ok {
+		if !ok || seen[id] {
 			return api.ErrBadHandle
 		}
+		seen[id] = true
 		refs = append(refs, ref)
+	}
+	for _, id := range ids {
 		delete(inst.vEmbeds, id) // handle dies now; physical free is deferred
 	}
 	ctl.enqueue(q, &infer.Call{Op: infer.OpDealloc, ControlFn: func() {
@@ -347,7 +377,8 @@ func (ctl *Controller) DeallocEmbeds(inst *Instance, qid api.Queue, ids []api.Em
 	return nil
 }
 
-// DeallocPages releases KV pages, queue-ordered (dealloc_kvpage).
+// DeallocPages releases KV pages, queue-ordered (dealloc_kvpage), with
+// the same all-or-nothing validation as DeallocEmbeds.
 func (ctl *Controller) DeallocPages(inst *Instance, qid api.Queue, ids []api.KvPage) error {
 	ctl.chargeControl(inst)
 	q, err := ctl.queue(inst, qid)
@@ -355,12 +386,16 @@ func (ctl *Controller) DeallocPages(inst *Instance, qid api.Queue, ids []api.KvP
 		return err
 	}
 	refs := make([]resRef, 0, len(ids))
+	seen := make(map[api.KvPage]bool, len(ids))
 	for _, id := range ids {
 		ref, ok := inst.vPages[id]
-		if !ok {
+		if !ok || seen[id] {
 			return api.ErrBadHandle
 		}
+		seen[id] = true
 		refs = append(refs, ref)
+	}
+	for _, id := range ids {
 		delete(inst.vPages, id)
 	}
 	ctl.enqueue(q, &infer.Call{Op: infer.OpDealloc, ControlFn: func() {
@@ -493,7 +528,7 @@ func (ctl *Controller) EmbedImage(inst *Instance, qid api.Queue, blob []byte, po
 	if err != nil {
 		return nil, err
 	}
-	if !q.rt.Info.HasTrait(api.TraitInputImage) {
+	if !q.rt.Info.HasTraitClosure(api.TraitInputImage) {
 		return nil, api.ErrNoSuchTrait
 	}
 	slots, err := ctl.resolveEmbeds(inst, q, dst)
@@ -561,7 +596,7 @@ func (ctl *Controller) buildForward(inst *Instance, qid api.Queue, args api.Forw
 	if err != nil {
 		return nil, nil, err
 	}
-	if args.Adapter != "" && !q.rt.Info.HasTrait(api.TraitAdapter) {
+	if args.Adapter != "" && !q.rt.Info.HasTraitClosure(api.TraitAdapter) {
 		return nil, nil, api.ErrNoSuchTrait
 	}
 	c := ctl.newCall(inst, infer.OpForward)

@@ -138,11 +138,19 @@ func apiProbe(seed uint64, n int) Fig10Point {
 		Name: "api_probe", BinarySize: 4 << 10,
 		Run: func(s inferlet.Session) error {
 			m := s.AvailableModels()[0]
-			q, err := s.CreateQueue(m.ID)
+			q, err := s.Open(m.ID)
 			if err != nil {
 				return err
 			}
-			pages, err := s.AllocKvPages(q, 1)
+			alloc, err := q.Alloc()
+			if err != nil {
+				return err
+			}
+			fwd, err := q.Forward()
+			if err != nil {
+				return err
+			}
+			pages, err := alloc.Pages(1)
 			if err != nil {
 				return err
 			}
@@ -163,7 +171,7 @@ func apiProbe(seed uint64, n int) Fig10Point {
 				}
 				ctl.Add(s.Now() - t0)
 
-				f, err := s.MaskKvPage(q, pages[0], bits)
+				f, err := fwd.MaskPage(pages[0], bits)
 				if err != nil {
 					return err
 				}
@@ -171,7 +179,7 @@ func apiProbe(seed uint64, n int) Fig10Point {
 					return err
 				}
 			}
-			return s.DeallocKvPages(q, pages)
+			return alloc.FreePages(pages)
 		},
 	})
 	e.Go("driver", func() {

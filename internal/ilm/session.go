@@ -13,8 +13,8 @@ import (
 
 // session implements inferlet.Session: the only capability surface an
 // inferlet has. Control-layer calls charge microsecond-scale handling in
-// the controller; queue-based calls flow through the batch scheduler to
-// the inference layer.
+// the controller; inference-layer access goes through queue bindings
+// (inferlet.QueueRuntime) that flow through the batch scheduler.
 type session struct {
 	ilm    *ILM
 	handle *Handle
@@ -119,115 +119,130 @@ func (s *session) AvailableTraits(m api.ModelID) ([]api.Trait, error) {
 	return s.ctl.Traits(s.inst, m)
 }
 
-// --- Queues ---------------------------------------------------------------
+// --- Command queues --------------------------------------------------------
 
-func (s *session) CreateQueue(m api.ModelID) (api.Queue, error) {
-	return s.ctl.CreateQueue(s.inst, m)
+// Open creates a controller command queue and wraps it in the v2 queue
+// object. Capability negotiation happens locally against the model's
+// ModelInfo (free of control-layer charges — the trait set is immutable
+// data the inferlet already holds from discovery).
+func (s *session) Open(m api.ModelID, opts ...inferlet.QueueOption) (*inferlet.Queue, error) {
+	qid, err := s.ctl.CreateQueue(s.inst, m)
+	if err != nil {
+		return nil, err
+	}
+	rt := s.ctl.ModelRuntime(string(m))
+	q := inferlet.NewQueue(rt.Info, &queueBinding{s: s, qid: qid, model: string(m)})
+	for _, o := range opts {
+		if err := o(q); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
 }
 
-func (s *session) SetQueuePriority(q api.Queue, pri int) error {
-	return s.ctl.SetQueuePriority(s.inst, q, pri)
+// queueBinding implements inferlet.QueueRuntime: every operation is bound
+// to one (instance, queue) pair and delegates to the replica's controller.
+type queueBinding struct {
+	s     *session
+	qid   api.Queue
+	model string
 }
 
-func (s *session) Synchronize(q api.Queue) (api.Future[struct{}], error) {
-	return s.ctl.Synchronize(s.inst, q)
+func (b *queueBinding) SetPriority(pri int) error {
+	return b.s.ctl.SetQueuePriority(b.s.inst, b.qid, pri)
 }
 
-// --- Allocate trait ---------------------------------------------------------
-
-func (s *session) AllocEmbeds(q api.Queue, n int) ([]api.Embed, error) {
-	return s.ctl.AllocEmbeds(s.inst, q, n)
+func (b *queueBinding) Synchronize() (api.Future[struct{}], error) {
+	return b.s.ctl.Synchronize(b.s.inst, b.qid)
 }
 
-func (s *session) DeallocEmbeds(q api.Queue, ids []api.Embed) error {
-	return s.ctl.DeallocEmbeds(s.inst, q, ids)
+func (b *queueBinding) Close() error {
+	return b.s.ctl.CloseQueue(b.s.inst, b.qid)
 }
 
-func (s *session) AllocKvPages(q api.Queue, n int) ([]api.KvPage, error) {
-	return s.ctl.AllocPages(s.inst, q, n)
+func (b *queueBinding) AllocEmbeds(n int) ([]api.Embed, error) {
+	return b.s.ctl.AllocEmbeds(b.s.inst, b.qid, n)
 }
 
-func (s *session) DeallocKvPages(q api.Queue, ids []api.KvPage) error {
-	return s.ctl.DeallocPages(s.inst, q, ids)
+func (b *queueBinding) DeallocEmbeds(ids []api.Embed) error {
+	return b.s.ctl.DeallocEmbeds(b.s.inst, b.qid, ids)
 }
 
-func (s *session) ExportKvPages(name string, ids []api.KvPage) error {
-	return s.ctl.ExportPages(s.inst, name, ids)
+func (b *queueBinding) AllocKvPages(n int) ([]api.KvPage, error) {
+	return b.s.ctl.AllocPages(b.s.inst, b.qid, n)
 }
 
-func (s *session) ImportKvPages(name string) ([]api.KvPage, error) {
-	return s.ctl.ImportPages(s.inst, name)
+func (b *queueBinding) DeallocKvPages(ids []api.KvPage) error {
+	return b.s.ctl.DeallocPages(b.s.inst, b.qid, ids)
 }
 
-func (s *session) HasExport(name string) bool {
-	return s.ctl.HasExport(s.inst, name)
+func (b *queueBinding) ExportKvPages(name string, ids []api.KvPage) error {
+	return b.s.ctl.ExportPages(b.s.inst, name, ids)
 }
 
-func (s *session) ReleaseExport(name string) error {
-	return s.ctl.ReleaseExport(s.inst, name)
+func (b *queueBinding) ImportKvPages(name string) ([]api.KvPage, error) {
+	return b.s.ctl.ImportPages(b.s.inst, name)
 }
 
-func (s *session) CopyKvPage(q api.Queue, src, dst api.KvPage, srcOff, dstOff, n int) (api.Future[struct{}], error) {
-	return s.ctl.CopyKv(s.inst, q, src, dst, srcOff, dstOff, n)
+func (b *queueBinding) HasExport(name string) bool {
+	return b.s.ctl.HasExport(b.s.inst, name)
 }
 
-// --- Forward trait ----------------------------------------------------------
-
-func (s *session) Forward(q api.Queue, args api.ForwardArgs) (api.Future[struct{}], error) {
-	return s.ctl.Forward(s.inst, q, args)
+func (b *queueBinding) ReleaseExport(name string) error {
+	return b.s.ctl.ReleaseExport(b.s.inst, name)
 }
 
-func (s *session) ForwardWithAdapter(q api.Queue, adapter string, args api.ForwardArgs) (api.Future[struct{}], error) {
-	args.Adapter = adapter
-	return s.ctl.Forward(s.inst, q, args)
+func (b *queueBinding) CopyKvPage(src, dst api.KvPage, srcOff, dstOff, n int) (api.Future[struct{}], error) {
+	return b.s.ctl.CopyKv(b.s.inst, b.qid, src, dst, srcOff, dstOff, n)
 }
 
-func (s *session) ForwardSampled(q api.Queue, args api.ForwardArgs, inlineTokens, inlinePos []int, spec api.SampleSpec) (api.Future[[]int], error) {
-	return s.ctl.ForwardSampled(s.inst, q, args, inlineTokens, inlinePos, infer.SampleSpec{
+func (b *queueBinding) Forward(args api.ForwardArgs) (api.Future[struct{}], error) {
+	return b.s.ctl.Forward(b.s.inst, b.qid, args)
+}
+
+func (b *queueBinding) ForwardSampled(args api.ForwardArgs, inlineTokens, inlinePos []int, spec api.SampleSpec) (api.Future[[]int], error) {
+	return b.s.ctl.ForwardSampled(b.s.inst, b.qid, args, inlineTokens, inlinePos, infer.SampleSpec{
 		TopK: spec.TopK, Temperature: spec.Temperature, Seed: spec.Seed,
 	})
 }
 
-func (s *session) MaskKvPage(q api.Queue, page api.KvPage, bits []bool) (api.Future[struct{}], error) {
-	return s.ctl.MaskKv(s.inst, q, page, bits)
+func (b *queueBinding) MaskKvPage(page api.KvPage, bits []bool) (api.Future[struct{}], error) {
+	return b.s.ctl.MaskKv(b.s.inst, b.qid, page, bits)
 }
 
-// --- InputText / InputImage traits -------------------------------------------
-
-func (s *session) EmbedText(q api.Queue, tokens, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
-	return s.ctl.EmbedText(s.inst, q, tokens, positions, dst)
+func (b *queueBinding) EmbedText(tokens, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
+	return b.s.ctl.EmbedText(b.s.inst, b.qid, tokens, positions, dst)
 }
 
-func (s *session) EmbedImage(q api.Queue, blob []byte, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
-	return s.ctl.EmbedImage(s.inst, q, blob, positions, dst)
+func (b *queueBinding) EmbedImage(blob []byte, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
+	return b.s.ctl.EmbedImage(b.s.inst, b.qid, blob, positions, dst)
 }
 
-func (s *session) NumEmbedsNeeded(m api.ModelID, imageBytes int) (int, error) {
-	rt := s.ctl.ModelRuntime(string(m))
+func (b *queueBinding) NumEmbedsNeeded(imageBytes int) (int, error) {
+	rt := b.s.ctl.ModelRuntime(b.model)
 	if rt == nil {
 		return 0, api.ErrNoSuchModel
 	}
 	return rt.Model.EmbedsNeededForImage(imageBytes), nil
 }
 
-// --- Tokenize trait -----------------------------------------------------------
-
-func (s *session) Tokenize(q api.Queue, text string) (api.Future[[]int], error) {
-	return s.ctl.Tokenize(s.inst, q, text)
+func (b *queueBinding) GetNextDist(emb api.Embed) (api.Future[api.Dist], error) {
+	return b.s.ctl.NextDist(b.s.inst, b.qid, emb)
 }
 
-func (s *session) Detokenize(q api.Queue, ids []int) (api.Future[string], error) {
-	return s.ctl.Detokenize(s.inst, q, ids)
+func (b *queueBinding) Tokenize(text string) (api.Future[[]int], error) {
+	return b.s.ctl.Tokenize(b.s.inst, b.qid, text)
 }
 
-func (s *session) GetVocabs(q api.Queue) (api.Future[[][]byte], error) {
-	return s.ctl.GetVocabs(s.inst, q)
+func (b *queueBinding) Detokenize(ids []int) (api.Future[string], error) {
+	return b.s.ctl.Detokenize(b.s.inst, b.qid, ids)
 }
 
-// --- OutputText trait -----------------------------------------------------------
-
-func (s *session) GetNextDist(q api.Queue, emb api.Embed) (api.Future[api.Dist], error) {
-	return s.ctl.NextDist(s.inst, q, emb)
+func (b *queueBinding) GetVocabs() (api.Future[[][]byte], error) {
+	return b.s.ctl.GetVocabs(b.s.inst, b.qid)
 }
 
-var _ inferlet.Session = (*session)(nil)
+var (
+	_ inferlet.Session      = (*session)(nil)
+	_ inferlet.QueueRuntime = (*queueBinding)(nil)
+)

@@ -1,6 +1,10 @@
 package sim
 
-import "errors"
+import (
+	"errors"
+
+	"pie/api"
+)
 
 // ErrFailed is returned by Future.Get when the future was failed without a
 // specific error.
@@ -15,6 +19,7 @@ type Future[T any] struct {
 	val     T
 	err     error
 	waiters []waiter
+	subs    []func()
 }
 
 type waiter struct {
@@ -71,11 +76,48 @@ func (f *Future[T]) complete(v T, err error) {
 	f.err = err
 	waiters := f.waiters
 	f.waiters = nil
+	subs := f.subs
+	f.subs = nil
 	f.c.mu.Unlock()
+	// Callbacks run before waiters wake so api.Any relays fire first —
+	// the wake order stays deterministic either way, but this keeps the
+	// "first completion wins" rule independent of waiter registration.
+	for _, fn := range subs {
+		fn()
+	}
 	for _, w := range waiters {
 		f.c.unpark(w.p, w.token)
 	}
 }
+
+// Subscribe registers fn to run exactly once when the future completes;
+// if it already has, fn runs immediately. This is the api.Subscriber hook
+// behind the future combinators.
+func (f *Future[T]) Subscribe(fn func()) {
+	f.c.mu.Lock()
+	if f.done {
+		f.c.mu.Unlock()
+		fn()
+		return
+	}
+	f.subs = append(f.subs, fn)
+	f.c.mu.Unlock()
+}
+
+// MakeRelay mints an unresolved one-shot latch on this future's clock,
+// implementing api.RelayMaker for the Any combinator.
+func (f *Future[T]) MakeRelay() api.Relay { return relay{s: NewSignal(f.c)} }
+
+// relay adapts a Signal to api.Relay with idempotent Fire.
+type relay struct{ s *Signal }
+
+func (r relay) Fire() {
+	if !r.s.Done() {
+		Fire(r.s)
+	}
+}
+
+func (r relay) Await() error { return Await(r.s) }
 
 // Get blocks the calling process until the future completes, then returns
 // its value and error.

@@ -36,6 +36,23 @@ import (
 	"pie/internal/sim"
 )
 
+// Re-exported programming-model types and errors, so applications that
+// embed the engine need only import "pie": programs are written against
+// Session, obtain a *Queue from Session.Open, and negotiate trait
+// capabilities from it (see package inferlet for the full v2 API).
+type (
+	Program = inferlet.Program
+	Session = inferlet.Session
+	Queue   = inferlet.Queue
+)
+
+// Re-exported API errors (see package api for the full set).
+var (
+	ErrNoSuchModel = api.ErrNoSuchModel
+	ErrNoSuchTrait = api.ErrNoSuchTrait
+	ErrQueueClosed = api.ErrQueueClosed
+)
+
 // ExecutionMode selects functional fidelity (see internal/infer).
 type ExecutionMode int
 

@@ -14,14 +14,27 @@ import (
 // extension with rollback, and masked-page release — the high-level face
 // of the paper's R1 capabilities (§6.3).
 //
+// A Context owns one command queue and the capabilities negotiated from
+// it (allocate, input_text, forward, output_text, tokenize); building one
+// against a model lacking any of those traits fails with
+// api.ErrNoSuchTrait.
+//
 // Two counters describe the stream. slots counts physical KV entries
 // consumed (including masked/rolled-back ones); Len (logical length)
 // counts live tokens and determines the next sequence position. They
 // differ only after Truncate (speculative decoding rollback).
 type Context struct {
 	S     inferlet.Session
-	Q     api.Queue
+	Q     *inferlet.Queue
 	Model api.ModelInfo
+
+	alloc  *inferlet.Alloc
+	text   *inferlet.Text
+	fwd    *inferlet.Forward
+	sample *inferlet.Sample
+	tok    *inferlet.Tokenizer
+
+	ownsQueue bool
 
 	entries []pageEntry
 	pinned  []api.KvPage // read-only attention context (modular caching)
@@ -46,21 +59,44 @@ var ErrNoOutput = errors.New("support: context has no output embedding yet")
 
 // NewContext opens a context on its own command queue against model m.
 func NewContext(s inferlet.Session, m api.ModelInfo) (*Context, error) {
-	q, err := s.CreateQueue(m.ID)
+	q, err := s.Open(m.ID)
 	if err != nil {
 		return nil, err
 	}
-	return NewContextOnQueue(s, q, m)
+	c, err := NewContextOnQueue(s, q)
+	if err != nil {
+		return nil, err
+	}
+	c.ownsQueue = true
+	return c, nil
 }
 
 // NewContextOnQueue opens a context on an existing queue (several contexts
-// can share one queue when their ops should serialize).
-func NewContextOnQueue(s inferlet.Session, q api.Queue, m api.ModelInfo) (*Context, error) {
-	genEmb, err := s.AllocEmbeds(q, 1)
-	if err != nil {
+// can share one queue when their ops should serialize). The context
+// negotiates its capabilities from the queue; Drop leaves a shared queue
+// open.
+func NewContextOnQueue(s inferlet.Session, q *inferlet.Queue) (*Context, error) {
+	c := &Context{S: s, Q: q, Model: q.Model()}
+	var err error
+	if c.alloc, err = q.Alloc(); err != nil {
 		return nil, err
 	}
-	return &Context{S: s, Q: q, Model: m, genEmb: genEmb}, nil
+	if c.text, err = q.Text(); err != nil {
+		return nil, err
+	}
+	if c.fwd, err = q.Forward(); err != nil {
+		return nil, err
+	}
+	if c.sample, err = q.Sample(); err != nil {
+		return nil, err
+	}
+	if c.tok, err = q.Tokenizer(); err != nil {
+		return nil, err
+	}
+	if c.genEmb, err = c.alloc.Embeds(1); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // Len returns the logical token length of the context.
@@ -68,6 +104,10 @@ func (c *Context) Len() int { return c.pos }
 
 // Slots returns physical KV slots consumed (≥ Len after rollbacks).
 func (c *Context) Slots() int { return c.slots }
+
+// Alloc exposes the context's allocate capability (advanced use: export,
+// import, explicit page management on the context's queue).
+func (c *Context) Alloc() *inferlet.Alloc { return c.alloc }
 
 // Pages returns the live page handles (advanced use: export, masking).
 func (c *Context) Pages() []api.KvPage {
@@ -90,7 +130,7 @@ func (c *Context) ensure(n int) error {
 	}
 	ps := c.Model.PageSize
 	add := (need + ps - 1) / ps
-	pages, err := c.S.AllocKvPages(c.Q, add)
+	pages, err := c.alloc.Pages(add)
 	if err != nil {
 		return err
 	}
@@ -131,13 +171,28 @@ func (c *Context) outPages(n int) []api.KvPage {
 	return out
 }
 
+// Encode tokenizes text through the model's vocabulary (blocking).
+func (c *Context) Encode(text string) ([]int, error) {
+	f, err := c.tok.Encode(text)
+	if err != nil {
+		return nil, err
+	}
+	return f.Get()
+}
+
+// Vocabs retrieves the byte expansion of every vocabulary entry
+// (blocking; grammar-constrained decoding).
+func (c *Context) Vocabs() ([][]byte, error) {
+	f, err := c.tok.Vocabs()
+	if err != nil {
+		return nil, err
+	}
+	return f.Get()
+}
+
 // Fill tokenizes text and prefills it into the context.
 func (c *Context) Fill(text string) error {
-	f, err := c.S.Tokenize(c.Q, text)
-	if err != nil {
-		return err
-	}
-	toks, err := f.Get()
+	toks, err := c.Encode(text)
 	if err != nil {
 		return err
 	}
@@ -168,16 +223,16 @@ func (c *Context) extend(toks []int, keepKV bool, outs int, wantDists bool) ([]a
 			return nil, err
 		}
 	}
-	emb, err := c.S.AllocEmbeds(c.Q, n)
+	emb, err := c.alloc.Embeds(n)
 	if err != nil {
 		return nil, err
 	}
-	defer c.S.DeallocEmbeds(c.Q, emb)
+	defer c.alloc.FreeEmbeds(emb)
 	pos := make([]int, n)
 	for i := range pos {
 		pos[i] = c.pos + i
 	}
-	if _, err := c.S.EmbedText(c.Q, toks, pos, emb); err != nil {
+	if _, err := c.text.Embed(toks, pos, emb); err != nil {
 		return nil, err
 	}
 	var outEmb []api.Embed
@@ -189,44 +244,44 @@ func (c *Context) extend(toks []int, keepKV bool, outs int, wantDists bool) ([]a
 			// Temps for all but the last position; the frontier output
 			// lands in the persistent decode slot so NextDist keeps
 			// working after a multi-output extension.
-			tmp, err := c.S.AllocEmbeds(c.Q, outs-1)
+			tmp, err := c.alloc.Embeds(outs - 1)
 			if err != nil {
 				return nil, err
 			}
-			defer c.S.DeallocEmbeds(c.Q, tmp)
+			defer c.alloc.FreeEmbeds(tmp)
 			outEmb = append(append([]api.Embed(nil), tmp...), c.genEmb[0])
 		default:
 			// Probes must not clobber the frontier output.
-			tmp, err := c.S.AllocEmbeds(c.Q, outs)
+			tmp, err := c.alloc.Embeds(outs)
 			if err != nil {
 				return nil, err
 			}
-			defer c.S.DeallocEmbeds(c.Q, tmp)
+			defer c.alloc.FreeEmbeds(tmp)
 			outEmb = tmp
 		}
 	}
-	args := api.ForwardArgs{
-		InputKv:   c.ctxPages(),
-		InputEmb:  emb,
-		OutputEmb: outEmb,
+	opts := []inferlet.ForwardOption{
+		inferlet.ReadKv(c.ctxPages()...),
+		inferlet.Input(emb...),
+		inferlet.Output(outEmb...),
 	}
 	if keepKV {
-		args.OutputKv = c.outPages(n)
+		opts = append(opts, inferlet.AppendKv(c.outPages(n)...))
 	}
-	if _, err := c.S.Forward(c.Q, args); err != nil {
+	if _, err := c.fwd.Run(opts...); err != nil {
 		return nil, err
 	}
 	var dists []api.Dist
 	if wantDists && outs > 0 {
 		futs := make([]api.Future[api.Dist], outs)
 		for i, eh := range outEmb {
-			f, err := c.S.GetNextDist(c.Q, eh)
+			f, err := c.sample.NextDist(eh)
 			if err != nil {
 				return nil, err
 			}
 			futs[i] = f
 		}
-		dists, err = AwaitAll(futs)
+		dists, err = api.All(futs...).Get()
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +304,7 @@ func (c *Context) NextDist() (api.Dist, error) {
 	if !c.hasOut {
 		return api.Dist{}, ErrNoOutput
 	}
-	f, err := c.S.GetNextDist(c.Q, c.lastOut)
+	f, err := c.sample.NextDist(c.lastOut)
 	if err != nil {
 		return api.Dist{}, err
 	}
@@ -316,7 +371,7 @@ func (c *Context) MaskSlots(from, to int, masked bool) error {
 				bits[i] = masked
 			}
 		}
-		if _, err := c.S.MaskKvPage(c.Q, c.entries[p].h, bits); err != nil {
+		if _, err := c.fwd.MaskPage(c.entries[p].h, bits); err != nil {
 			return err
 		}
 	}
@@ -362,7 +417,7 @@ func (c *Context) ReleaseMaskedPages(fullyMaskedRanges [][2]int) (int, error) {
 		freed++
 	}
 	if len(toFree) > 0 {
-		if err := c.S.DeallocKvPages(c.Q, toFree); err != nil {
+		if err := c.alloc.FreePages(toFree); err != nil {
 			return freed, err
 		}
 	}
@@ -435,7 +490,7 @@ func (c *Context) Generate(opts GenOpts) (GenResult, error) {
 
 // DecodeText detokenizes ids through the model's vocabulary.
 func (c *Context) DecodeText(ids []int) (string, error) {
-	f, err := c.S.Detokenize(c.Q, ids)
+	f, err := c.tok.Decode(ids)
 	if err != nil {
 		return "", err
 	}
@@ -473,11 +528,11 @@ func (c *Context) Fork(n int) ([]*Context, error) {
 			child.entries = append(child.entries, pageEntry{h: c.entries[j].h, owned: false, live: c.entries[j].live})
 		}
 		if tailTokens > 0 {
-			np, err := c.S.AllocKvPages(child.Q, 1)
+			np, err := child.alloc.Pages(1)
 			if err != nil {
 				return nil, err
 			}
-			if _, err := c.S.CopyKvPage(child.Q, c.entries[split].h, np[0], 0, 0, tailTokens); err != nil {
+			if _, err := child.alloc.CopyPage(c.entries[split].h, np[0], 0, 0, tailTokens); err != nil {
 				return nil, err
 			}
 			child.entries = append(child.entries, pageEntry{h: np[0], owned: true, live: true})
@@ -493,7 +548,9 @@ func (c *Context) Fork(n int) ([]*Context, error) {
 }
 
 // Drop releases every owned live page and the decode slot; the context
-// becomes unusable.
+// becomes unusable but its queue stays open (fire-and-forget: the
+// deallocations are queue-ordered and need no round trip). Use Close to
+// also close the queue and reclaim everything it still tracks.
 func (c *Context) Drop() error {
 	var own []api.KvPage
 	for _, e := range c.entries {
@@ -502,13 +559,13 @@ func (c *Context) Drop() error {
 		}
 	}
 	if len(own) > 0 {
-		if err := c.S.DeallocKvPages(c.Q, own); err != nil {
+		if err := c.alloc.FreePages(own); err != nil {
 			return err
 		}
 	}
 	c.entries = nil
 	if c.genEmb != nil {
-		if err := c.S.DeallocEmbeds(c.Q, c.genEmb); err != nil {
+		if err := c.alloc.FreeEmbeds(c.genEmb); err != nil {
 			return err
 		}
 		c.genEmb = nil
@@ -516,15 +573,21 @@ func (c *Context) Drop() error {
 	return nil
 }
 
-// Sync drains the context's command queue.
-func (c *Context) Sync() error {
-	f, err := c.S.Synchronize(c.Q)
-	if err != nil {
-		return err
+// Close drains and closes the context's queue, reclaiming every resource
+// allocated or imported through it (queue-scoped reclamation). Only valid
+// for contexts that own their queue (NewContext); contexts sharing a
+// queue must Drop instead.
+func (c *Context) Close() error {
+	if !c.ownsQueue {
+		return errors.New("support: Close on a context sharing its queue; use Drop")
 	}
-	_, err = f.Get()
-	return err
+	c.entries = nil
+	c.genEmb = nil
+	return c.Q.Close()
 }
+
+// Sync drains the context's command queue.
+func (c *Context) Sync() error { return c.Q.Sync() }
 
 // Export publishes the context's live pages under name. Exports should be
 // page-aligned (Len a multiple of PageSize) so importers can extend them.
@@ -532,7 +595,7 @@ func (c *Context) Export(name string) error {
 	if err := c.Sync(); err != nil {
 		return err
 	}
-	return c.S.ExportKvPages(name, c.Pages())
+	return c.alloc.Export(name, c.Pages())
 }
 
 // ImportContext maps an exported context: pages are shared, so the result
@@ -542,7 +605,7 @@ func ImportContext(s inferlet.Session, m api.ModelInfo, name string, tokens []in
 	if err != nil {
 		return nil, err
 	}
-	pages, err := s.ImportKvPages(name)
+	pages, err := c.alloc.Import(name)
 	if err != nil {
 		return nil, err
 	}

@@ -32,7 +32,7 @@ func ParallelGenerate(ctxs []*Context, opts GenOpts, samplers []Sampler) ([]GenR
 			if !active[i] {
 				continue
 			}
-			f, err := c.S.GetNextDist(c.Q, c.lastOut)
+			f, err := c.sample.NextDist(c.lastOut)
 			if err != nil {
 				return nil, err
 			}
@@ -87,15 +87,8 @@ func ParallelGenerate(ctxs []*Context, opts GenOpts, samplers []Sampler) ([]GenR
 	return results, nil
 }
 
-// AwaitAll drains a set of futures, returning the first error.
+// AwaitAll drains a set of futures, returning the first error. It is
+// sugar over the api.All combinator.
 func AwaitAll[T any](futs []api.Future[T]) ([]T, error) {
-	out := make([]T, len(futs))
-	for i, f := range futs {
-		v, err := f.Get()
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
-	}
-	return out, nil
+	return api.All(futs...).Get()
 }

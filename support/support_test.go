@@ -86,31 +86,36 @@ func TestContextMatchesRawAPI(t *testing.T) {
 		}
 		return fmt.Sprint(res.Tokens), nil
 	})
-	// ...and with raw API calls.
+	// ...and with raw v2 capability calls.
 	viaRaw := run(t, 7, func(s inferlet.Session) (string, error) {
 		m := s.AvailableModels()[0]
-		q, err := s.CreateQueue(m.ID)
+		q, err := s.Open(m.ID)
 		if err != nil {
 			return "", err
 		}
-		toks, _ := s.Tokenize(q, "the answer is ")
+		tokenizer, _ := q.Tokenizer()
+		alloc, _ := q.Alloc()
+		text, _ := q.Text()
+		fwd, _ := q.Forward()
+		sample, _ := q.Sample()
+		toks, _ := tokenizer.Encode("the answer is ")
 		prom, err := toks.Get()
 		if err != nil {
 			return "", err
 		}
 		limit := len(prom) + 8
-		emb, _ := s.AllocEmbeds(q, len(prom))
-		gen, _ := s.AllocEmbeds(q, 1)
-		kv, _ := s.AllocKvPages(q, (limit+m.PageSize-1)/m.PageSize)
+		emb, _ := alloc.Embeds(len(prom))
+		gen, _ := alloc.Embeds(1)
+		kv, _ := alloc.Pages((limit + m.PageSize - 1) / m.PageSize)
 		pos := make([]int, len(prom))
 		for i := range pos {
 			pos[i] = i
 		}
-		s.EmbedText(q, prom, pos, emb)
-		s.Forward(q, api.ForwardArgs{InputEmb: emb, OutputKv: kv, OutputEmb: gen})
+		text.Embed(prom, pos, emb)
+		fwd.Run(inferlet.Input(emb...), inferlet.AppendKv(kv...), inferlet.Output(gen...))
 		var out []int
 		for i := len(prom); i < limit; i++ {
-			df, err := s.GetNextDist(q, gen[0])
+			df, err := sample.NextDist(gen[0])
 			if err != nil {
 				return "", err
 			}
@@ -120,8 +125,8 @@ func TestContextMatchesRawAPI(t *testing.T) {
 			}
 			tok := d.ArgMax()
 			out = append(out, tok)
-			s.EmbedText(q, []int{tok}, []int{i}, gen)
-			s.Forward(q, api.ForwardArgs{InputKv: kv, InputEmb: gen, OutputKv: kv, OutputEmb: gen})
+			text.Embed([]int{tok}, []int{i}, gen)
+			fwd.Run(inferlet.ReadKv(kv...), inferlet.Input(gen...), inferlet.AppendKv(kv...), inferlet.Output(gen...))
 		}
 		return fmt.Sprint(out), nil
 	})

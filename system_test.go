@@ -17,12 +17,16 @@ import (
 var greedyHog = inferlet.Program{
 	Name: "hog", BinarySize: 4 << 10,
 	Run: func(s inferlet.Session) error {
-		q, err := s.CreateQueue(s.AvailableModels()[2].ID) // llama-8b: small pool
+		q, err := s.Open(s.AvailableModels()[2].ID) // llama-8b: small pool
+		if err != nil {
+			return err
+		}
+		alloc, err := q.Alloc()
 		if err != nil {
 			return err
 		}
 		n, _ := strconv.Atoi(s.GetArg()[0])
-		if _, err := s.AllocKvPages(q, n); err != nil {
+		if _, err := alloc.Pages(n); err != nil {
 			s.Send("alloc-failed: " + err.Error())
 			return err
 		}
@@ -37,7 +41,7 @@ var greedyHog = inferlet.Program{
 			}
 			var more int
 			fmt.Sscanf(msg, "more:%d", &more)
-			if _, err := s.AllocKvPages(q, more); err != nil {
+			if _, err := alloc.Pages(more); err != nil {
 				s.Send("alloc-failed: " + err.Error())
 				return err
 			}
@@ -155,20 +159,36 @@ func exportImportPrograms(prompt string) (inferlet.Program, inferlet.Program) {
 	exporter := inferlet.Program{
 		Name: "exporter", BinarySize: 8 << 10,
 		Run: func(s inferlet.Session) error {
-			q, err := s.CreateQueue(s.AvailableModels()[0].ID)
+			q, err := s.Open(s.AvailableModels()[0].ID)
 			if err != nil {
 				return err
 			}
-			toks, err := mustGet(s.Tokenize(q, prompt))
+			tok, err := q.Tokenizer()
 			if err != nil {
 				return err
 			}
-			emb, err := s.AllocEmbeds(q, len(toks))
+			alloc, err := q.Alloc()
+			if err != nil {
+				return err
+			}
+			text, err := q.Text()
+			if err != nil {
+				return err
+			}
+			fwd, err := q.Forward()
+			if err != nil {
+				return err
+			}
+			toks, err := mustGet(tok.Encode(prompt))
+			if err != nil {
+				return err
+			}
+			emb, err := alloc.Embeds(len(toks))
 			if err != nil {
 				return err
 			}
 			ps := s.AvailableModels()[0].PageSize
-			pages, err := s.AllocKvPages(q, (len(toks)+ps-1)/ps)
+			pages, err := alloc.Pages((len(toks) + ps - 1) / ps)
 			if err != nil {
 				return err
 			}
@@ -176,20 +196,16 @@ func exportImportPrograms(prompt string) (inferlet.Program, inferlet.Program) {
 			for i := range pos {
 				pos[i] = i
 			}
-			if _, err := s.EmbedText(q, toks, pos, emb); err != nil {
+			if _, err := text.Embed(toks, pos, emb); err != nil {
 				return err
 			}
-			if _, err := s.Forward(q, api.ForwardArgs{InputEmb: emb, OutputKv: pages}); err != nil {
+			if _, err := fwd.Run(inferlet.Input(emb...), inferlet.AppendKv(pages...)); err != nil {
 				return err
 			}
-			f, err := s.Synchronize(q)
-			if err != nil {
+			if err := q.Sync(); err != nil {
 				return err
 			}
-			if _, err := f.Get(); err != nil {
-				return err
-			}
-			if err := s.ExportKvPages("shared-prompt", pages); err != nil {
+			if err := alloc.Export("shared-prompt", pages); err != nil {
 				return err
 			}
 			s.Send(fmt.Sprintf("exported:%d", len(toks)))
@@ -199,24 +215,44 @@ func exportImportPrograms(prompt string) (inferlet.Program, inferlet.Program) {
 	importer := inferlet.Program{
 		Name: "importer", BinarySize: 8 << 10,
 		Run: func(s inferlet.Session) error {
-			q, err := s.CreateQueue(s.AvailableModels()[0].ID)
+			q, err := s.Open(s.AvailableModels()[0].ID)
+			if err != nil {
+				return err
+			}
+			tok, err := q.Tokenizer()
+			if err != nil {
+				return err
+			}
+			alloc, err := q.Alloc()
+			if err != nil {
+				return err
+			}
+			text, err := q.Text()
+			if err != nil {
+				return err
+			}
+			fwd, err := q.Forward()
+			if err != nil {
+				return err
+			}
+			sample, err := q.Sample()
 			if err != nil {
 				return err
 			}
 			nTokens, _ := strconv.Atoi(s.GetArg()[0])
-			pages, err := s.ImportKvPages("shared-prompt")
+			pages, err := alloc.Import("shared-prompt")
 			if err != nil {
 				return err
 			}
-			qtoks, err := mustGet(s.Tokenize(q, "?"))
+			qtoks, err := mustGet(tok.Encode("?"))
 			if err != nil {
 				return err
 			}
-			emb, err := s.AllocEmbeds(q, len(qtoks))
+			emb, err := alloc.Embeds(len(qtoks))
 			if err != nil {
 				return err
 			}
-			out, err := s.AllocEmbeds(q, 1)
+			out, err := alloc.Embeds(1)
 			if err != nil {
 				return err
 			}
@@ -224,15 +260,15 @@ func exportImportPrograms(prompt string) (inferlet.Program, inferlet.Program) {
 			for i := range pos {
 				pos[i] = nTokens + i
 			}
-			if _, err := s.EmbedText(q, qtoks, pos, emb); err != nil {
+			if _, err := text.Embed(qtoks, pos, emb); err != nil {
 				return err
 			}
-			if _, err := s.Forward(q, api.ForwardArgs{
-				InputKv: pages, InputEmb: emb, OutputEmb: out,
-			}); err != nil {
+			if _, err := fwd.Run(
+				inferlet.ReadKv(pages...), inferlet.Input(emb...), inferlet.Output(out...),
+			); err != nil {
 				return err
 			}
-			dist, err := mustGet(s.GetNextDist(q, out[0]))
+			dist, err := mustGet(sample.NextDist(out[0]))
 			if err != nil {
 				return err
 			}
@@ -279,29 +315,33 @@ var badHandles = inferlet.Program{
 	Name: "bad-handles", BinarySize: 1 << 10,
 	Run: func(s inferlet.Session) error {
 		models := s.AvailableModels()
-		q1, _ := s.CreateQueue(models[0].ID)
-		q2, _ := s.CreateQueue(models[1].ID) // different model
-		emb, err := s.AllocEmbeds(q1, 1)
+		q1, _ := s.Open(models[0].ID)
+		q2, _ := s.Open(models[1].ID) // different model
+		alloc1, _ := q1.Alloc()
+		text1, _ := q1.Text()
+		sample1, _ := q1.Sample()
+		text2, _ := q2.Text()
+		emb, err := alloc1.Embeds(1)
 		if err != nil {
 			return err
 		}
 		// Cross-model use must fail.
-		if _, err := s.EmbedText(q2, []int{5}, []int{0}, emb); !errors.Is(err, api.ErrBadHandle) {
+		if _, err := text2.Embed([]int{5}, []int{0}, emb); !errors.Is(err, api.ErrBadHandle) {
 			return fmt.Errorf("cross-model embed: got %v, want ErrBadHandle", err)
 		}
 		// Unknown handle must fail.
-		if _, err := s.GetNextDist(q1, api.Embed(999999)); !errors.Is(err, api.ErrBadHandle) {
+		if _, err := sample1.NextDist(api.Embed(999999)); !errors.Is(err, api.ErrBadHandle) {
 			return fmt.Errorf("unknown handle: got %v, want ErrBadHandle", err)
 		}
 		// Dealloc then reuse must fail.
-		if err := s.DeallocEmbeds(q1, emb); err != nil {
+		if err := alloc1.FreeEmbeds(emb); err != nil {
 			return err
 		}
-		if _, err := s.EmbedText(q1, []int{5}, []int{0}, emb); !errors.Is(err, api.ErrBadHandle) {
+		if _, err := text1.Embed([]int{5}, []int{0}, emb); !errors.Is(err, api.ErrBadHandle) {
 			return fmt.Errorf("stale handle: got %v, want ErrBadHandle", err)
 		}
 		// Double dealloc must fail.
-		if err := s.DeallocEmbeds(q1, emb); !errors.Is(err, api.ErrBadHandle) {
+		if err := alloc1.FreeEmbeds(emb); !errors.Is(err, api.ErrBadHandle) {
 			return fmt.Errorf("double dealloc: got %v, want ErrBadHandle", err)
 		}
 		return nil
@@ -488,15 +528,15 @@ func TestQueuePriority(t *testing.T) {
 		Name: "pri", BinarySize: 1 << 10,
 		Run: func(s inferlet.Session) error {
 			pri, _ := strconv.Atoi(s.GetArg()[0])
-			q, err := s.CreateQueue(s.AvailableModels()[0].ID)
+			q, err := s.Open(s.AvailableModels()[0].ID, inferlet.WithPriority(pri))
 			if err != nil {
 				return err
 			}
-			if err := s.SetQueuePriority(q, pri); err != nil {
-				return err
-			}
-			toks, _ := mustGet(s.Tokenize(q, "priority scheduling test prompt"))
-			emb, err := s.AllocEmbeds(q, len(toks))
+			tok, _ := q.Tokenizer()
+			alloc, _ := q.Alloc()
+			text, _ := q.Text()
+			toks, _ := mustGet(tok.Encode("priority scheduling test prompt"))
+			emb, err := alloc.Embeds(len(toks))
 			if err != nil {
 				return err
 			}
@@ -504,10 +544,8 @@ func TestQueuePriority(t *testing.T) {
 			for i := range pos {
 				pos[i] = i
 			}
-			s.EmbedText(q, toks, pos, emb)
-			f, _ := s.Synchronize(q)
-			f.Get()
-			return nil
+			text.Embed(toks, pos, emb)
+			return q.Sync()
 		},
 	})
 	if err := e.RunClient(func() {
