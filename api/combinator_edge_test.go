@@ -1,0 +1,115 @@
+package api
+
+// Combinator edge cases left open by the v2 API redesign: empty input
+// slices, already-completed futures, and error paths. Same-tick races of
+// runtime futures are covered in any_sim_test.go (external test package,
+// since internal/sim imports api).
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAllEmpty(t *testing.T) {
+	f := All[int]()
+	if !f.Done() {
+		t.Fatal("All() of no futures must be Done immediately")
+	}
+	vals, err := f.Get()
+	if err != nil || len(vals) != 0 {
+		t.Fatalf("All().Get() = %v, %v; want empty, nil", vals, err)
+	}
+	// Subscribe on the empty composite fires immediately (Any nests
+	// combinators and relies on this).
+	fired := false
+	f.(Subscriber).Subscribe(func() { fired = true })
+	if !fired {
+		t.Fatal("Subscribe on empty All did not fire")
+	}
+}
+
+func TestAnyZeroFuturesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Any() of no futures must panic")
+		}
+	}()
+	Any[int]()
+}
+
+func TestAnyAllAlreadyCompletedTieBreaksInArgumentOrder(t *testing.T) {
+	f := Any[string](
+		&fakeFuture[string]{done: true, val: "first"},
+		&fakeFuture[string]{done: true, val: "second"},
+	)
+	if v, err := f.Get(); err != nil || v != "first" {
+		t.Fatalf("Any over completed futures = %q, %v; want argument-order winner", v, err)
+	}
+}
+
+func TestAnyPropagatesWinnerError(t *testing.T) {
+	boom := errors.New("boom")
+	f := Any[int](
+		&fakeFuture[int]{done: false},
+		&fakeFuture[int]{done: true, err: boom},
+	)
+	if _, err := f.Get(); !errors.Is(err, boom) {
+		t.Fatalf("Any.Get() err = %v, want boom", err)
+	}
+}
+
+func TestThenOnFailedSourceSkipsTransform(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	f := Then[int, int](&fakeFuture[int]{done: true, err: boom}, func(v int) (int, error) {
+		calls++
+		return v, nil
+	})
+	if _, err := f.Get(); !errors.Is(err, boom) {
+		t.Fatalf("Then.Get() err = %v, want boom", err)
+	}
+	if calls != 0 {
+		t.Fatal("transform ran on a failed source")
+	}
+	// The error is cached, not re-derived.
+	if _, err := f.Get(); !errors.Is(err, boom) {
+		t.Fatal("second Get lost the cached error")
+	}
+}
+
+func TestThenOnCompletedSourceIsDone(t *testing.T) {
+	f := Then[int, string](&fakeFuture[int]{done: true, val: 7}, func(v int) (string, error) {
+		return "x", nil
+	})
+	if !f.Done() {
+		t.Fatal("Then over a completed source must report Done before Get")
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	f := Map(nil, func(v int) (int, error) { return v, nil })
+	if !f.Done() {
+		t.Fatal("Map of no futures must be Done")
+	}
+	vals, err := f.Get()
+	if err != nil || len(vals) != 0 {
+		t.Fatalf("Map(nil).Get() = %v, %v; want empty, nil", vals, err)
+	}
+}
+
+func TestMapPropagatesTransformError(t *testing.T) {
+	boom := errors.New("boom")
+	fs := []Future[int]{
+		&fakeFuture[int]{done: true, val: 1},
+		&fakeFuture[int]{done: true, val: 2},
+	}
+	f := Map(fs, func(v int) (int, error) {
+		if v == 2 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	if _, err := f.Get(); !errors.Is(err, boom) {
+		t.Fatalf("Map.Get() err = %v, want boom", err)
+	}
+}

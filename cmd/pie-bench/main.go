@@ -35,8 +35,9 @@ const defaultJSONPath = "BENCH_sim.json"
 func main() {
 	quick := flag.Bool("quick", false, "run CI-sized workloads")
 	seed := flag.Uint64("seed", 42, "deterministic seed for every experiment")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster)")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster,offload)")
 	clusterExp := flag.Bool("cluster", false, "also run the replica-scaling cluster sweep (experiment id: cluster)")
+	offloadExp := flag.Bool("offload", false, "also run the tiered-KV host-offload oversubscription sweep (experiment id: offload)")
 	jsonOut := flag.Bool("json", false, "write BENCH_sim.json with wall time and events/sec per experiment")
 	jsonPath := flag.String("json-out", defaultJSONPath, "path for the -json report (implies -json)")
 	flag.Parse()
@@ -55,6 +56,9 @@ func main() {
 	}
 	if *clusterExp {
 		want["cluster"] = true
+	}
+	if *offloadExp {
+		want["offload"] = true
 	}
 	all := want["all"]
 
@@ -182,9 +186,13 @@ func main() {
 		return r.Table(), h
 	})
 	if want["cluster"] {
-		// The replica-scaling sweep is opt-in (-cluster or -exp cluster):
-		// it is the one experiment beyond the paper's own evaluation.
+		// The replica-scaling and offload sweeps are opt-in (-cluster /
+		// -offload or -exp): they are the experiments beyond the paper's
+		// own evaluation.
 		run("cluster", clusterRun(o))
+	}
+	if want["offload"] {
+		run("offload", offloadRun(o))
 	}
 
 	if len(rep.Experiments) == 0 {
@@ -210,6 +218,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// offloadRun adapts the tiered-KV offload sweep to the experiment harness.
+func offloadRun(o eval.Options) func() (string, map[string]float64) {
+	return func() (string, map[string]float64) {
+		r := eval.OffloadSweep(o)
+		h := map[string]float64{}
+		if p, ok := r.Get(2, 1.0); ok {
+			h["effcap-2x-offload-x"] = p.EffCapacity
+			h["ttft-2x-offload-ms"] = float64(p.TTFT) / float64(time.Millisecond)
+			h["swapout-2x-offload-pages"] = float64(p.SwapOutPages)
+			h["failures-2x-offload"] = float64(p.Failures)
+		}
+		if p, ok := r.Get(2, 0); ok {
+			h["terms-2x-none"] = float64(p.Terminations)
+		}
+		if p, ok := r.Get(1, 0); ok {
+			h["ttft-1x-none-ms"] = float64(p.TTFT) / float64(time.Millisecond)
+		}
+		return r.Table(), h
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"pie"
 	"pie/apps"
 	"pie/internal/cluster"
+	"pie/internal/core"
 	"pie/internal/metrics"
 )
 
@@ -108,13 +109,20 @@ func main() {
 	placement := flag.String("placement", "round-robin", "placement policy: round-robin | least-outstanding-tokens | kv-affinity")
 	autoMax := flag.Int("autoscale-max", 0, "enable the autoscaler with this max replica bound (0 disables)")
 	autoMin := flag.Int("autoscale-min", 1, "autoscaler min replica bound")
+	hostKV := flag.Float64("host-kv-ratio", 0, "host-memory KV tier size as a multiple of device page capacity (0 disables offload)")
+	kvEvict := flag.String("kv-evict", "lru", "KV offload eviction policy: lru | priority")
 	flag.Parse()
 
 	pol, err := cluster.ParsePlacement(*placement)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := pie.Config{Seed: *seed, Replicas: *replicas, Placement: pol}
+	evict, err := core.ParseEviction(*kvEvict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pie.Config{Seed: *seed, Replicas: *replicas, Placement: pol,
+		HostKVRatio: *hostKV, KVEviction: evict}
 	if *autoMax > 0 {
 		cfg.Autoscale = pie.AutoscaleConfig{Enabled: true, Min: *autoMin, Max: *autoMax}
 	}

@@ -86,13 +86,45 @@ type Session interface {
 }
 
 // Wrap adapts a v2 capability session to the legacy flat interface.
+// Queues the legacy code opens and abandons stay live until the instance
+// exits; long-running v2 programs that embed legacy sections should use
+// Adapt (which reclaims on return) or call Reclaim themselves.
 func Wrap(s inferlet.Session) Session {
 	return &shim{s: s, queues: make(map[api.Queue]*inferlet.Queue)}
 }
 
 // Adapt lifts a legacy program body into a v2 inferlet.Program body.
+// Legacy code predates queue-scoped reclamation and routinely exits
+// without closing its queues; Adapt finalizes them when run returns, so
+// every page and embedding slot the legacy section allocated is reclaimed
+// immediately — not when the whole instance eventually exits. A body that
+// unwinds by panic (e.g. FCFS termination) skips the finalizer: instance
+// release already reclaims everything on that path.
 func Adapt(run func(Session) error) func(inferlet.Session) error {
-	return func(s inferlet.Session) error { return run(Wrap(s)) }
+	return func(s inferlet.Session) error {
+		w := Wrap(s)
+		err := run(w)
+		Reclaim(w)
+		return err
+	}
+}
+
+// Reclaim closes every still-open queue a wrapped session created,
+// returning its queue-scoped resources to the pools. Safe to call more
+// than once; sessions not produced by Wrap are ignored.
+func Reclaim(s Session) {
+	c, ok := s.(*shim)
+	if !ok {
+		return
+	}
+	for _, id := range c.order {
+		if q, ok := c.queues[id]; ok && !q.Closed() {
+			// Close drains queue-ordered deallocs; a failure here means
+			// the queue already died with its instance, which reclaims
+			// through ReleaseInstance instead.
+			_ = q.Close()
+		}
+	}
 }
 
 // shim multiplexes legacy queue handles onto v2 queue objects.

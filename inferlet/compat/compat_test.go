@@ -228,3 +228,91 @@ func TestShimTraitGating(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 }
+
+// TestAdaptReclaimsAbandonedQueues is the regression test for the shim
+// resource leak: Adapt-wrapped legacy code that exits without closing its
+// queues used to leave every page and embedding slot it allocated live
+// until the whole instance exited. A long-running v2 program embedding a
+// legacy section observes the pool before and after: the section's exit
+// must return its resources, while the instance is still running.
+func TestAdaptReclaimsAbandonedQueues(t *testing.T) {
+	e := pie.New(pie.Config{Seed: 7, Mode: pie.ModeTiming})
+	legacySection := compat.Adapt(func(s compat.Session) error {
+		q, err := s.CreateQueue("llama-1b")
+		if err != nil {
+			return err
+		}
+		if _, err := s.AllocKvPages(q, 4); err != nil {
+			return err
+		}
+		if _, err := s.AllocEmbeds(q, 2); err != nil {
+			return err
+		}
+		return nil // exits without DeallocKvPages / queue close: the old leak
+	})
+	e.MustRegister(inferlet.Program{
+		Name: "host", BinarySize: 8 << 10,
+		Run: func(s inferlet.Session) error {
+			if err := legacySection(s); err != nil {
+				return err
+			}
+			// The legacy section is done; this program keeps running.
+			s.Send("section-done")
+			if _, err := s.Receive().Get(); err != nil {
+				return err
+			}
+			return nil
+		},
+	})
+	err := e.RunClient(func() {
+		h, err := e.Launch("host")
+		if err != nil {
+			t.Errorf("launch: %v", err)
+			return
+		}
+		if msg, _ := h.Recv().Get(); msg != "section-done" {
+			t.Errorf("got %q", msg)
+		}
+		// The instance is alive (parked in Receive), yet the legacy
+		// section's pages must already be back in the pool.
+		if inUse, _ := e.PoolStats("llama-1b"); inUse != 0 {
+			t.Errorf("%d pages still allocated after Adapt returned", inUse)
+		}
+		h.Send("finish")
+		if err := h.Wait(); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReclaimIsIdempotentAndTolerant: Reclaim on a foreign Session
+// implementation is a no-op, and double reclaim is safe.
+func TestReclaimIsIdempotentAndTolerant(t *testing.T) {
+	compat.Reclaim(nil) // foreign (nil) session: must not panic
+	got := runProgram(t, inferlet.Program{
+		Name: "double-reclaim", BinarySize: 8 << 10,
+		Run: func(s inferlet.Session) error {
+			w := compat.Wrap(s)
+			q, err := w.CreateQueue("llama-1b")
+			if err != nil {
+				return err
+			}
+			if _, err := w.AllocKvPages(q, 2); err != nil {
+				return err
+			}
+			compat.Reclaim(w)
+			compat.Reclaim(w) // second pass sees only closed queues
+			if _, err := w.AllocKvPages(q, 1); !errors.Is(err, api.ErrQueueClosed) {
+				return fmt.Errorf("alloc on reclaimed queue = %v, want ErrQueueClosed", err)
+			}
+			w.Send("reclaimed")
+			return nil
+		},
+	})
+	if got != "reclaimed" {
+		t.Fatalf("got %q", got)
+	}
+}

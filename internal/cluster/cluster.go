@@ -142,10 +142,20 @@ type Cluster struct {
 	replicas []*Replica
 	rr       int
 
+	// OnPlace, when set, observes every placement decision (stress tests
+	// and instrumentation). It runs synchronously in the placing process
+	// with the chosen replica.
+	OnPlace func(r *Replica)
+
 	// Scaling stats.
 	ScaleUps   int // replicas activated (or un-drained) by the autoscaler
 	DrainStart int // drains initiated
 	DrainDone  int // drains completed (replica deactivated)
+
+	// Drain-migration stats: KV exports moved off replicas as their
+	// drains completed, so cached context survives deactivation.
+	ExportsMigrated int // drain completions that moved at least one page
+	PagesMigrated   int
 }
 
 // New builds a cluster over the prebuilt replica set, activating the first
@@ -220,6 +230,9 @@ func (c *Cluster) placeable() []*Replica {
 func (c *Cluster) Place(program string, args []string) *core.Controller {
 	r := c.pick(args)
 	r.Placements++
+	if c.OnPlace != nil {
+		c.OnPlace(r)
+	}
 	return r.Ctl
 }
 
@@ -248,11 +261,29 @@ func pickLeastLoaded(cands []*Replica) *Replica {
 }
 
 func (c *Cluster) pickAffinity(hints []string, cands []*Replica) *Replica {
+	// Among replicas holding a hinted export, score by residency tier:
+	// device-resident cached pages serve immediately, host-offloaded ones
+	// pay a fault-in, so a warmer holder wins. Ties (including the common
+	// single-tier case, where every holder scores 1.0) keep the first
+	// holder in replica-ID order — the pre-offload behavior.
 	for _, h := range hints {
+		var best *Replica
+		bestScore := -1.0
 		for _, r := range cands {
-			if r.Ctl.HasExportNamed(h) {
-				return r
+			if !r.Ctl.HasExportNamed(h) {
+				continue
 			}
+			dev, total := r.Ctl.ExportResidency(h)
+			score := 1.0
+			if total > 0 {
+				score = float64(dev) / float64(total)
+			}
+			if score > bestScore {
+				best, bestScore = r, score
+			}
+		}
+		if best != nil {
+			return best
 		}
 	}
 	if len(hints) > 0 {
@@ -314,6 +345,19 @@ func (c *Cluster) autoscaleLoop() {
 func (c *Cluster) evaluate() {
 	for _, r := range c.replicas {
 		if r.active && r.draining && r.Ctl.Instances() == 0 && r.Ctl.OutstandingCalls() == 0 {
+			// Before the replica goes dark, migrate its KV exports to the
+			// lowest-ID serving replica: application-managed prompt caches
+			// survive the drain, and the kv-affinity router keeps finding
+			// them on a placeable replica. The transfer time (device ->
+			// host -> peer) is charged to the autoscaler's tick.
+			if dst := c.migrationTarget(r); dst != nil {
+				pages, cost := r.Ctl.MigrateExportsTo(dst.Ctl)
+				if pages > 0 {
+					c.ExportsMigrated++
+					c.PagesMigrated += pages
+					c.clock.Sleep(cost)
+				}
+			}
 			r.active, r.draining = false, false
 			c.DrainDone++
 		}
@@ -336,6 +380,17 @@ func (c *Cluster) evaluate() {
 	case mean <= c.auto.DownDepth && serving > c.auto.Min:
 		c.scaleDown()
 	}
+}
+
+// migrationTarget picks the replica that inherits a drained replica's KV
+// exports: the lowest-ID serving replica other than the drained one.
+func (c *Cluster) migrationTarget(drained *Replica) *Replica {
+	for _, r := range c.replicas {
+		if r != drained && r.active && !r.draining {
+			return r
+		}
+	}
+	return nil
 }
 
 // scaleUp prefers un-draining a still-warm replica (lowest ID first), then
@@ -377,6 +432,7 @@ func (c *Cluster) ReplicaStats() []metrics.ReplicaStats {
 	out := make([]metrics.ReplicaStats, 0, len(c.replicas))
 	for _, r := range c.replicas {
 		s := r.Ctl.Scheduler()
+		off := r.Ctl.OffloadStats()
 		out = append(out, metrics.ReplicaStats{
 			ID:           r.ID,
 			Device:       r.Backend.Name,
@@ -392,6 +448,11 @@ func (c *Cluster) ReplicaStats() []metrics.ReplicaStats {
 			Kernels:      r.Backend.Device.Kernels(),
 			GPUBusyMS:    float64(r.Backend.Device.BusyTime()) / float64(time.Millisecond),
 			Terminations: r.Ctl.Terminations,
+			KVDevPages:   off.DeviceInUse,
+			KVHostPages:  off.HostInUse,
+			KVPeakPages:  off.PeakInUse,
+			SwapInPages:  off.SwapInPages,
+			SwapOutPages: off.SwapOutPages,
 		})
 	}
 	return out

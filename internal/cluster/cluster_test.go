@@ -8,7 +8,9 @@ package cluster_test
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"testing"
+	"time"
 
 	"pie"
 	"pie/apps"
@@ -263,5 +265,82 @@ func TestSameSeedByteIdenticalReplicaStats(t *testing.T) {
 	a, b := run(), run()
 	if string(a) != string(b) {
 		t.Fatalf("same-seed replica stats differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestDrainMigratesExports: when the autoscaler completes a drain, the
+// drained replica's KV exports move to a surviving replica, so cached
+// context outlives the deactivation and kv-affinity keeps finding it on
+// a placeable replica.
+func TestDrainMigratesExports(t *testing.T) {
+	// Pick a cache key that hash-sticks to replica 1 — the replica the
+	// autoscaler will drain first (scale-down walks from the highest ID).
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("drain-key-%d", i)
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		if h.Sum64()%2 == 1 {
+			break
+		}
+	}
+	e := newEngine(t, pie.Config{
+		Seed:      5,
+		Replicas:  2,
+		Placement: pie.PlaceKVAffinity,
+		Autoscale: pie.AutoscaleConfig{
+			Enabled: true, Min: 1, Max: 2,
+			// The first evaluation must come after the export lands on
+			// replica 1 (the launch takes tens of virtual ms); then one
+			// tick starts the drain and the next completes it.
+			Interval: 200 * time.Millisecond, UpDepth: 1000, DownDepth: 1,
+		},
+	})
+	params, _ := json.Marshal(apps.PrefixCachingParams{
+		SharedPrefix: "a shared prefix long enough to fill at least one KV page when tokenized",
+		Prompt:       "q",
+		MaxTokens:    2,
+		CacheKey:     key,
+	})
+	err := e.RunClient(func() {
+		if _, err := e.LaunchAndWait("prefix_caching", string(params)); err != nil {
+			panic(err)
+		}
+		r1 := e.Cluster().Replicas()[1]
+		if !r1.Ctl.HasExportNamed(key) {
+			t.Error("export did not land on the hash-stuck replica 1")
+		}
+		// Idle until the autoscaler drains replica 1 and migrates.
+		e.Sleep(500 * time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := e.Cluster()
+	if cl.DrainDone == 0 {
+		t.Fatal("autoscaler never completed the drain")
+	}
+	if cl.ExportsMigrated == 0 || cl.PagesMigrated == 0 {
+		t.Fatalf("drain moved no exports: migrated=%d pages=%d", cl.ExportsMigrated, cl.PagesMigrated)
+	}
+	r0, r1 := cl.Replicas()[0], cl.Replicas()[1]
+	if !r0.Ctl.HasExportNamed(key) {
+		t.Fatal("surviving replica does not hold the migrated export")
+	}
+	if r1.Ctl.HasExportNamed(key) {
+		t.Fatal("drained replica still holds the export")
+	}
+	if r1.Active() {
+		t.Fatal("drained replica still active")
+	}
+	if dev, total := r0.Ctl.ExportResidency(key); total == 0 || dev != total {
+		t.Fatalf("migrated export residency %d/%d, want all device-resident", dev, total)
+	}
+	// The migrated pages are the only live ones on replica 0.
+	if inUse, _ := r0.Ctl.PoolStats("llama-1b"); inUse != cl.PagesMigrated {
+		t.Fatalf("replica 0 holds %d pages, want the %d migrated ones", inUse, cl.PagesMigrated)
+	}
+	if inUse, _ := r1.Ctl.PoolStats("llama-1b"); inUse != 0 {
+		t.Fatalf("drained replica still holds %d pages", inUse)
 	}
 }

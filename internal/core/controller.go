@@ -19,9 +19,10 @@ type Controller struct {
 	backend  *infer.Backend
 	models   map[string]*infer.ModelRuntime
 	order    []string
-	pagePool map[string]*pool
+	pagePool map[string]*tieredPool
 	embPool  map[string]*pool
 	exports  map[string]*exportEntry
+	offload  OffloadConfig
 
 	instances map[uint64]*Instance
 	instSeq   uint64
@@ -39,24 +40,32 @@ type Controller struct {
 
 	// Stats.
 	Terminations int
+	xferTime     time.Duration // cumulative PCIe swap time charged to callers
 }
 
-// NewController wires a controller to its backend and models.
-func NewController(clock *sim.Clock, backend *infer.Backend, models []*infer.ModelRuntime, cfg SchedConfig) *Controller {
+// NewController wires a controller to its backend and models. The offload
+// config sizes each model's host-memory KV tier; the zero value keeps the
+// paper's device-only pools.
+func NewController(clock *sim.Clock, backend *infer.Backend, models []*infer.ModelRuntime, cfg SchedConfig, offload OffloadConfig) *Controller {
 	ctl := &Controller{
 		clock:     clock,
 		backend:   backend,
 		models:    make(map[string]*infer.ModelRuntime),
-		pagePool:  make(map[string]*pool),
+		pagePool:  make(map[string]*tieredPool),
 		embPool:   make(map[string]*pool),
 		exports:   make(map[string]*exportEntry),
 		instances: make(map[uint64]*Instance),
+		offload:   offload,
 	}
 	for _, rt := range models {
 		name := string(rt.Info.ID)
 		ctl.models[name] = rt
 		ctl.order = append(ctl.order, name)
-		ctl.pagePool[name] = newPool(rt.PageCapacity)
+		hostCap := int(offload.HostRatio * float64(rt.PageCapacity))
+		if hostCap < 0 {
+			hostCap = 0 // a negative ratio must not shrink total capacity below the device tier
+		}
+		ctl.pagePool[name] = newTieredPool(rt.PageCapacity, hostCap, evictorFor(offload.Eviction))
 		ctl.embPool[name] = newPool(rt.EmbedCapacity)
 	}
 	ctl.sched = newScheduler(clock, ctl, cfg)
@@ -107,6 +116,7 @@ func (ctl *Controller) ReleaseInstance(inst *Instance) {
 		q.closed = true
 		for _, c := range q.pending {
 			ctl.retireCall(c)
+			ctl.unpinCall(c)
 			c.Err = api.ErrTerminated
 			failCall(c)
 		}
@@ -283,6 +293,7 @@ func (ctl *Controller) CloseQueue(inst *Instance, qid api.Queue) error {
 	q.closed = true
 	for _, c := range q.pending {
 		ctl.retireCall(c)
+		ctl.unpinCall(c)
 		c.Err = api.ErrQueueClosed
 		failCall(c)
 	}
@@ -328,12 +339,27 @@ func (ctl *Controller) AllocPages(inst *Instance, qid api.Queue, n int) ([]api.K
 	if n <= 0 {
 		return nil, api.ErrBadArgument
 	}
-	if err := ctl.ensurePages(inst, q.model, n); err != nil {
-		return nil, err
-	}
-	phys, ok := ctl.pagePool[q.model].alloc(n)
-	if !ok {
-		return nil, api.ErrOutOfResources
+	var phys []int32
+	swappedOut := 0
+	for attempt := 0; ; attempt++ {
+		if err := ctl.ensurePages(inst, q.model, n); err != nil {
+			return nil, err
+		}
+		ids, swapped, ok := ctl.pagePool[q.model].alloc(n, q.priority)
+		if ok {
+			phys, swappedOut = ids, swapped
+			break
+		}
+		// Total capacity sufficed but device room could not be cleared:
+		// every device page is pinned by queued or in-flight work. That
+		// is transient — back off until the wave completes and unpins.
+		if attempt >= faultRetries {
+			return nil, api.ErrOutOfResources
+		}
+		ctl.clock.Sleep(faultBackoff)
+		if q.closed {
+			return nil, api.ErrQueueClosed
+		}
 	}
 	out := make([]api.KvPage, n)
 	for i, id := range phys {
@@ -343,6 +369,10 @@ func (ctl *Controller) AllocPages(inst *Instance, qid api.Queue, n int) ([]api.K
 		// Fresh pages must arrive empty even if physically recycled.
 		ctl.models[q.model].Page(id).Reset()
 	}
+	// Charge the PCIe cost of alloc-triggered offloads only after the
+	// handles are registered: an FCFS kill landing inside this sleep then
+	// reclaims the pages through ReleaseInstance instead of leaking them.
+	ctl.chargeSwap(q.rt, swappedOut)
 	return out, nil
 }
 
@@ -477,16 +507,116 @@ func (ctl *Controller) ReleaseExport(inst *Instance, name string) error {
 
 // --- Inference-layer calls -------------------------------------------------
 
-func (ctl *Controller) resolvePages(inst *Instance, q *cmdQueue, ids []api.KvPage) ([]*model.KvPage, error) {
+func (ctl *Controller) resolvePages(inst *Instance, q *cmdQueue, ids []api.KvPage) ([]*model.KvPage, []int32, error) {
 	out := make([]*model.KvPage, len(ids))
+	phys := make([]int32, len(ids))
 	for i, id := range ids {
 		ref, ok := inst.vPages[id]
 		if !ok || ref.model != q.model {
-			return nil, api.ErrBadHandle
+			return nil, nil, api.ErrBadHandle
 		}
 		out[i] = q.rt.Page(ref.phys)
+		phys[i] = ref.phys
 	}
-	return out, nil
+	return out, phys, nil
+}
+
+// chargeSwap prices n page moves across the PCIe link in the caller's
+// process (allocation-triggered offloads, forward-triggered faults).
+func (ctl *Controller) chargeSwap(rt *infer.ModelRuntime, n int) {
+	if n <= 0 {
+		return
+	}
+	cost := rt.Spec.SwapCost(n, rt.Info.PageSize)
+	ctl.xferTime += cost
+	ctl.clock.Sleep(cost)
+}
+
+// Fault-in contention backoff: when a call's working set cannot fit the
+// device tier because concurrent calls pin it full, the faulting session
+// waits for the in-flight wave to complete and retries. The virtual-clock
+// sleep keeps the retry deterministic; the bound turns a true working-set
+// overcommit (every device page pinned forever) into ErrOutOfResources.
+const (
+	faultBackoff = 5 * time.Millisecond
+	faultRetries = 40
+)
+
+// preparePages readies the physical pages an inference call references:
+// stamps recency, pins them against offload for the call's lifetime, and
+// prefetches host-resident pages back to the device tier, charging the
+// PCIe transfer before the call enqueues — by dispatch time the pages are
+// resident. Duplicate mentions (ReadKv and AppendKv commonly name the
+// same pages) pin and charge once. Transient device-tier contention
+// (other calls' pins) is absorbed by a bounded backoff, so sessions
+// fault transparently. The pin set rides on the call and is dropped by
+// unpinCall; until it is handed over, a deferred release covers an FCFS
+// kill landing inside the transfer-charge sleep.
+func (ctl *Controller) preparePages(q *cmdQueue, c *infer.Call, phys []int32) error {
+	if len(phys) == 0 {
+		return nil
+	}
+	uniq := make([]int32, 0, len(phys))
+	seen := make(map[int32]bool, len(phys))
+	for _, id := range phys {
+		if !seen[id] {
+			seen[id] = true
+			uniq = append(uniq, id)
+		}
+	}
+	p := ctl.pagePool[q.model]
+	var pins []infer.PagePin
+	unpinAll := func() {
+		for _, pp := range pins {
+			p.unpin(pp.Page, pp.Gen)
+		}
+		pins = nil
+	}
+	handedOver := false
+	defer func() {
+		if !handedOver {
+			unpinAll()
+		}
+	}()
+	for attempt := 0; ; attempt++ {
+		pins = make([]infer.PagePin, 0, len(uniq))
+		for _, id := range uniq {
+			if gen, ok := p.pin(id); ok {
+				pins = append(pins, infer.PagePin{Page: id, Gen: gen})
+			}
+			p.touch(id)
+		}
+		in, out, ok := p.faultIn(uniq)
+		if ok {
+			ctl.chargeSwap(q.rt, in+out) // may be interrupted by a kill; see defer
+			c.PinnedPages = pins
+			handedOver = true
+			return nil
+		}
+		// Unpin while waiting so competing faults can make progress.
+		unpinAll()
+		if attempt >= faultRetries {
+			return fmt.Errorf("%w: cannot fault offloaded pages back to device (device tier fully pinned)",
+				api.ErrOutOfResources)
+		}
+		ctl.clock.Sleep(faultBackoff)
+		if q.closed {
+			return api.ErrQueueClosed
+		}
+	}
+}
+
+// unpinCall releases a call's page pins. Idempotent: exactly one of batch
+// completion, queue close, or instance release runs it per call.
+func (ctl *Controller) unpinCall(c *infer.Call) {
+	if len(c.PinnedPages) == 0 || c.Model == nil {
+		return
+	}
+	p := ctl.pagePool[string(c.Model.Info.ID)]
+	for _, pp := range c.PinnedPages {
+		p.unpin(pp.Page, pp.Gen)
+	}
+	c.PinnedPages = nil
 }
 
 // newCall stamps common fields and instruments the instance.
@@ -564,6 +694,7 @@ func (ctl *Controller) ForwardSampled(inst *Instance, qid api.Queue, args api.Fo
 	}
 	if len(inlineTokens) > 0 {
 		if len(args.InputEmb) > 0 {
+			ctl.unpinCall(c) // the call never enqueues; release its page pins
 			return nil, fmt.Errorf("%w: both InputEmb and inline tokens", api.ErrBadArgument)
 		}
 		c.FusedEmb = append([]int(nil), inlineTokens...)
@@ -580,11 +711,11 @@ func (ctl *Controller) buildForward(inst *Instance, qid api.Queue, args api.Forw
 	if err != nil {
 		return nil, nil, err
 	}
-	ctxPages, err := ctl.resolvePages(inst, q, args.InputKv)
+	ctxPages, ctxPhys, err := ctl.resolvePages(inst, q, args.InputKv)
 	if err != nil {
 		return nil, nil, err
 	}
-	outPages, err := ctl.resolvePages(inst, q, args.OutputKv)
+	outPages, outPhys, err := ctl.resolvePages(inst, q, args.OutputKv)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -607,6 +738,9 @@ func (ctl *Controller) buildForward(inst *Instance, qid api.Queue, args api.Forw
 	c.Outputs = outputs
 	c.Mask = args.Mask
 	c.Adapter = args.Adapter
+	if err := ctl.preparePages(q, c, append(ctxPhys, outPhys...)); err != nil {
+		return nil, nil, err
+	}
 	return c, q, nil
 }
 
@@ -644,7 +778,7 @@ func (ctl *Controller) CopyKv(inst *Instance, qid api.Queue, src, dst api.KvPage
 	if err != nil {
 		return nil, err
 	}
-	pages, err := ctl.resolvePages(inst, q, []api.KvPage{src, dst})
+	pages, phys, err := ctl.resolvePages(inst, q, []api.KvPage{src, dst})
 	if err != nil {
 		return nil, err
 	}
@@ -652,6 +786,9 @@ func (ctl *Controller) CopyKv(inst *Instance, qid api.Queue, src, dst api.KvPage
 	c.Model = q.rt
 	c.SrcPage, c.DstPage = pages[0], pages[1]
 	c.SrcOff, c.DstOff, c.NumTokens = srcOff, dstOff, n
+	if err := ctl.preparePages(q, c, phys); err != nil {
+		return nil, err
+	}
 	ctl.enqueue(q, c)
 	return c.Done, nil
 }
@@ -662,7 +799,7 @@ func (ctl *Controller) MaskKv(inst *Instance, qid api.Queue, page api.KvPage, bi
 	if err != nil {
 		return nil, err
 	}
-	pages, err := ctl.resolvePages(inst, q, []api.KvPage{page})
+	pages, phys, err := ctl.resolvePages(inst, q, []api.KvPage{page})
 	if err != nil {
 		return nil, err
 	}
@@ -670,6 +807,9 @@ func (ctl *Controller) MaskKv(inst *Instance, qid api.Queue, page api.KvPage, bi
 	c.Model = q.rt
 	c.MaskPage = pages[0]
 	c.MaskBits = append([]bool(nil), bits...)
+	if err := ctl.preparePages(q, c, phys); err != nil {
+		return nil, err
+	}
 	ctl.enqueue(q, c)
 	return c.Done, nil
 }
@@ -787,6 +927,7 @@ func (ctl *Controller) enqueue(q *cmdQueue, c *infer.Call) {
 func (ctl *Controller) onBatchComplete(b *infer.Batch) {
 	for _, c := range b.Calls {
 		ctl.retireCall(c)
+		ctl.unpinCall(c)
 		q := ctl.sched.queueOf(c)
 		if q != nil {
 			q.inflight--
@@ -825,10 +966,127 @@ func (ctl *Controller) drainControlOps(q *cmdQueue) {
 	}
 }
 
-// PoolStats reports page occupancy for a model (tests, Fig. 7 analysis).
+// PoolStats reports page occupancy for a model across both tiers (tests,
+// Fig. 7 analysis).
 func (ctl *Controller) PoolStats(modelName string) (inUse, capacity int) {
 	p := ctl.pagePool[modelName]
-	return p.inUse(), p.capacity
+	return p.inUse(), p.capacity()
+}
+
+// OffloadStats aggregates tier occupancy and swap traffic across models,
+// plus the cumulative PCIe transfer time charged to callers.
+func (ctl *Controller) OffloadStats() OffloadStats {
+	var out OffloadStats
+	for _, name := range ctl.order {
+		out.add(ctl.pagePool[name].stats())
+	}
+	out.XferTime = ctl.xferTime
+	return out
+}
+
+// ExportResidency reports how many of an export's pages are device-
+// resident. The cluster's kv-affinity placement scores holders with it:
+// an export whose pages were offloaded to host memory is a colder hit
+// than one still resident on the device.
+func (ctl *Controller) ExportResidency(name string) (device, total int) {
+	entry, ok := ctl.exports[name]
+	if !ok {
+		return 0, 0
+	}
+	p := ctl.pagePool[entry.model]
+	for _, id := range entry.phys {
+		if tier, ok := p.resident(id); ok && tier == tierDevice {
+			device++
+		}
+	}
+	return device, len(entry.phys)
+}
+
+// MigrateExportsTo moves every KV export this controller holds to dst:
+// pages are allocated in dst's pools, their contents copied, the export
+// re-registered there, and the source registry references released. The
+// autoscaler calls it when a drain completes, so cached context survives
+// replica deactivation. Exports that dst cannot host (name taken, pool
+// full) stay behind. A physical page shared by several exports moves
+// once and stays shared on dst. Returns distinct pages moved and the
+// modeled transfer cost: two PCIe crossings for device-resident source
+// pages (device -> host -> peer device), one for pages already in the
+// host tier.
+func (ctl *Controller) MigrateExportsTo(dst *Controller) (pages int, cost time.Duration) {
+	if dst == nil || dst == ctl {
+		return 0, 0
+	}
+	names := make([]string, 0, len(ctl.exports))
+	for name := range ctl.exports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	moved := make(map[string]map[int32]int32) // model -> src phys -> dst phys
+	for _, name := range names {
+		entry := ctl.exports[name]
+		if _, taken := dst.exports[name]; taken {
+			continue
+		}
+		dstPool, ok := dst.pagePool[entry.model]
+		if !ok {
+			continue
+		}
+		if moved[entry.model] == nil {
+			moved[entry.model] = make(map[int32]int32)
+		}
+		mm := moved[entry.model]
+		fresh := 0
+		for _, src := range entry.phys {
+			if _, done := mm[src]; !done {
+				fresh++
+			}
+		}
+		ids, swapped, allocOK := dstPool.alloc(fresh, 0)
+		if !allocOK {
+			continue
+		}
+		srcRT, dstRT := ctl.models[entry.model], dst.models[entry.model]
+		srcPool := ctl.pagePool[entry.model]
+		dstPhys := make([]int32, len(entry.phys))
+		next := 0
+		for i, src := range entry.phys {
+			if id, done := mm[src]; done {
+				dstPool.retain(id) // shared across exports: share on dst too
+				dstPhys[i] = id
+			} else {
+				id := ids[next]
+				next++
+				copyPage(srcRT.Page(src), dstRT.Page(id))
+				mm[src] = id
+				dstPhys[i] = id
+				pages++
+				crossings := 2
+				if tier, ok := srcPool.resident(src); ok && tier == tierHost {
+					crossings = 1 // already offloaded: only the host -> peer leg remains
+				}
+				cost += time.Duration(crossings) * srcRT.Spec.SwapCost(1, srcRT.Info.PageSize)
+			}
+			srcPool.release(src)
+		}
+		dst.exports[name] = &exportEntry{model: entry.model, phys: dstPhys}
+		delete(ctl.exports, name)
+		cost += dstRT.Spec.SwapCost(swapped, dstRT.Info.PageSize)
+	}
+	return pages, cost
+}
+
+// copyPage deep-copies one physical page's occupancy metadata and (in
+// full mode) its KV vectors.
+func copyPage(src, dst *model.KvPage) {
+	for s := range src.Used {
+		dst.Used[s] = src.Used[s]
+		dst.Masked[s] = src.Masked[s]
+		dst.Pos[s] = src.Pos[s]
+		if len(src.K[s]) > 0 {
+			dst.K[s] = append(dst.K[s][:0], src.K[s]...)
+			dst.V[s] = append(dst.V[s][:0], src.V[s]...)
+		}
+	}
 }
 
 // ModelRuntime returns the runtime for a model id.

@@ -50,6 +50,13 @@ type Spec struct {
 	SamplePerSeq    time.Duration
 	KvOpKernel      time.Duration // alloc/copy/mask page operations
 
+	// Host-memory KV offload (tiered cache): moving a page between device
+	// and host pays one DMA setup per swap plus the page bytes over the
+	// PCIe link. The L4 sits on PCIe Gen4 x16 — ~32 GB/s theoretical,
+	// ~25 GB/s effective for pinned-host DMA.
+	HostXferSetup    time.Duration // per-swap DMA/driver setup cost
+	HostXferBytesSec int64         // effective PCIe bandwidth, bytes/sec
+
 	TotalMemBytes   int64
 	WeightBytes     int64
 	KvBytesPerToken int64
@@ -61,14 +68,16 @@ type Spec struct {
 func SpecFor(label string) Spec {
 	const gb = int64(1) << 30
 	base := Spec{
-		Label:         label,
-		KernelLaunch:  30 * time.Microsecond,
-		EmbedKernel:   50 * time.Microsecond,
-		EmbedPerTok:   600 * time.Nanosecond,
-		SampleKernel:  800 * time.Microsecond,
-		SamplePerSeq:  15 * time.Microsecond,
-		KvOpKernel:    20 * time.Microsecond,
-		TotalMemBytes: 24 * gb,
+		Label:            label,
+		KernelLaunch:     30 * time.Microsecond,
+		EmbedKernel:      50 * time.Microsecond,
+		EmbedPerTok:      600 * time.Nanosecond,
+		SampleKernel:     800 * time.Microsecond,
+		SamplePerSeq:     15 * time.Microsecond,
+		KvOpKernel:       20 * time.Microsecond,
+		HostXferSetup:    10 * time.Microsecond,
+		HostXferBytesSec: 25 * (int64(1) << 30),
+		TotalMemBytes:    24 * gb,
 	}
 	switch label {
 	case "8B":
@@ -138,6 +147,24 @@ func (s Spec) SampleCost(seqs int) time.Duration {
 // most of the sampling latency overlap with the forward pass.
 func (s Spec) FusedSampleCost(seqs int) time.Duration {
 	return time.Duration(seqs) * s.SamplePerSeq
+}
+
+// PageBytes returns the device footprint of one KV page of pageSize
+// tokens.
+func (s Spec) PageBytes(pageSize int) int64 {
+	return s.KvBytesPerToken * int64(pageSize)
+}
+
+// SwapCost prices moving n KV pages of pageSize tokens across the PCIe
+// link (host-memory offload, either direction): one DMA setup per swap
+// operation plus the page bytes at link bandwidth.
+func (s Spec) SwapCost(n, pageSize int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	bytes := s.PageBytes(pageSize) * int64(n)
+	xfer := time.Duration(float64(bytes) / float64(s.HostXferBytesSec) * float64(time.Second))
+	return s.HostXferSetup + xfer
 }
 
 // KvOpCost prices page maintenance operations (copy/mask) over n tokens.

@@ -142,6 +142,10 @@ func (s *session) Open(m api.ModelID, opts ...inferlet.QueueOption) (*inferlet.Q
 
 // queueBinding implements inferlet.QueueRuntime: every operation is bound
 // to one (instance, queue) pair and delegates to the replica's controller.
+// Residency in the tiered KV cache is invisible at this boundary: a
+// Forward/CopyKvPage/MaskKvPage whose pages were offloaded to the host
+// tier faults them back in inside the controller (charging the PCIe
+// transfer to this session's process), so sessions page transparently.
 type queueBinding struct {
 	s     *session
 	qid   api.Queue

@@ -118,9 +118,24 @@ type Call struct {
 	// OpSync (control-side)
 	SyncFut *sim.Signal
 
+	// PinnedPages is control-layer bookkeeping for the tiered KV cache:
+	// the physical pages this call references, pinned device-resident
+	// from enqueue until completion (or queue teardown) so the offload
+	// policy never evicts a page a dispatched kernel addresses.
+	PinnedPages []PagePin
+
 	// Done resolves when the call completes (or fails).
 	Done *sim.Signal
 	Err  error
+}
+
+// PagePin identifies one pinned physical page by id and allocation
+// generation. The generation lets the pool ignore stale unpins: an id
+// can be freed and recycled while a terminated instance's in-flight call
+// still holds its pin record.
+type PagePin struct {
+	Page int32
+	Gen  uint64
 }
 
 // DistResult carries a truncated next-token distribution.

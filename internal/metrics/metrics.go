@@ -150,13 +150,21 @@ type ReplicaStats struct {
 	Kernels      int     `json:"kernels"`
 	GPUBusyMS    float64 `json:"gpu_busy_ms"`
 	Terminations int     `json:"terminations"`
+
+	// Tiered KV cache: residency and PCIe swap traffic (all zero when
+	// host offload is disabled).
+	KVDevPages   int `json:"kv_device_pages"`
+	KVHostPages  int `json:"kv_host_pages"`
+	KVPeakPages  int `json:"kv_peak_pages"`
+	SwapInPages  int `json:"swap_in_pages"`
+	SwapOutPages int `json:"swap_out_pages"`
 }
 
 // ReplicaTable renders per-replica stats in paper style.
 func ReplicaTable(rows []ReplicaStats) *Table {
 	t := &Table{
 		Title:  "Per-replica stats",
-		Header: []string{"replica", "state", "placed", "batches", "calls", "maxbatch", "kernels", "gpu-busy", "terms"},
+		Header: []string{"replica", "state", "placed", "batches", "calls", "maxbatch", "kernels", "gpu-busy", "terms", "kv dev/host", "swaps in/out"},
 	}
 	for _, r := range rows {
 		state := "inactive"
@@ -168,7 +176,9 @@ func ReplicaTable(rows []ReplicaStats) *Table {
 		}
 		t.AddRow(r.Device, state, fmt.Sprint(r.Placements), fmt.Sprint(r.Batches),
 			fmt.Sprint(r.BatchedCalls), fmt.Sprint(r.MaxBatch), fmt.Sprint(r.Kernels),
-			fmt.Sprintf("%.2f ms", r.GPUBusyMS), fmt.Sprint(r.Terminations))
+			fmt.Sprintf("%.2f ms", r.GPUBusyMS), fmt.Sprint(r.Terminations),
+			fmt.Sprintf("%d/%d", r.KVDevPages, r.KVHostPages),
+			fmt.Sprintf("%d/%d", r.SwapInPages, r.SwapOutPages))
 	}
 	return t
 }

@@ -89,6 +89,16 @@ const (
 // AutoscaleConfig tunes the cluster's queue-depth autoscaler.
 type AutoscaleConfig = cluster.AutoscaleConfig
 
+// EvictionPolicy selects the tiered-KV offload victim policy
+// (internal/core).
+type EvictionPolicy = core.EvictionPolicy
+
+// Re-exported eviction policies.
+const (
+	EvictLRU      = core.EvictLRU
+	EvictPriority = core.EvictPriority
+)
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Seed drives every random stream (weights, workloads, sampling).
@@ -125,6 +135,18 @@ type Config struct {
 	// when Autoscale.Max exceeds Replicas, the extra replicas are built
 	// cold and activated on demand.
 	Autoscale AutoscaleConfig
+	// HostKVRatio sizes each replica's host-memory KV tier as a multiple
+	// of the device page capacity (e.g. 1.0 doubles effective KV
+	// capacity; cold pages spill over PCIe and fault back on use).
+	// Default 0: device-only pools, the paper's configuration.
+	HostKVRatio float64
+	// KVEviction selects the offload victim policy: EvictLRU (default)
+	// or EvictPriority (queue-priority-aware, LRU within a class).
+	KVEviction EvictionPolicy
+	// KVPagesOverride overrides every model's device page capacity
+	// derived from GPU memory geometry (0 keeps the geometry). Used by
+	// oversubscription experiments and tests.
+	KVPagesOverride int
 }
 
 func (c Config) withDefaults() Config {
@@ -199,17 +221,22 @@ func New(cfg Config) *Engine {
 	if cfg.Autoscale.Enabled && cfg.Autoscale.Max > total {
 		total = cfg.Autoscale.Max
 	}
+	offload := core.OffloadConfig{HostRatio: cfg.HostKVRatio, Eviction: cfg.KVEviction}
 	replicas := make([]*cluster.Replica, 0, total)
 	for i := 0; i < total; i++ {
 		backend := infer.NewBackend(clock, fmt.Sprintf("l4-%d", i))
 		rts := make([]*infer.ModelRuntime, 0, len(models))
 		for _, m := range models {
-			rts = append(rts, infer.NewModelRuntime(m, mode))
+			rt := infer.NewModelRuntime(m, mode)
+			if cfg.KVPagesOverride > 0 {
+				rt.PageCapacity = cfg.KVPagesOverride
+			}
+			rts = append(rts, rt)
 		}
 		replicas = append(replicas, &cluster.Replica{
 			ID:      i,
 			Backend: backend,
-			Ctl:     core.NewController(clock, backend, rts, sched),
+			Ctl:     core.NewController(clock, backend, rts, sched, offload),
 		})
 	}
 	cl := cluster.New(clock, cfg.Placement, cfg.Autoscale, replicas, cfg.Replicas)
@@ -327,6 +354,14 @@ type Stats struct {
 	ColdLaunches   int
 	ToolCalls      int
 	ActiveReplicas int
+
+	// Tiered KV cache (zero when HostKVRatio is 0).
+	KVDevicePages int // device-resident pages right now
+	KVHostPages   int // host-resident (offloaded) pages right now
+	KVPeakPages   int // high-water mark of live pages, both tiers
+	SwapInPages   int // pages faulted host -> device
+	SwapOutPages  int // pages offloaded device -> host
+	SwapTime      time.Duration
 }
 
 // Stats snapshots engine counters. Per-device counters (busy time,
@@ -348,6 +383,13 @@ func (e *Engine) Stats() Stats {
 			out.MaxBatch = s.MaxBatch
 		}
 		out.Terminations += r.Ctl.Terminations
+		off := r.Ctl.OffloadStats()
+		out.KVDevicePages += off.DeviceInUse
+		out.KVHostPages += off.HostInUse
+		out.KVPeakPages += off.PeakInUse
+		out.SwapInPages += off.SwapInPages
+		out.SwapOutPages += off.SwapOutPages
+		out.SwapTime += off.XferTime
 	}
 	if out.Batches > 0 {
 		out.AvgBatch = float64(out.BatchedCalls) / float64(out.Batches)

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Per-package test-coverage ratchet. scripts/coverage_floors.txt maps
+# packages to their minimum statement coverage; this script runs
+# `go test -cover` and fails when any listed package measures below its
+# floor, or when a listed package vanishes from the test output. Raising
+# a floor is how coverage ratchets up: when a PR meaningfully lifts a
+# package's coverage, bump its floor in the same commit. Floors sit a
+# couple of points under the measured value so unrelated refactors don't
+# trip the gate.
+set -eu
+cd "$(dirname "$0")/.."
+floors=scripts/coverage_floors.txt
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+go test -count=1 -cover ./... > "$out" || { cat "$out" >&2; exit 1; }
+
+fail=0
+while read -r pkg floor; do
+	case "$pkg" in ''|'#'*) continue ;; esac
+	line="$(grep -E "^ok[[:space:]]+$pkg[[:space:]]" "$out" || true)"
+	if [ -z "$line" ]; then
+		echo "covergate: package $pkg missing from test output" >&2
+		fail=1
+		continue
+	fi
+	got="$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"
+	if [ -z "$got" ]; then
+		echo "covergate: no coverage figure for $pkg" >&2
+		fail=1
+		continue
+	fi
+	ok="$(awk -v g="$got" -v f="$floor" 'BEGIN { print (g >= f) ? 1 : 0 }')"
+	if [ "$ok" = 1 ]; then
+		echo "covergate: $pkg ${got}% (floor ${floor}%)"
+	else
+		echo "covergate: FAIL $pkg ${got}% below floor ${floor}%" >&2
+		fail=1
+	fi
+done < "$floors"
+
+exit "$fail"
