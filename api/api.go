@@ -189,4 +189,23 @@ var (
 	ErrNoSuchExport   = errors.New("pie: no exported resource with that name")
 	ErrBadArgument    = errors.New("pie: invalid API argument")
 	ErrQueueClosed    = errors.New("pie: command queue closed")
+
+	// Program-lifecycle errors (deployment API v2).
+
+	// ErrNoSuchProgram reports a launch or lookup of a program (or
+	// program@version) absent from the registry.
+	ErrNoSuchProgram = errors.New("pie: no such program")
+	// ErrUnsatisfiedManifest reports a program manifest whose requirements
+	// (models, traits, limits, version syntax) the serving catalog cannot
+	// satisfy. It is raised at register and launch time, never from inside
+	// a running inferlet.
+	ErrUnsatisfiedManifest = errors.New("pie: program manifest unsatisfied by catalog")
+	// ErrAborted reports an inferlet cancelled through its launch handle.
+	ErrAborted = errors.New("pie: inferlet aborted by client")
+	// ErrDeadlineExceeded reports an inferlet that outlived its launch or
+	// manifest deadline and was reclaimed.
+	ErrDeadlineExceeded = errors.New("pie: inferlet deadline exceeded")
+	// ErrLimitExceeded reports an API call that would exceed a resource
+	// limit declared in the program's manifest.
+	ErrLimitExceeded = errors.New("pie: manifest resource limit exceeded")
 )

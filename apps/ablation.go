@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"pie/api"
 	"pie/inferlet"
 	"pie/support"
 )
@@ -23,6 +24,7 @@ func TextCompletionFused() inferlet.Program {
 	return inferlet.Program{
 		Name:       "text_completion_fused",
 		BinarySize: 129 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitFused),
 		Run: func(s inferlet.Session) error {
 			var p FusedCompletionParams
 			if err := decodeParams(s, &p); err != nil {
@@ -164,6 +166,7 @@ func PrefixTree() inferlet.Program {
 	return inferlet.Program{
 		Name:       "prefix_tree",
 		BinarySize: 134 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p PrefixTreeParams
 			if err := decodeParams(s, &p); err != nil {

@@ -63,6 +63,7 @@ func agentProgram(name string, binSize int, defaultTool string) inferlet.Program
 	return inferlet.Program{
 		Name:       name,
 		BinarySize: binSize,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p AgentParams
 			if err := decodeParams(s, &p); err != nil {
@@ -143,6 +144,7 @@ func AgentSwarm() inferlet.Program {
 	return inferlet.Program{
 		Name:       "agent_swarm",
 		BinarySize: 135 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p SwarmParams
 			if err := decodeParams(s, &p); err != nil {
@@ -218,6 +220,7 @@ func AgentSwarmWorker() inferlet.Program {
 	return inferlet.Program{
 		Name:       "agent_swarm_worker",
 		BinarySize: 135 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p swarmWorkerParams
 			if err := decodeParams(s, &p); err != nil {
@@ -291,6 +294,7 @@ func FunctionCallAgent() inferlet.Program {
 	return inferlet.Program{
 		Name:       "fncall_agent",
 		BinarySize: 140 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p FnCallParams
 			if err := decodeParams(s, &p); err != nil {

@@ -107,6 +107,7 @@ func TextCompletion() inferlet.Program {
 	return inferlet.Program{
 		Name:       "text_completion",
 		BinarySize: 129 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p CompletionParams
 			if err := decodeParams(s, &p); err != nil {
@@ -177,6 +178,7 @@ func PrefixCaching() inferlet.Program {
 	return inferlet.Program{
 		Name:       "prefix_caching",
 		BinarySize: 131 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p PrefixCachingParams
 			if err := decodeParams(s, &p); err != nil {
@@ -286,6 +288,7 @@ func ModularCaching() inferlet.Program {
 	return inferlet.Program{
 		Name:       "modular_caching",
 		BinarySize: 139 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p ModularCachingParams
 			if err := decodeParams(s, &p); err != nil {
@@ -428,3 +431,15 @@ func hash64(s string) uint64 {
 	}
 	return h
 }
+
+// manifest builds the standard Table 2 deployment contract: the artifact
+// version plus the capability traits the program requires of a serving
+// model. The registry validates these against the catalog's trait closure
+// at register and launch time (api.ErrUnsatisfiedManifest), so a program
+// deployed onto an engine that cannot serve it fails before it runs.
+func manifest(traits ...api.Trait) inferlet.Manifest {
+	return inferlet.Manifest{Version: appsVersion, Traits: traits}
+}
+
+// appsVersion is the artifact version every Table 2 program ships at.
+const appsVersion = "1.0.0"

@@ -32,7 +32,7 @@ func launch(t *testing.T, e *pie.Engine, app string, params interface{}) string 
 	}
 	var msg string
 	if err := e.RunClient(func() {
-		h, err := e.Launch(app, string(blob))
+		h, err := e.Launch(pie.Spec(app, string(blob)))
 		if err != nil {
 			t.Errorf("launch %s: %v", app, err)
 			return
@@ -88,13 +88,13 @@ func TestPrefixCachingSecondRunFaster(t *testing.T) {
 	var m1, m2 string
 	if err := e.RunClient(func() {
 		t0 := e.Now()
-		h1, _ := e.Launch("prefix_caching", marshal(t, params))
+		h1, _ := e.Launch(pie.Spec("prefix_caching", marshal(t, params)))
 		m1, _ = h1.Recv().Get()
 		h1.Wait()
 		first = e.Now() - t0
 
 		t0 = e.Now()
-		h2, _ := e.Launch("prefix_caching", marshal(t, params))
+		h2, _ := e.Launch(pie.Spec("prefix_caching", marshal(t, params)))
 		m2, _ = h2.Recv().Get()
 		h2.Wait()
 		second = e.Now() - t0
@@ -385,12 +385,12 @@ func TestFunctionCallOptimizationsReduceLatency(t *testing.T) {
 		if err := e.RunClient(func() {
 			// Warm the spec cache so OptCache measures steady state.
 			if cache {
-				h, _ := e.Launch("fncall_agent", marshal(t, params))
+				h, _ := e.Launch(pie.Spec("fncall_agent", marshal(t, params)))
 				h.Recv().Get()
 				h.Wait()
 			}
 			t0 := e.Now()
-			h, _ := e.Launch("fncall_agent", marshal(t, params))
+			h, _ := e.Launch(pie.Spec("fncall_agent", marshal(t, params)))
 			h.Recv().Get()
 			h.Wait()
 			took = e.Now() - t0

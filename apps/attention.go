@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 
+	"pie/api"
 	"pie/inferlet"
 	"pie/support"
 )
@@ -40,6 +41,7 @@ func sinkProgram(name string, keepSink bool) inferlet.Program {
 	return inferlet.Program{
 		Name:       name,
 		BinarySize: 133 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p SinkParams
 			if err := decodeParams(s, &p); err != nil {
@@ -127,6 +129,7 @@ func HierarchicalAttention() inferlet.Program {
 	return inferlet.Program{
 		Name:       "hierarchical_attention",
 		BinarySize: 130 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p HierarchicalParams
 			if err := decodeParams(s, &p); err != nil {

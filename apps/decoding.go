@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"pie/api"
 	"pie/inferlet"
 	"pie/internal/grammar"
 	"pie/support"
@@ -41,6 +42,7 @@ func EBNFDecoding() inferlet.Program {
 	return inferlet.Program{
 		Name:       "ebnf",
 		BinarySize: 2 << 20,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p EBNFParams
 			if err := decodeParams(s, &p); err != nil {
@@ -164,6 +166,7 @@ func BeamSearch() inferlet.Program {
 	return inferlet.Program{
 		Name:       "beam",
 		BinarySize: 142 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p BeamParams
 			if err := decodeParams(s, &p); err != nil {
@@ -303,6 +306,7 @@ func Watermarking() inferlet.Program {
 	return inferlet.Program{
 		Name:       "watermarking",
 		BinarySize: 130 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p WatermarkParams
 			if err := decodeParams(s, &p); err != nil {

@@ -27,6 +27,7 @@ func OutputValidation() inferlet.Program {
 	return inferlet.Program{
 		Name:       "output_validation",
 		BinarySize: 131 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p OutputValidationParams
 			if err := decodeParams(s, &p); err != nil {
@@ -123,6 +124,7 @@ func SpeculativeDecoding() inferlet.Program {
 	return inferlet.Program{
 		Name:       "specdec",
 		BinarySize: 152 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p SpecDecodeParams
 			if err := decodeParams(s, &p); err != nil {
@@ -302,6 +304,7 @@ func JacobiDecoding() inferlet.Program {
 	return inferlet.Program{
 		Name:       "jacobi",
 		BinarySize: 96 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p JacobiParams
 			if err := decodeParams(s, &p); err != nil {

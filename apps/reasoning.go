@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pie/api"
 	"pie/inferlet"
 	"pie/support"
 )
@@ -34,6 +35,7 @@ func TreeOfThought() inferlet.Program {
 	return inferlet.Program{
 		Name:       "tot",
 		BinarySize: 148 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p TreeParams
 			if err := decodeParams(s, &p); err != nil {
@@ -155,6 +157,7 @@ func RecursionOfThought() inferlet.Program {
 	return inferlet.Program{
 		Name:       "rot",
 		BinarySize: 152 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p RecursionParams
 			if err := decodeParams(s, &p); err != nil {
@@ -262,6 +265,7 @@ func GraphOfThought() inferlet.Program {
 	return inferlet.Program{
 		Name:       "got",
 		BinarySize: 171 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p GraphParams
 			if err := decodeParams(s, &p); err != nil {
@@ -355,6 +359,7 @@ func SkeletonOfThought() inferlet.Program {
 	return inferlet.Program{
 		Name:       "skot",
 		BinarySize: 173 << 10,
+		Manifest:   manifest(api.TraitTokenize, api.TraitOutputText),
 		Run: func(s inferlet.Session) error {
 			var p SkeletonParams
 			if err := decodeParams(s, &p); err != nil {

@@ -165,7 +165,7 @@ func main() {
 			fmt.Println("  -", v)
 		}
 		fmt.Println("(intentional behavior changes must regenerate BENCH_sim.json in the same PR:" +
-			" go run ./cmd/pie-bench -quick -cluster -json-out BENCH_sim.json)")
+			" GOMAXPROCS=1 go run ./cmd/pie-bench -quick -cluster -offload -coldstart -json-out BENCH_sim.json)")
 		os.Exit(1)
 	}
 	fmt.Println("bench-gate: OK")

@@ -35,9 +35,10 @@ const defaultJSONPath = "BENCH_sim.json"
 func main() {
 	quick := flag.Bool("quick", false, "run CI-sized workloads")
 	seed := flag.Uint64("seed", 42, "deterministic seed for every experiment")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster,offload)")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster,offload,coldstart)")
 	clusterExp := flag.Bool("cluster", false, "also run the replica-scaling cluster sweep (experiment id: cluster)")
 	offloadExp := flag.Bool("offload", false, "also run the tiered-KV host-offload oversubscription sweep (experiment id: offload)")
+	coldstartExp := flag.Bool("coldstart", false, "also run the deployable-artifact cold/warm launch sweep (experiment id: coldstart)")
 	jsonOut := flag.Bool("json", false, "write BENCH_sim.json with wall time and events/sec per experiment")
 	jsonPath := flag.String("json-out", defaultJSONPath, "path for the -json report (implies -json)")
 	flag.Parse()
@@ -59,6 +60,9 @@ func main() {
 	}
 	if *offloadExp {
 		want["offload"] = true
+	}
+	if *coldstartExp {
+		want["coldstart"] = true
 	}
 	all := want["all"]
 
@@ -194,6 +198,9 @@ func main() {
 	if want["offload"] {
 		run("offload", offloadRun(o))
 	}
+	if want["coldstart"] {
+		run("coldstart", coldstartRun(o))
+	}
 
 	if len(rep.Experiments) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected")
@@ -239,6 +246,24 @@ func offloadRun(o eval.Options) func() (string, map[string]float64) {
 			h["ttft-1x-none-ms"] = float64(p.TTFT) / float64(time.Millisecond)
 		}
 		return r.Table(), h
+	}
+}
+
+// coldstartRun adapts the deployable-artifact launch sweep to the
+// experiment harness.
+func coldstartRun(o eval.Options) func() (string, map[string]float64) {
+	return func() (string, map[string]float64) {
+		r := eval.ColdstartSweep(o)
+		return r.Table(), map[string]float64{
+			"cold-launch-ms":     float64(r.Cold) / float64(time.Millisecond),
+			"warm-launch-ms":     float64(r.Warm) / float64(time.Millisecond),
+			"cold-warm-gap-x":    r.Ratio,
+			"rr-cold-launches":   float64(r.RR.ColdLaunches),
+			"pa-cold-launches":   float64(r.PA.ColdLaunches),
+			"rr-mean-launch-ms":  float64(r.RR.MeanLaunch) / float64(time.Millisecond),
+			"pa-mean-launch-ms":  float64(r.PA.MeanLaunch) / float64(time.Millisecond),
+			"pa-vs-rr-speedup-x": r.PA.ReqPerSec / r.RR.ReqPerSec,
+		}
 	}
 }
 

@@ -1,18 +1,23 @@
 // Command pie-run launches a named inferlet on a fresh engine and prints
 // its messages and logs — the quickest way to poke at any Table 2 program.
 //
+// Programs are versioned artifacts: launch by bare name (latest version)
+// or pin one with name@version. -list prints the registry with manifest
+// details (version, required models/traits, binary size, limits).
+//
 // Usage:
 //
 //	pie-run text_completion '{"prompt":"Hello, ","max_tokens":12}'
+//	pie-run text_completion@1.0.0 '{"prompt":"Hi"}'
 //	pie-run -mode timing -list
-//	pie-run ebnf '{"max_tokens":40}'
+//	pie-run -deadline 2s -tag smoke ebnf '{"max_tokens":40}'
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"strings"
 	"time"
 
 	"pie"
@@ -22,7 +27,10 @@ import (
 func main() {
 	mode := flag.String("mode", "full", "execution mode: full (real tensor math) or timing")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
-	list := flag.Bool("list", false, "list registered programs and exit")
+	list := flag.Bool("list", false, "list registered programs with manifest details and exit")
+	priority := flag.Int("priority", 0, "default batch-scheduler priority for the instance's queues")
+	deadline := flag.Duration("deadline", 0, "abort the inferlet after this much virtual time (0: none)")
+	tag := flag.String("tag", "", "opaque client tag carried on the launch")
 	flag.Parse()
 
 	cfg := pie.Config{Seed: *seed}
@@ -36,28 +44,58 @@ func main() {
 	e.RegisterTool("fn.api", 30*time.Millisecond, func(string) string { return "ok" })
 
 	if *list {
-		var names []string
-		for _, p := range apps.All() {
-			names = append(names, p.Name)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Println(n)
+		fmt.Printf("%-24s %-10s %8s  %-28s %s\n", "PROGRAM", "VERSION", "BINARY", "REQUIRES", "LIMITS")
+		for _, p := range e.Programs() {
+			version := p.Version
+			if p.Latest {
+				version += "*"
+			}
+			var req []string
+			for _, m := range p.Manifest.Models {
+				req = append(req, "model:"+string(m))
+			}
+			for _, t := range p.Manifest.Traits {
+				req = append(req, string(t))
+			}
+			requires := strings.Join(req, ",")
+			if requires == "" {
+				requires = "-"
+			}
+			var lim []string
+			if l := p.Manifest.Limits; l.MaxQueues > 0 {
+				lim = append(lim, fmt.Sprintf("queues<=%d", l.MaxQueues))
+			}
+			if l := p.Manifest.Limits; l.MaxKvPages > 0 {
+				lim = append(lim, fmt.Sprintf("pages<=%d", l.MaxKvPages))
+			}
+			if l := p.Manifest.Limits; l.Deadline > 0 {
+				lim = append(lim, fmt.Sprintf("deadline<=%v", l.Deadline))
+			}
+			limits := strings.Join(lim, ",")
+			if limits == "" {
+				limits = "-"
+			}
+			fmt.Printf("%-24s %-10s %7dK  %-28s %s\n",
+				p.Name, version, p.BinarySize>>10, requires, limits)
 		}
 		return
 	}
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: pie-run [-mode full|timing] <program> [json-params]")
+		fmt.Fprintln(os.Stderr, "usage: pie-run [-mode full|timing] [-deadline d] [-tag t] <program[@version]> [json-params]")
 		os.Exit(2)
 	}
-	program := flag.Arg(0)
-	var args []string
+	spec := pie.LaunchSpec{
+		Program:   flag.Arg(0),
+		Priority:  *priority,
+		Deadline:  *deadline,
+		ClientTag: *tag,
+	}
 	if flag.NArg() > 1 {
-		args = []string{flag.Arg(1)}
+		spec.Args = []string{flag.Arg(1)}
 	}
 
 	err := e.RunClient(func() {
-		h, err := e.Launch(program, args...)
+		h, err := e.Launch(spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "launch: %v\n", err)
 			return
@@ -73,9 +111,10 @@ func main() {
 		for _, line := range h.Logs() {
 			fmt.Printf("log: %s\n", line)
 		}
+		name, version := h.Program()
 		cc, ic, tok := h.Stats()
-		fmt.Printf("virtual time: %v  control calls: %d  inference calls: %d  output tokens: %d\n",
-			e.Now(), cc, ic, tok)
+		fmt.Printf("program: %s@%s  virtual time: %v  control calls: %d  inference calls: %d  output tokens: %d\n",
+			name, version, e.Now(), cc, ic, tok)
 		if runErr != nil {
 			fmt.Fprintf(os.Stderr, "inferlet error: %v\n", runErr)
 		}

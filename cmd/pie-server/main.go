@@ -26,6 +26,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -82,6 +83,7 @@ func (s *server) mux() *http.ServeMux {
 		"/recv":     s.recv,
 		"/wait":     s.wait,
 		"/close":    s.close,
+		"/abort":    s.abort,
 		"/stream":   s.stream,
 		"/stats":    s.stats,
 		"/programs": s.programs,
@@ -106,11 +108,12 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	replicas := flag.Int("replicas", 1, "backend replicas behind the cluster router")
-	placement := flag.String("placement", "round-robin", "placement policy: round-robin | least-outstanding-tokens | kv-affinity")
+	placement := flag.String("placement", "round-robin", "placement policy: round-robin | least-outstanding-tokens | kv-affinity | program-affinity")
 	autoMax := flag.Int("autoscale-max", 0, "enable the autoscaler with this max replica bound (0 disables)")
 	autoMin := flag.Int("autoscale-min", 1, "autoscaler min replica bound")
 	hostKV := flag.Float64("host-kv-ratio", 0, "host-memory KV tier size as a multiple of device page capacity (0 disables offload)")
 	kvEvict := flag.String("kv-evict", "lru", "KV offload eviction policy: lru | priority")
+	artCache := flag.Int64("artifact-cache", 0, "per-replica warm-artifact cache capacity in bytes (0: device default, <0: unbounded)")
 	flag.Parse()
 
 	pol, err := cluster.ParsePlacement(*placement)
@@ -122,7 +125,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := pie.Config{Seed: *seed, Replicas: *replicas, Placement: pol,
-		HostKVRatio: *hostKV, KVEviction: evict}
+		HostKVRatio: *hostKV, KVEviction: evict, ArtifactCacheBytes: *artCache}
 	if *autoMax > 0 {
 		cfg.Autoscale = pie.AutoscaleConfig{Enabled: true, Min: *autoMin, Max: *autoMax}
 	}
@@ -150,20 +153,62 @@ func writeErr(w http.ResponseWriter, status int, code, msg string) {
 	})
 }
 
+// launchBody is the /v1/launch request: a wire-form pie.LaunchSpec. The
+// legacy form (?program= query parameter, body as the single launch
+// argument) keeps working — presence of the query parameter selects it.
+type launchBody struct {
+	Program    string   `json:"program"` // "name" or "name@version"
+	Args       []string `json:"args"`
+	Priority   int      `json:"priority"`
+	DeadlineMS int64    `json:"deadline_ms"`
+	ClientTag  string   `json:"client_tag"`
+}
+
 func (s *server) launch(w http.ResponseWriter, r *http.Request) {
 	program := r.URL.Query().Get("program")
 	body, _ := io.ReadAll(r.Body)
+	var spec pie.LaunchSpec
+	if program != "" {
+		// Legacy form: the body is the program's single JSON argument.
+		spec = pie.Spec(program)
+		if len(body) > 0 {
+			spec.Args = []string{string(body)}
+		}
+	} else {
+		var lb launchBody
+		if err := json.Unmarshal(body, &lb); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid_argument",
+				"body must be a JSON launch spec (or pass ?program=)")
+			return
+		}
+		if lb.Program == "" {
+			writeErr(w, http.StatusBadRequest, "invalid_argument", "launch spec needs a program")
+			return
+		}
+		if lb.DeadlineMS < 0 {
+			writeErr(w, http.StatusBadRequest, "invalid_argument", "deadline_ms must be >= 0")
+			return
+		}
+		spec = pie.LaunchSpec{
+			Program:   lb.Program,
+			Args:      lb.Args,
+			Priority:  lb.Priority,
+			Deadline:  time.Duration(lb.DeadlineMS) * time.Millisecond,
+			ClientTag: lb.ClientTag,
+		}
+	}
 	var h *pie.Handle
 	var err error
-	s.inject("http:launch", func() {
-		if len(body) > 0 {
-			h, err = s.engine.Launch(program, string(body))
-		} else {
-			h, err = s.engine.Launch(program)
-		}
-	})
+	s.inject("http:launch", func() { h, err = s.engine.Launch(spec) })
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "launch_failed", err.Error())
+		status, code := http.StatusBadRequest, "launch_failed"
+		switch {
+		case errors.Is(err, pie.ErrNoSuchProgram):
+			status, code = http.StatusNotFound, "no_such_program"
+		case errors.Is(err, pie.ErrUnsatisfiedManifest):
+			status, code = http.StatusConflict, "unsatisfied_manifest"
+		}
+		writeErr(w, status, code, err.Error())
 		return
 	}
 	s.mu.Lock()
@@ -171,7 +216,28 @@ func (s *server) launch(w http.ResponseWriter, r *http.Request) {
 	id := s.nextID
 	s.runs[id] = h
 	s.mu.Unlock()
-	writeJSON(w, map[string]interface{}{"id": id, "program": program})
+	name, version := h.Program()
+	writeJSON(w, map[string]interface{}{
+		"id": id, "program": name, "version": version, "client_tag": h.ClientTag(),
+	})
+}
+
+// abort cancels a running inferlet: its resources return to the pools and
+// a pending or future wait reports the abort error. The handle stays in
+// the table so the client can still collect logs via /v1/wait.
+func (s *server) abort(w http.ResponseWriter, r *http.Request) {
+	h, id, ok := s.handle(w, r)
+	if !ok {
+		return
+	}
+	var aborted bool
+	s.inject("http:abort", func() { aborted = h.Abort() })
+	if !aborted {
+		writeErr(w, http.StatusConflict, "already_finished",
+			fmt.Sprintf("run %d already finished; nothing to abort", id))
+		return
+	}
+	writeJSON(w, map[string]interface{}{"status": "aborted", "id": id})
 }
 
 // handle resolves the id parameter to a live run, or reports the
@@ -331,12 +397,56 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) programs(w http.ResponseWriter, r *http.Request) {
-	var names []string
-	for _, p := range apps.All() {
-		names = append(names, p.Name)
+// programInfoJSON is the /v1/programs wire form of one registered artifact.
+type programInfoJSON struct {
+	Name       string   `json:"name"`
+	Version    string   `json:"version"`
+	Latest     bool     `json:"latest"`
+	BinarySize int      `json:"binary_size"`
+	Models     []string `json:"models,omitempty"`
+	Traits     []string `json:"traits,omitempty"`
+	MaxQueues  int      `json:"max_queues,omitempty"`
+	MaxKvPages int      `json:"max_kv_pages,omitempty"`
+	DeadlineMS int64    `json:"deadline_ms,omitempty"`
+}
+
+func programJSON(p pie.ProgramInfo) programInfoJSON {
+	out := programInfoJSON{
+		Name:       p.Name,
+		Version:    p.Version,
+		Latest:     p.Latest,
+		BinarySize: p.BinarySize,
+		MaxQueues:  p.Manifest.Limits.MaxQueues,
+		MaxKvPages: p.Manifest.Limits.MaxKvPages,
+		DeadlineMS: int64(p.Manifest.Limits.Deadline / time.Millisecond),
 	}
-	writeJSON(w, names)
+	for _, m := range p.Manifest.Models {
+		out.Models = append(out.Models, string(m))
+	}
+	for _, t := range p.Manifest.Traits {
+		out.Traits = append(out.Traits, string(t))
+	}
+	return out
+}
+
+// programs lists the versioned registry with manifest details; ?name=
+// narrows to one program's versions (404 when it is not registered).
+func (s *server) programs(w http.ResponseWriter, r *http.Request) {
+	var infos []pie.ProgramInfo
+	s.inject("http:programs", func() { infos = s.engine.Programs() })
+	name := r.URL.Query().Get("name")
+	out := make([]programInfoJSON, 0, len(infos))
+	for _, p := range infos {
+		if name == "" || p.Name == name {
+			out = append(out, programJSON(p))
+		}
+	}
+	if name != "" && len(out) == 0 {
+		writeErr(w, http.StatusNotFound, "no_such_program",
+			fmt.Sprintf("no program named %q", name))
+		return
+	}
+	writeJSON(w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -205,11 +205,11 @@ func TestErrorPaths(t *testing.T) {
 	var launchErr errBody
 	blob, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("launch unknown program: status %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("launch unknown program: status %d, want 404", resp.StatusCode)
 	}
-	if err := json.Unmarshal(blob, &launchErr); err != nil || launchErr.Error.Code != "launch_failed" {
-		t.Fatalf("launch error body %s (code %q), want launch_failed", blob, launchErr.Error.Code)
+	if err := json.Unmarshal(blob, &launchErr); err != nil || launchErr.Error.Code != "no_such_program" {
+		t.Fatalf("launch error body %s (code %q), want no_such_program", blob, launchErr.Error.Code)
 	}
 	if resp := getJSON(t, ts.URL+"/v1/recv?id=99", nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("recv unknown id: status %d, want 404", resp.StatusCode)
@@ -375,5 +375,184 @@ func TestSSEStream(t *testing.T) {
 	// Streaming does not evict: wait still knows the run.
 	if resp := getJSON(t, ts.URL+"/v1/wait?id=1", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("wait after stream: status %d", resp.StatusCode)
+	}
+}
+
+// TestProgramsManifestListing: /v1/programs reports the versioned
+// registry with manifest details; ?name= narrows it, unknown names 404.
+func TestProgramsManifestListing(t *testing.T) {
+	_, ts := startTestServer(t, pie.Config{Seed: 7})
+
+	var progs []struct {
+		Name       string   `json:"name"`
+		Version    string   `json:"version"`
+		Latest     bool     `json:"latest"`
+		BinarySize int      `json:"binary_size"`
+		Traits     []string `json:"traits"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/programs", &progs); resp.StatusCode != http.StatusOK {
+		t.Fatalf("programs: status %d", resp.StatusCode)
+	}
+	if len(progs) == 0 {
+		t.Fatal("programs: empty registry")
+	}
+	found := false
+	for _, p := range progs {
+		if p.Name == "text_completion" {
+			found = true
+			if !p.Latest || p.Version == "" || p.BinarySize == 0 {
+				t.Fatalf("text_completion entry incomplete: %+v", p)
+			}
+			if len(p.Traits) == 0 {
+				t.Fatalf("text_completion manifest lists no required traits: %+v", p)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("programs: text_completion missing from listing")
+	}
+
+	progs = nil
+	if resp := getJSON(t, ts.URL+"/v1/programs?name=text_completion", &progs); resp.StatusCode != http.StatusOK {
+		t.Fatalf("programs?name=: status %d", resp.StatusCode)
+	}
+	if len(progs) != 1 || progs[0].Name != "text_completion" {
+		t.Fatalf("programs?name= returned %+v", progs)
+	}
+
+	resp := getJSON(t, ts.URL+"/v1/programs?name=nope", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("programs unknown name: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestLaunchSpecBody: /v1/launch without ?program= takes a JSON launch
+// spec (program reference, args, client tag), resolving name@version.
+func TestLaunchSpecBody(t *testing.T) {
+	_, ts := startTestServer(t, pie.Config{Seed: 7})
+
+	resp, err := http.Post(ts.URL+"/v1/launch", "application/json",
+		strings.NewReader(`{"program":"text_completion@1.0.0",`+
+			`"args":["{\"prompt\":\"Hi\",\"max_tokens\":2}"],"client_tag":"tenant-7"}`))
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("launch spec body: status %d: %s", resp.StatusCode, blob)
+	}
+	var launched struct {
+		ID        int    `json:"id"`
+		Program   string `json:"program"`
+		Version   string `json:"version"`
+		ClientTag string `json:"client_tag"`
+	}
+	if err := json.Unmarshal(blob, &launched); err != nil {
+		t.Fatalf("launch spec body: bad JSON %s: %v", blob, err)
+	}
+	if launched.Program != "text_completion" || launched.Version != "1.0.0" || launched.ClientTag != "tenant-7" {
+		t.Fatalf("launch spec body: got %+v", launched)
+	}
+	getJSON(t, fmt.Sprintf("%s/v1/wait?id=%d", ts.URL, launched.ID), nil)
+
+	// Error bodies: malformed spec, missing program, unknown version.
+	cases := []struct {
+		body   string
+		status int
+		code   string
+	}{
+		{"not json", http.StatusBadRequest, "invalid_argument"},
+		{`{"args":["x"]}`, http.StatusBadRequest, "invalid_argument"},
+		{`{"program":"text_completion@9.9.9"}`, http.StatusNotFound, "no_such_program"},
+		{`{"program":"text_completion","deadline_ms":-5}`, http.StatusBadRequest, "invalid_argument"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/launch", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("launch %q: %v", tc.body, err)
+		}
+		var eb errBody
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("launch %q: status %d, want %d (%s)", tc.body, resp.StatusCode, tc.status, blob)
+		}
+		if err := json.Unmarshal(blob, &eb); err != nil || eb.Error.Code != tc.code {
+			t.Fatalf("launch %q: error body %s, want code %q", tc.body, blob, tc.code)
+		}
+	}
+}
+
+// TestAbortEndpoint: /v1/abort cancels a running inferlet (wait reports
+// the abort), and its error bodies cover bad ids, unknown ids, and
+// already-finished runs.
+func TestAbortEndpoint(t *testing.T) {
+	_, ts := startTestServer(t, pie.Config{Seed: 7})
+
+	// A long generation so the abort lands mid-run.
+	resp, err := http.Post(ts.URL+"/v1/launch?program=text_completion", "application/json",
+		strings.NewReader(`{"prompt":"Hello, ","max_tokens":512}`))
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	var aborted struct {
+		Status string `json:"status"`
+		ID     int    `json:"id"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/abort?id=1", &aborted); resp.StatusCode != http.StatusOK {
+		t.Fatalf("abort: status %d", resp.StatusCode)
+	}
+	if aborted.Status != "aborted" || aborted.ID != 1 {
+		t.Fatalf("abort body %+v", aborted)
+	}
+	var waited struct {
+		Error string `json:"error"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/wait?id=1", &waited); resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait after abort: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(waited.Error, "aborted") {
+		t.Fatalf("wait after abort: error %q, want abort reason", waited.Error)
+	}
+
+	// Error bodies.
+	if resp := getJSON(t, ts.URL+"/v1/abort?id=notanumber", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("abort bad id: status %d, want 400", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/abort?id=99", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("abort unknown id: status %d, want 404", resp.StatusCode)
+	}
+
+	// Aborting a finished run is a structured conflict.
+	resp, err = http.Post(ts.URL+"/v1/launch?program=text_completion", "application/json",
+		strings.NewReader(`{"prompt":"Hi","max_tokens":2}`))
+	if err != nil {
+		t.Fatalf("launch 2: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	var msg struct {
+		Message string `json:"message"`
+	}
+	getJSON(t, ts.URL+"/v1/recv?id=2", &msg) // generation done once the text arrives
+	var eb errBody
+	resp = getJSON(t, ts.URL+"/v1/abort?id=2", nil)
+	blob, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("abort finished run: status %d, want 409", resp.StatusCode)
+	}
+	_ = blob
+	resp2, err := http.Get(ts.URL + "/v1/abort?id=2")
+	if err != nil {
+		t.Fatalf("abort finished run again: %v", err)
+	}
+	blob2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err := json.Unmarshal(blob2, &eb); err != nil || eb.Error.Code != "already_finished" {
+		t.Fatalf("abort finished run: error body %s, want already_finished", blob2)
 	}
 }

@@ -30,7 +30,7 @@ func schedulerFingerprint(t *testing.T, seed uint64) string {
 		var hs []*pie.Handle
 		for i := 0; i < 24; i++ {
 			params := fmt.Sprintf(`{"prompt":"determinism probe %d","max_tokens":12}`, i%3)
-			h, err := e.Launch("text_completion", params)
+			h, err := e.Launch(pie.Spec("text_completion", params))
 			if err != nil {
 				t.Errorf("launch %d: %v", i, err)
 				return
@@ -38,7 +38,7 @@ func schedulerFingerprint(t *testing.T, seed uint64) string {
 			hs = append(hs, h)
 		}
 		for i := 0; i < 4; i++ {
-			h, err := e.Launch("beam", `{"width":3,"steps":6}`)
+			h, err := e.Launch(pie.Spec("beam", `{"width":3,"steps":6}`))
 			if err != nil {
 				t.Errorf("beam launch: %v", err)
 				return

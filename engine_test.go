@@ -129,7 +129,7 @@ func TestEndToEndAutoregressive(t *testing.T) {
 	var text string
 	var elapsed time.Duration
 	err := e.RunClient(func() {
-		h, err := e.Launch("autoregressive10")
+		h, err := e.Launch(pie.Spec("autoregressive10"))
 		if err != nil {
 			t.Errorf("Launch: %v", err)
 			return
@@ -164,7 +164,7 @@ func TestEndToEndDeterminism(t *testing.T) {
 		var text string
 		var at time.Duration
 		if err := e.RunClient(func() {
-			h, _ := e.Launch("autoregressive10")
+			h, _ := e.Launch(pie.Spec("autoregressive10"))
 			text, _ = h.Recv().Get()
 			h.Wait()
 			at = e.Now()
@@ -190,7 +190,7 @@ func TestTimingModeRuns(t *testing.T) {
 	e.MustRegister(autoregressive10("Hello, "))
 	var elapsed time.Duration
 	if err := e.RunClient(func() {
-		h, err := e.Launch("autoregressive10")
+		h, err := e.Launch(pie.Spec("autoregressive10"))
 		if err != nil {
 			t.Errorf("Launch: %v", err)
 			return
@@ -221,7 +221,7 @@ func TestConcurrentInferletsBatch(t *testing.T) {
 	if err := e.RunClient(func() {
 		handles := make([]*pie.Handle, 0, n)
 		for i := 0; i < n; i++ {
-			h, err := e.Launch("autoregressive10")
+			h, err := e.Launch(pie.Spec("autoregressive10"))
 			if err != nil {
 				t.Errorf("Launch %d: %v", i, err)
 				return
@@ -246,7 +246,7 @@ func TestConcurrentInferletsBatch(t *testing.T) {
 func TestLaunchUnknownProgram(t *testing.T) {
 	e := pie.New(pie.Config{})
 	err := e.RunClient(func() {
-		if _, err := e.Launch("nope"); err == nil {
+		if _, err := e.Launch(pie.Spec("nope")); err == nil {
 			t.Error("launching unknown program succeeded")
 		}
 	})
@@ -267,7 +267,7 @@ func TestHandleLogsAndStats(t *testing.T) {
 		},
 	})
 	if err := e.RunClient(func() {
-		h, err := e.Launch("logger", "x", "y")
+		h, err := e.Launch(pie.Spec("logger", "x", "y"))
 		if err != nil {
 			t.Errorf("Launch: %v", err)
 			return
@@ -300,12 +300,12 @@ func TestColdWarmLaunch(t *testing.T) {
 	var cold, warm time.Duration
 	if err := e.RunClient(func() {
 		t0 := e.Now()
-		h, _ := e.Launch("noop")
+		h, _ := e.Launch(pie.Spec("noop"))
 		h.Recv().Get()
 		cold = e.Now() - t0
 
 		t0 = e.Now()
-		h2, _ := e.Launch("noop")
+		h2, _ := e.Launch(pie.Spec("noop"))
 		h2.Recv().Get()
 		warm = e.Now() - t0
 		h.Wait()

@@ -37,7 +37,7 @@ func main() {
 
 	err := engine.RunClient(func() {
 		t0 := engine.Now()
-		h, err := engine.Launch("agent_react", string(react))
+		h, err := engine.Launch(pie.Spec("agent_react", string(react)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,7 +52,7 @@ func main() {
 		fmt.Printf("  control calls: %d  inference calls: %d  output tokens: %d\n\n", cc, ic, tok)
 
 		t0 = engine.Now()
-		h2, err := engine.Launch("fncall_agent", string(fncall))
+		h2, err := engine.Launch(pie.Spec("fncall_agent", string(fncall)))
 		if err != nil {
 			log.Fatal(err)
 		}

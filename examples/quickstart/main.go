@@ -103,7 +103,7 @@ func main() {
 	err := engine.RunClient(func() {
 		for _, name := range []string{"hello-simple", "hello-raw"} {
 			t0 := engine.Now()
-			h, err := engine.Launch(name)
+			h, err := engine.Launch(pie.Spec(name))
 			if err != nil {
 				log.Fatal(err)
 			}

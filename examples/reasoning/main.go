@@ -35,15 +35,15 @@ func main() {
 
 	err := engine.RunClient(func() {
 		t0 := engine.Now()
-		hTot, err := engine.Launch("tot", string(tot))
+		hTot, err := engine.Launch(pie.Spec("tot", string(tot)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		hSkot, err := engine.Launch("skot", string(skot))
+		hSkot, err := engine.Launch(pie.Spec("skot", string(skot)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		hRot, err := engine.Launch("rot", string(rot))
+		hRot, err := engine.Launch(pie.Spec("rot", string(rot)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -23,7 +23,7 @@ func main() {
 	wm, _ := json.Marshal(apps.WatermarkParams{MaxTokens: 60, Delta: 6})
 
 	err := engine.RunClient(func() {
-		h, err := engine.Launch("ebnf", string(ebnf))
+		h, err := engine.Launch(pie.Spec("ebnf", string(ebnf)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -36,7 +36,7 @@ func main() {
 		fmt.Printf("grammar-constrained output: %s\n", out)
 		fmt.Printf("parses as JSON: %v (the model has RANDOM weights — the grammar mask does the work)\n\n", valid)
 
-		h2, err := engine.Launch("watermarking", string(wm))
+		h2, err := engine.Launch(pie.Spec("watermarking", string(wm)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,15 +12,46 @@
 // lazily per queue; trait gating therefore still applies — a legacy call
 // against a model lacking the trait fails with api.ErrNoSuchTrait at call
 // time instead of capability-request time.
+//
+// The package also keeps the pre-v2 launch signature compiling: client
+// code written against Engine.Launch(program, args...) calls
+// compat.Launch / compat.LaunchAndWait, which build a default
+// pie.LaunchSpec (latest version, no priority, no deadline).
 package compat
 
 import (
 	"fmt"
 	"time"
 
+	"pie"
 	"pie/api"
 	"pie/inferlet"
 )
+
+// Launcher is the engine surface the legacy launch shims need; *pie.Engine
+// satisfies it.
+type Launcher interface {
+	Launch(spec pie.LaunchSpec) (*pie.Handle, error)
+}
+
+// Launch is the legacy launch signature: it builds a default LaunchSpec
+// (latest registered version, zero priority, no deadline, no client tag)
+// from positional arguments. New code calls Engine.Launch(pie.Spec(...)).
+func Launch(e Launcher, program string, args ...string) (*pie.Handle, error) {
+	return e.Launch(pie.LaunchSpec{Program: program, Args: args})
+}
+
+// LaunchAndWait is the legacy run-to-completion signature over Launch.
+func LaunchAndWait(e Launcher, program string, args ...string) ([]string, error) {
+	h, err := Launch(e, program, args...)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Wait(); err != nil {
+		return h.Logs(), err
+	}
+	return h.Logs(), nil
+}
 
 // Session is the legacy flat inferlet API: every trait's methods in one
 // interface, with command queues as opaque api.Queue handles. New code

@@ -3,10 +3,13 @@ package compat_test
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"testing"
+	"time"
 
 	"pie"
 	"pie/api"
+	"pie/apps"
 	"pie/inferlet"
 	"pie/inferlet/compat"
 )
@@ -72,7 +75,7 @@ func runProgram(t *testing.T, p inferlet.Program) string {
 	e.MustRegister(p)
 	var got string
 	if err := e.RunClient(func() {
-		h, err := e.Launch(p.Name)
+		h, err := compat.Launch(e, p.Name)
 		if err != nil {
 			t.Errorf("launch: %v", err)
 			return
@@ -265,7 +268,7 @@ func TestAdaptReclaimsAbandonedQueues(t *testing.T) {
 		},
 	})
 	err := e.RunClient(func() {
-		h, err := e.Launch("host")
+		h, err := compat.Launch(e, "host")
 		if err != nil {
 			t.Errorf("launch: %v", err)
 			return
@@ -314,5 +317,75 @@ func TestReclaimIsIdempotentAndTolerant(t *testing.T) {
 	})
 	if got != "reclaimed" {
 		t.Fatalf("got %q", got)
+	}
+}
+
+// TestLegacyLaunchShimFidelity: the pre-v2 launch signature
+// (compat.Launch / compat.LaunchAndWait) must behave byte-identically to
+// the LaunchSpec path it shims — same messages, logs, stats, and virtual
+// time on same-seed engines.
+func TestLegacyLaunchShimFidelity(t *testing.T) {
+	params := `{"prompt":"Hello, ","max_tokens":6}`
+	type outcome struct {
+		msg         string
+		logs        []string
+		cc, ic, tok int
+		now         time.Duration
+		name, vers  string
+	}
+	run := func(launch func(e *pie.Engine) (*pie.Handle, error)) outcome {
+		e := pie.New(pie.Config{Seed: 11, Mode: pie.ModeFull})
+		e.MustRegister(apps.All()...)
+		var out outcome
+		if err := e.RunClient(func() {
+			h, err := launch(e)
+			if err != nil {
+				t.Errorf("launch: %v", err)
+				return
+			}
+			out.msg, _ = h.Recv().Get()
+			if err := h.Wait(); err != nil {
+				t.Errorf("inferlet: %v", err)
+			}
+			out.logs = h.Logs()
+			out.cc, out.ic, out.tok = h.Stats()
+			out.now = e.Now()
+			out.name, out.vers = h.Program()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	legacy := run(func(e *pie.Engine) (*pie.Handle, error) {
+		return compat.Launch(e, "text_completion", params)
+	})
+	v2 := run(func(e *pie.Engine) (*pie.Handle, error) {
+		return e.Launch(pie.Spec("text_completion", params))
+	})
+	if !reflect.DeepEqual(legacy, v2) {
+		t.Fatalf("legacy launch shim diverged from LaunchSpec path:\nlegacy %+v\nv2     %+v", legacy, v2)
+	}
+	if legacy.vers == "" || legacy.name != "text_completion" {
+		t.Fatalf("shim lost program identity: %+v", legacy)
+	}
+
+	// LaunchAndWait shim: identical logs to the spec path.
+	e := pie.New(pie.Config{Seed: 11, Mode: pie.ModeFull})
+	e.MustRegister(apps.All()...)
+	var logsLegacy, logsV2 []string
+	if err := e.RunClient(func() {
+		var err error
+		if logsLegacy, err = compat.LaunchAndWait(e, "text_completion", params); err != nil {
+			t.Errorf("legacy LaunchAndWait: %v", err)
+		}
+		if logsV2, err = e.LaunchAndWait(pie.Spec("text_completion", params)); err != nil {
+			t.Errorf("v2 LaunchAndWait: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(logsLegacy, logsV2) {
+		t.Fatalf("LaunchAndWait shim diverged: %v vs %v", logsLegacy, logsV2)
 	}
 }

@@ -28,6 +28,7 @@
 package inferlet
 
 import (
+	"strings"
 	"time"
 
 	"pie/api"
@@ -42,9 +43,60 @@ type Program struct {
 	// program stands in for; it drives upload and JIT costs on cold
 	// launches (Fig. 9). Table 2 of the paper records the real sizes.
 	BinarySize int
+	// Manifest declares the deployment contract: version, required
+	// models/traits, and resource limits. The zero value is a valid
+	// manifest (version "1.0.0", no requirements, no limits).
+	Manifest Manifest
 	// Run is the program body. A returned error is reported to the client
 	// that launched the inferlet.
 	Run func(s Session) error
+}
+
+// Manifest is a program's deployment contract. The registry validates it
+// against the serving catalog's trait closure when the program is
+// registered and again at launch, so an unsatisfiable deployment fails
+// with api.ErrUnsatisfiedManifest up front instead of deep inside a
+// running inferlet.
+type Manifest struct {
+	// Version is the artifact's semantic version ("major.minor.patch").
+	// Empty defaults to "1.0.0". The registry keys artifacts by
+	// name@version; launches without an explicit version get the latest.
+	Version string
+	// Models lists the model ids the program requires. Empty means any:
+	// when Traits is also set, at least one catalog model must satisfy
+	// every required trait.
+	Models []api.ModelID
+	// Traits lists the capability traits every required model must
+	// implement (through the supertrait closure).
+	Traits []api.Trait
+	// Limits bounds the instance's resource consumption; zero fields are
+	// unlimited.
+	Limits Limits
+}
+
+// Limits are per-instance resource bounds declared in a Manifest and
+// enforced by the control layer with api.ErrLimitExceeded.
+type Limits struct {
+	// MaxQueues caps concurrently open command queues.
+	MaxQueues int
+	// MaxKvPages caps live KV pages across the instance's address space.
+	MaxKvPages int
+	// Deadline bounds the instance's virtual runtime; on expiry the
+	// instance is aborted with api.ErrDeadlineExceeded. A launch-spec
+	// deadline tightens (never loosens) this bound.
+	Deadline time.Duration
+}
+
+// Ref formats the registry key for a program at a version ("name@version").
+func Ref(name, version string) string { return name + "@" + version }
+
+// SplitRef splits a program reference into name and version; a bare name
+// returns an empty version (meaning "latest").
+func SplitRef(ref string) (name, version string) {
+	if i := strings.IndexByte(ref, '@'); i >= 0 {
+		return ref[:i], ref[i+1:]
+	}
+	return ref, ""
 }
 
 // Subscription is a handle on a broadcast topic (subscribe).

@@ -18,6 +18,11 @@
 //     in the launch params); cold keys hash-stick to a replica so racing
 //     launches of the same key converge, and hint-less launches fall back
 //     to least-outstanding-tokens.
+//   - program-affinity: route a launch to a replica whose warm-artifact
+//     cache already holds the program binary (name@version), so repeat
+//     launches skip the upload + JIT pipeline (Fig. 9's cold/warm gap);
+//     cold programs hash-stick to a replica so their second launch is
+//     already warm.
 //
 // A queue-depth-driven autoscaler can grow and drain the active replica
 // set within configured bounds. Everything runs on the engine's virtual
@@ -49,6 +54,10 @@ const (
 	// PlaceKVAffinity routes to the replica holding the launch's KV export
 	// hint, hash-sticking cold keys; falls back to least-loaded.
 	PlaceKVAffinity
+	// PlaceProgramAffinity routes to a replica whose artifact cache holds
+	// the program binary warm (launch skips upload + JIT), hash-sticking
+	// cold programs; ties break by least outstanding tokens.
+	PlaceProgramAffinity
 )
 
 func (p PlacementPolicy) String() string {
@@ -59,6 +68,8 @@ func (p PlacementPolicy) String() string {
 		return "least-outstanding-tokens"
 	case PlaceKVAffinity:
 		return "kv-affinity"
+	case PlaceProgramAffinity:
+		return "program-affinity"
 	}
 	return "unknown"
 }
@@ -72,6 +83,8 @@ func ParsePlacement(s string) (PlacementPolicy, error) {
 		return PlaceLeastLoaded, nil
 	case "affinity", "kv", "kv-affinity", "prefix":
 		return PlaceKVAffinity, nil
+	case "program", "program-affinity", "artifact":
+		return PlaceProgramAffinity, nil
 	}
 	return 0, fmt.Errorf("cluster: unknown placement policy %q", s)
 }
@@ -226,9 +239,10 @@ func (c *Cluster) placeable() []*Replica {
 }
 
 // Place picks a replica for a new inferlet instance and returns its
-// controller (the ilm.Placer contract).
-func (c *Cluster) Place(program string, args []string) *core.Controller {
-	r := c.pick(args)
+// controller (the ilm.Placer contract). artifact is the program's
+// name@version cache key, the program-affinity policy's routing signal.
+func (c *Cluster) Place(program, artifact string, args []string) *core.Controller {
+	r := c.pick(artifact, args)
 	r.Placements++
 	if c.OnPlace != nil {
 		c.OnPlace(r)
@@ -236,7 +250,7 @@ func (c *Cluster) Place(program string, args []string) *core.Controller {
 	return r.Ctl
 }
 
-func (c *Cluster) pick(args []string) *Replica {
+func (c *Cluster) pick(artifact string, args []string) *Replica {
 	cands := c.placeable()
 	switch c.policy {
 	case PlaceRoundRobin:
@@ -245,15 +259,59 @@ func (c *Cluster) pick(args []string) *Replica {
 		return r
 	case PlaceKVAffinity:
 		return c.pickAffinity(affinityHints(args), cands)
+	case PlaceProgramAffinity:
+		return c.pickProgramAffinity(artifact, cands)
 	default:
 		return pickLeastLoaded(cands)
 	}
 }
 
+// pickProgramAffinity routes a launch toward a replica holding the
+// program artifact warm, so it skips the upload + JIT pipeline. Several
+// warm holders tie-break by least outstanding tokens (a hot program's
+// launches spread over every replica that has paid its JIT). A cold
+// artifact hash-sticks to a stable replica — exactly the kv-affinity
+// cold-key trick — so concurrent and repeat launches of a new program
+// converge on one replica, which then stays its warm home.
+func (c *Cluster) pickProgramAffinity(artifact string, cands []*Replica) *Replica {
+	var warm []*Replica
+	for _, r := range cands {
+		if r.Ctl.HasArtifact(artifact) {
+			warm = append(warm, r)
+		}
+	}
+	if len(warm) > 0 {
+		return pickLeastLoaded(warm)
+	}
+	return c.hashStick(artifact, cands)
+}
+
+// hashStick maps a key onto the full (stable) replica set and walks to
+// the nearest placeable replica. Hashing the placeable set directly would
+// move every key whenever the autoscaler resizes it.
+func (c *Cluster) hashStick(key string, cands []*Replica) *Replica {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	start := int(h.Sum64() % uint64(len(c.replicas)))
+	for i := 0; i < len(c.replicas); i++ {
+		r := c.replicas[(start+i)%len(c.replicas)]
+		if r.active && !r.draining {
+			return r
+		}
+	}
+	return cands[0]
+}
+
+// pickLeastLoaded places on the fewest outstanding tokens; ties break by
+// live instance count. Instances register at placement time — before a
+// cold launch's JIT completes — so a burst of simultaneous launches
+// spreads across replicas instead of piling onto the first zero-token tie
+// while everyone's work is still compiling.
 func pickLeastLoaded(cands []*Replica) *Replica {
 	best := cands[0]
 	for _, r := range cands[1:] {
-		if r.Ctl.OutstandingTokens() < best.Ctl.OutstandingTokens() {
+		bt, rt := best.Ctl.OutstandingTokens(), r.Ctl.OutstandingTokens()
+		if rt < bt || (rt == bt && r.Ctl.Instances() < best.Ctl.Instances()) {
 			best = r
 		}
 	}
@@ -287,21 +345,9 @@ func (c *Cluster) pickAffinity(hints []string, cands []*Replica) *Replica {
 		}
 	}
 	if len(hints) > 0 {
-		// Cold key: stick it to a replica by hash so concurrent launches of
-		// the same key converge before the first export even lands. The
-		// hash indexes the full (stable) replica set, then walks to the
-		// nearest placeable replica — hashing the placeable set directly
-		// would move every cold key whenever the autoscaler resizes it.
-		h := fnv.New64a()
-		h.Write([]byte(hints[0]))
-		start := int(h.Sum64() % uint64(len(c.replicas)))
-		for i := 0; i < len(c.replicas); i++ {
-			r := c.replicas[(start+i)%len(c.replicas)]
-			if r.active && !r.draining {
-				return r
-			}
-		}
-		return cands[0]
+		// Cold key: stick it to a replica by hash so concurrent launches
+		// of the same key converge before the first export even lands.
+		return c.hashStick(hints[0], cands)
 	}
 	return pickLeastLoaded(cands)
 }
@@ -433,6 +479,7 @@ func (c *Cluster) ReplicaStats() []metrics.ReplicaStats {
 	for _, r := range c.replicas {
 		s := r.Ctl.Scheduler()
 		off := r.Ctl.OffloadStats()
+		art := r.Ctl.ArtifactStats()
 		out = append(out, metrics.ReplicaStats{
 			ID:           r.ID,
 			Device:       r.Backend.Name,
@@ -453,6 +500,12 @@ func (c *Cluster) ReplicaStats() []metrics.ReplicaStats {
 			KVPeakPages:  off.PeakInUse,
 			SwapInPages:  off.SwapInPages,
 			SwapOutPages: off.SwapOutPages,
+
+			Artifacts:         art.Resident,
+			ArtifactHits:      art.Hits,
+			ArtifactMisses:    art.Misses,
+			ArtifactEvictions: art.Evictions,
+			Aborts:            r.Ctl.Aborts,
 		})
 	}
 	return out

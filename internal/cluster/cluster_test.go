@@ -46,6 +46,7 @@ func TestParsePlacement(t *testing.T) {
 		"rr": cluster.PlaceRoundRobin, "round-robin": cluster.PlaceRoundRobin,
 		"least": cluster.PlaceLeastLoaded, "least-outstanding-tokens": cluster.PlaceLeastLoaded,
 		"kv-affinity": cluster.PlaceKVAffinity, "affinity": cluster.PlaceKVAffinity,
+		"program-affinity": cluster.PlaceProgramAffinity, "program": cluster.PlaceProgramAffinity,
 	} {
 		got, err := cluster.ParsePlacement(in)
 		if err != nil || got != want {
@@ -57,6 +58,7 @@ func TestParsePlacement(t *testing.T) {
 	}
 	for _, p := range []cluster.PlacementPolicy{
 		cluster.PlaceRoundRobin, cluster.PlaceLeastLoaded, cluster.PlaceKVAffinity,
+		cluster.PlaceProgramAffinity,
 	} {
 		if p.String() == "unknown" {
 			t.Fatalf("policy %d has no name", p)
@@ -68,7 +70,7 @@ func TestRoundRobinPlacement(t *testing.T) {
 	e := newEngine(t, pie.Config{Seed: 11, Replicas: 3, Placement: pie.PlaceRoundRobin})
 	err := e.RunClient(func() {
 		for i := 0; i < 6; i++ {
-			if _, err := e.LaunchAndWait("text_completion", completionParams(2, "")); err != nil {
+			if _, err := e.LaunchAndWait(pie.Spec("text_completion", completionParams(2, ""))); err != nil {
 				panic(err)
 			}
 		}
@@ -89,7 +91,7 @@ func TestLeastLoadedPlacementBalances(t *testing.T) {
 	err := e.RunClient(func() {
 		var hs []*pie.Handle
 		for i := 0; i < 4; i++ {
-			h, err := e.Launch("text_completion", completionParams(32, ""))
+			h, err := e.Launch(pie.Spec("text_completion", completionParams(32, "")))
 			if err != nil {
 				panic(err)
 			}
@@ -124,7 +126,7 @@ func TestKVAffinityRoutesToExportHolder(t *testing.T) {
 	}
 	err := e.RunClient(func() {
 		for task := 0; task < 3; task++ {
-			if _, err := e.LaunchAndWait("prefix_caching", prefixParams("aff:key-a", task)); err != nil {
+			if _, err := e.LaunchAndWait(pie.Spec("prefix_caching", prefixParams("aff:key-a", task))); err != nil {
 				panic(err)
 			}
 		}
@@ -154,8 +156,8 @@ func TestAffinityHintRoutesPlainLaunches(t *testing.T) {
 	e := newEngine(t, pie.Config{Seed: 11, Replicas: 4, Placement: pie.PlaceKVAffinity})
 	err := e.RunClient(func() {
 		for i := 0; i < 4; i++ {
-			if _, err := e.LaunchAndWait("text_completion",
-				completionParams(2, `"affinity":"tenant-42"`)); err != nil {
+			if _, err := e.LaunchAndWait(pie.Spec("text_completion",
+				completionParams(2, `"affinity":"tenant-42"`))); err != nil {
 				panic(err)
 			}
 		}
@@ -188,7 +190,7 @@ func TestAutoscalerGrowsAndDrains(t *testing.T) {
 	err := e.RunClient(func() {
 		var hs []*pie.Handle
 		for i := 0; i < conc; i++ {
-			h, err := e.Launch("text_completion", completionParams(48, ""))
+			h, err := e.Launch(pie.Spec("text_completion", completionParams(48, "")))
 			if err != nil {
 				panic(err)
 			}
@@ -241,7 +243,7 @@ func TestSameSeedByteIdenticalReplicaStats(t *testing.T) {
 		err := e.RunClient(func() {
 			var hs []*pie.Handle
 			for i := 0; i < 9; i++ {
-				h, err := e.Launch("text_completion", completionParams(8, ""))
+				h, err := e.Launch(pie.Spec("text_completion", completionParams(8, "")))
 				if err != nil {
 					panic(err)
 				}
@@ -303,7 +305,7 @@ func TestDrainMigratesExports(t *testing.T) {
 		CacheKey:     key,
 	})
 	err := e.RunClient(func() {
-		if _, err := e.LaunchAndWait("prefix_caching", string(params)); err != nil {
+		if _, err := e.LaunchAndWait(pie.Spec("prefix_caching", string(params))); err != nil {
 			panic(err)
 		}
 		r1 := e.Cluster().Replicas()[1]
@@ -342,5 +344,75 @@ func TestDrainMigratesExports(t *testing.T) {
 	}
 	if inUse, _ := r1.Ctl.PoolStats("llama-1b"); inUse != 0 {
 		t.Fatalf("drained replica still holds %d pages", inUse)
+	}
+}
+
+// TestProgramAffinityPlacement: program-affinity concentrates each
+// program's launches on the replica holding its artifact warm, so a
+// cluster pays one upload + JIT per program instead of one per
+// (program, replica) pair like round-robin.
+func TestProgramAffinityPlacement(t *testing.T) {
+	// 3 programs over 4 replicas: coprime cycle lengths, so round-robin
+	// genuinely spreads each program across replicas instead of aliasing
+	// onto one.
+	const replicas, perProgram = 4, 8
+	programs := []string{"text_completion", "prefix_caching", "beam"}
+
+	run := func(placement pie.PlacementPolicy) (cold int, spread []int) {
+		e := newEngine(t, pie.Config{Seed: 11, Replicas: replicas, Placement: placement})
+		err := e.RunClient(func() {
+			for i := 0; i < perProgram; i++ {
+				for _, prog := range programs {
+					h, err := e.Launch(pie.Spec(prog, completionParams(2, "")))
+					if err != nil {
+						t.Errorf("launch %s: %v", prog, err)
+						return
+					}
+					_ = h.Wait()
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats().ColdLaunches, placements(e)
+	}
+
+	coldPA, spreadPA := run(pie.PlaceProgramAffinity)
+	if coldPA != len(programs) {
+		t.Fatalf("program-affinity paid %d cold launches, want %d (one per program)",
+			coldPA, len(programs))
+	}
+	// Hash-stuck programs stay put: total placements must be conserved and
+	// every launch of one program lands where its artifact lives.
+	total := 0
+	for _, n := range spreadPA {
+		total += n
+	}
+	if total != len(programs)*perProgram {
+		t.Fatalf("placements %v, want %d total", spreadPA, len(programs)*perProgram)
+	}
+
+	coldRR, _ := run(pie.PlaceRoundRobin)
+	if coldRR <= coldPA {
+		t.Fatalf("round-robin cold launches = %d, want > %d (affinity should win)",
+			coldRR, coldPA)
+	}
+
+	// Warm-artifact accounting agrees with the ILM's cold count.
+	e := newEngine(t, pie.Config{Seed: 11, Replicas: replicas, Placement: pie.PlaceProgramAffinity})
+	err := e.RunClient(func() {
+		for i := 0; i < 3; i++ {
+			if _, err := e.LaunchAndWait(pie.Spec("text_completion", completionParams(2, ""))); err != nil {
+				t.Errorf("launch: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.ArtifactMisses != 1 || s.ArtifactHits != 2 {
+		t.Fatalf("artifact stats misses=%d hits=%d, want 1/2", s.ArtifactMisses, s.ArtifactHits)
 	}
 }

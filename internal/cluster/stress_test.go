@@ -77,7 +77,7 @@ func runClusterStress(t *testing.T, seed uint64) stressDoc {
 						// mode ignores model weights, so the seed must
 						// shape the workload itself for seed sensitivity.
 						params := completionParams(2+int((seed+uint64(task))%3), "")
-						h, err := e.Launch("text_completion", params)
+						h, err := e.Launch(pie.Spec("text_completion", params))
 						if err != nil {
 							t.Errorf("launch: %v", err)
 							return

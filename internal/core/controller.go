@@ -15,14 +15,15 @@ import (
 // virtual address mappings, command queues, the export registry, and the
 // batch scheduler, and it routes completed batches back to inferlets.
 type Controller struct {
-	clock    *sim.Clock
-	backend  *infer.Backend
-	models   map[string]*infer.ModelRuntime
-	order    []string
-	pagePool map[string]*tieredPool
-	embPool  map[string]*pool
-	exports  map[string]*exportEntry
-	offload  OffloadConfig
+	clock     *sim.Clock
+	backend   *infer.Backend
+	models    map[string]*infer.ModelRuntime
+	order     []string
+	pagePool  map[string]*tieredPool
+	embPool   map[string]*pool
+	exports   map[string]*exportEntry
+	offload   OffloadConfig
+	artifacts *artifactCache
 
 	instances map[uint64]*Instance
 	instSeq   uint64
@@ -40,13 +41,14 @@ type Controller struct {
 
 	// Stats.
 	Terminations int
+	Aborts       int           // instances cancelled via their launch handle
 	xferTime     time.Duration // cumulative PCIe swap time charged to callers
 }
 
 // NewController wires a controller to its backend and models. The offload
 // config sizes each model's host-memory KV tier; the zero value keeps the
 // paper's device-only pools.
-func NewController(clock *sim.Clock, backend *infer.Backend, models []*infer.ModelRuntime, cfg SchedConfig, offload OffloadConfig) *Controller {
+func NewController(clock *sim.Clock, backend *infer.Backend, models []*infer.ModelRuntime, cfg SchedConfig, offload OffloadConfig, artifacts ArtifactConfig) *Controller {
 	ctl := &Controller{
 		clock:     clock,
 		backend:   backend,
@@ -57,6 +59,11 @@ func NewController(clock *sim.Clock, backend *infer.Backend, models []*infer.Mod
 		instances: make(map[uint64]*Instance),
 		offload:   offload,
 	}
+	artCap := artifacts.CapacityBytes
+	if artCap == 0 && len(models) > 0 {
+		artCap = models[0].Spec.ArtifactCacheBytes
+	}
+	ctl.artifacts = newArtifactCache(artCap)
 	for _, rt := range models {
 		name := string(rt.Info.ID)
 		ctl.models[name] = rt
@@ -117,6 +124,14 @@ func (ctl *Controller) ReleaseInstance(inst *Instance) {
 		for _, c := range q.pending {
 			ctl.retireCall(c)
 			ctl.unpinCall(c)
+			if c.Op == infer.OpDealloc && c.ControlFn != nil {
+				// Queue-ordered deallocs already removed their handles
+				// from the instance view; the deferred physical free must
+				// still run or the slots leak (abort mid-decode lands
+				// here routinely).
+				c.ControlFn()
+				continue
+			}
 			c.Err = api.ErrTerminated
 			failCall(c)
 		}
@@ -201,10 +216,36 @@ func (ctl *Controller) terminate(inst *Instance, reason error) {
 	}
 }
 
+// AbortInstance cancels a live instance through its launch handle
+// (Handle.Abort): queue-scoped reclamation runs exactly as for FCFS
+// termination — pending calls fail, page pins drop, pages/embeds return
+// to their pools, the export registry keeps its own references — and the
+// inferlet process unwinds with the given reason. Idempotent: aborting a
+// released instance is a no-op.
+func (ctl *Controller) AbortInstance(inst *Instance, reason error) bool {
+	if inst == nil || inst.dead {
+		return false
+	}
+	ctl.Aborts++
+	ctl.terminate(inst, reason)
+	return true
+}
+
 // Instances returns the number of live instances.
 func (ctl *Controller) Instances() int { return len(ctl.instances) }
 
 // --- Model discovery ----------------------------------------------------
+
+// ModelInfos lists servable model descriptors in registration order,
+// without charging any instance: the ILM validates program manifests
+// against this catalog view at register and launch time.
+func (ctl *Controller) ModelInfos() []api.ModelInfo {
+	out := make([]api.ModelInfo, 0, len(ctl.order))
+	for _, name := range ctl.order {
+		out = append(out, ctl.models[name].Info)
+	}
+	return out
+}
 
 // Models lists servable models in registration order (available_models).
 func (ctl *Controller) Models(inst *Instance) []api.ModelInfo {
@@ -235,8 +276,12 @@ func (ctl *Controller) CreateQueue(inst *Instance, m api.ModelID) (api.Queue, er
 	if !ok {
 		return 0, api.ErrNoSuchModel
 	}
+	if inst.MaxQueues > 0 && len(inst.queues) >= inst.MaxQueues {
+		return 0, fmt.Errorf("%w: manifest allows %d open queues", api.ErrLimitExceeded, inst.MaxQueues)
+	}
 	ctl.queueSeq++
-	q := &cmdQueue{id: api.Queue(ctl.queueSeq), inst: inst, model: string(m), rt: rt}
+	q := &cmdQueue{id: api.Queue(ctl.queueSeq), inst: inst, model: string(m), rt: rt,
+		priority: inst.DefaultPriority}
 	inst.queues[q.id] = q
 	return q.id, nil
 }
@@ -294,6 +339,12 @@ func (ctl *Controller) CloseQueue(inst *Instance, qid api.Queue) error {
 	for _, c := range q.pending {
 		ctl.retireCall(c)
 		ctl.unpinCall(c)
+		if c.Op == infer.OpDealloc && c.ControlFn != nil {
+			// As in ReleaseInstance: the handles died when the dealloc
+			// enqueued, so the deferred physical free must still run.
+			c.ControlFn()
+			continue
+		}
 		c.Err = api.ErrQueueClosed
 		failCall(c)
 	}
@@ -338,6 +389,10 @@ func (ctl *Controller) AllocPages(inst *Instance, qid api.Queue, n int) ([]api.K
 	}
 	if n <= 0 {
 		return nil, api.ErrBadArgument
+	}
+	if inst.MaxKvPages > 0 && len(inst.vPages)+n > inst.MaxKvPages {
+		return nil, fmt.Errorf("%w: manifest allows %d KV pages (%d live, %d requested)",
+			api.ErrLimitExceeded, inst.MaxKvPages, len(inst.vPages), n)
 	}
 	var phys []int32
 	swappedOut := 0
@@ -473,6 +528,12 @@ func (ctl *Controller) ImportPages(inst *Instance, name string) ([]api.KvPage, e
 	entry, ok := ctl.exports[name]
 	if !ok {
 		return nil, api.ErrNoSuchExport
+	}
+	if inst.MaxKvPages > 0 && len(inst.vPages)+len(entry.phys) > inst.MaxKvPages {
+		// Imports map pages into the instance's address space too: the
+		// manifest cap bounds live pages however they arrive.
+		return nil, fmt.Errorf("%w: manifest allows %d KV pages (%d live, %d imported)",
+			api.ErrLimitExceeded, inst.MaxKvPages, len(inst.vPages), len(entry.phys))
 	}
 	out := make([]api.KvPage, len(entry.phys))
 	for i, p := range entry.phys {
@@ -971,6 +1032,13 @@ func (ctl *Controller) drainControlOps(q *cmdQueue) {
 func (ctl *Controller) PoolStats(modelName string) (inUse, capacity int) {
 	p := ctl.pagePool[modelName]
 	return p.inUse(), p.capacity()
+}
+
+// EmbedPoolStats reports embedding-slot occupancy for a model (abort and
+// reclamation tests).
+func (ctl *Controller) EmbedPoolStats(modelName string) (inUse, capacity int) {
+	p := ctl.embPool[modelName]
+	return p.inUse(), p.capacity
 }
 
 // OffloadStats aggregates tier occupancy and swap traffic across models,

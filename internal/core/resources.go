@@ -100,6 +100,15 @@ type Instance struct {
 	dead      bool
 	onKill    func(reason error) // ILM hook: unwind the inferlet process
 
+	// Manifest-declared resource limits (deployment API v2), set by the
+	// ILM before the instance runs; zero fields are unlimited. The
+	// controller enforces them with api.ErrLimitExceeded.
+	MaxQueues  int
+	MaxKvPages int
+	// DefaultPriority seeds the batch-scheduler priority of every queue
+	// the instance opens (LaunchSpec.Priority).
+	DefaultPriority int
+
 	// Instrumentation (Fig. 10/11).
 	ControlCalls int
 	InferCalls   int
@@ -109,6 +118,11 @@ type Instance struct {
 // ReportOutputTokens is called by the session when the application accepts
 // generated tokens; Fig. 11 normalizes API-call counts by this.
 func (inst *Instance) ReportOutputTokens(n int) { inst.OutputTokens += n }
+
+// Dead reports whether the instance has been released. The ILM checks it
+// after the cold-launch JIT sleep: an instance registered at placement
+// time can be reclaimed (FCFS policy) before its process ever starts.
+func (inst *Instance) Dead() bool { return inst.dead }
 
 // cmdQueue is one command queue (§4.1): a FIFO of API calls whose
 // dependencies are unambiguous (in-order within the queue) and which

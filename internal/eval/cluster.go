@@ -118,7 +118,7 @@ func runClusterBatch(e *pie.Engine, n, conc, total, maxTokens int) ClusterPoint 
 	e.Go("loadgen", func() {
 		// Warmup populates the binary cache so steady-state numbers exclude
 		// cold JIT.
-		if h, err := e.Launch("text_completion", params); err == nil {
+		if h, err := e.Launch(pie.Spec("text_completion", params)); err == nil {
 			_ = h.Wait()
 		}
 		start := e.Now()
@@ -134,7 +134,7 @@ func runClusterBatch(e *pie.Engine, n, conc, total, maxTokens int) ClusterPoint 
 						return
 					}
 					t0 := e.Now()
-					h, err := e.Launch("text_completion", params)
+					h, err := e.Launch(pie.Spec("text_completion", params))
 					if err != nil {
 						p.Failures++
 						continue

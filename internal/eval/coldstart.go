@@ -1,0 +1,216 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pie"
+	"pie/inferlet"
+	"pie/internal/metrics"
+	"pie/internal/sim"
+)
+
+// Coldstart experiment (deployment API v2; reproduces Fig. 9's economics
+// at the cluster level): what does the upload + JIT pipeline cost a cold
+// launch, how much does a replica's warm-artifact cache recover, and does
+// program-affinity placement keep a multi-replica cluster warm?
+//
+// Three questions:
+//
+//  1. Gap: on one replica, the first launch of a program pays upload +
+//     JIT sized by its binary; every later launch hits the artifact cache.
+//     The cold/warm launch-latency ratio is the headline (the acceptance
+//     bar is warm >= 3x cheaper).
+//  2. Placement: a 4-replica cluster serving a rotating set of programs,
+//     round-robin versus program-affinity. Round-robin re-pays the JIT
+//     once per (program, replica) pair; affinity pays once per program
+//     and routes launches to the warm holder.
+//  3. Determinism: same-seed sweeps produce byte-identical documents
+//     (TestColdstartSweepDeterministic enforces this).
+//
+// The probe inferlet acks and exits — pure launch-path latency, the
+// paper's Fig. 9 methodology with generation stripped out.
+
+// Coldstart workload shape.
+const (
+	coldstartProbeKB   = 256 // probe binary for the single-replica gap leg
+	coldstartWarmN     = 16  // warm launches averaged in the gap leg
+	coldstartReplicas  = 4
+	coldstartPrograms  = 6
+	coldstartConc      = 8
+	coldstartBaseKB    = 128 // program i ships (base + 48*i) KB
+	coldstartPerProgKB = 48
+)
+
+// ColdstartLeg is one cluster run under a placement policy.
+type ColdstartLeg struct {
+	Policy       string
+	Done         int
+	ColdLaunches int
+	MeanLaunch   time.Duration // mean launch->ack latency
+	Makespan     time.Duration
+	ReqPerSec    float64
+}
+
+// ColdstartResult holds the full experiment.
+type ColdstartResult struct {
+	Cold  time.Duration // first launch on a cold replica (upload + JIT)
+	Warm  time.Duration // mean warm launch (artifact cache hit)
+	Ratio float64       // Cold / Warm
+
+	RR ColdstartLeg // round-robin
+	PA ColdstartLeg // program-affinity
+}
+
+// coldstartProbe is the launch-latency probe: ack the client and exit.
+func coldstartProbe(name string, sizeKB int) inferlet.Program {
+	return inferlet.Program{
+		Name:       name,
+		BinarySize: sizeKB << 10,
+		Manifest:   inferlet.Manifest{Version: "1.0.0"},
+		Run: func(s inferlet.Session) error {
+			s.Send("ack")
+			return nil
+		},
+	}
+}
+
+// ColdstartSweep runs the full experiment. Each leg builds an independent
+// engine on a fresh virtual clock; legs fan out across workers.
+func ColdstartSweep(o Options) ColdstartResult {
+	var out ColdstartResult
+	total := o.scale(96, 48)
+	parallelFor(3, func(i int) {
+		switch i {
+		case 0:
+			out.Cold, out.Warm = coldstartGap(o.seed())
+		case 1:
+			out.RR = coldstartCluster(o.seed(), pie.PlaceRoundRobin, total)
+		default:
+			out.PA = coldstartCluster(o.seed(), pie.PlaceProgramAffinity, total)
+		}
+	})
+	if out.Warm > 0 {
+		out.Ratio = float64(out.Cold) / float64(out.Warm)
+	}
+	return out
+}
+
+// launchAck launches the program and returns the client-observed
+// launch->ack latency (Fig. 9 methodology: the response leg is half the
+// client RTT).
+func launchAck(e *pie.Engine, program string) (time.Duration, error) {
+	t0 := e.Now()
+	h, err := e.Launch(pie.Spec(program))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := h.Recv().Get(); err != nil {
+		return 0, err
+	}
+	lat := e.Now() - t0 + e.ClientRTT()/2
+	if err := h.Wait(); err != nil {
+		return 0, err
+	}
+	return lat, nil
+}
+
+// coldstartGap measures the single-replica cold/warm launch gap.
+func coldstartGap(seed uint64) (cold, warm time.Duration) {
+	e := newPieEngine(seed, nil)
+	e.MustRegister(coldstartProbe("coldstart_probe", coldstartProbeKB))
+	warmSum := time.Duration(0)
+	e.Go("driver", func() {
+		var err error
+		if cold, err = launchAck(e, "coldstart_probe"); err != nil {
+			panic(fmt.Sprintf("eval: coldstart cold probe: %v", err))
+		}
+		for i := 0; i < coldstartWarmN; i++ {
+			lat, err := launchAck(e, "coldstart_probe")
+			if err != nil {
+				panic(fmt.Sprintf("eval: coldstart warm probe: %v", err))
+			}
+			warmSum += lat
+		}
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return cold, warmSum / coldstartWarmN
+}
+
+// coldstartCluster drives the repeated-program workload against one
+// placement policy and reports launch-latency and cold-launch totals.
+func coldstartCluster(seed uint64, placement pie.PlacementPolicy, total int) ColdstartLeg {
+	e := newPieEngine(seed, func(c *pie.Config) {
+		c.Replicas = coldstartReplicas
+		c.Placement = placement
+	})
+	for i := 0; i < coldstartPrograms; i++ {
+		e.MustRegister(coldstartProbe(
+			fmt.Sprintf("coldstart_probe_%d", i),
+			coldstartBaseKB+coldstartPerProgKB*i))
+	}
+	leg := ColdstartLeg{Policy: placement.String()}
+	lat := &metrics.Series{}
+	e.Go("loadgen", func() {
+		start := e.Now()
+		g := sim.NewGroup(e.Clock())
+		queue := sim.NewMailbox[int](e.Clock())
+		for t := 0; t < total; t++ {
+			queue.Send(t)
+		}
+		for w := 0; w < coldstartConc; w++ {
+			g.Go("client", func() {
+				for {
+					task, ok := queue.TryRecv()
+					if !ok {
+						return
+					}
+					// Hash the task index so the program sequence does not
+					// alias with round-robin's placement cycle.
+					prog := fmt.Sprintf("coldstart_probe_%d",
+						int((uint64(task)*2654435761)>>16)%coldstartPrograms)
+					l, err := launchAck(e, prog)
+					if err != nil {
+						continue
+					}
+					lat.Add(l)
+					leg.Done++
+				}
+			})
+		}
+		g.Wait()
+		leg.Makespan = e.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		panic(fmt.Sprintf("eval: coldstart cluster run: %v", err))
+	}
+	leg.MeanLaunch = lat.Mean()
+	leg.ColdLaunches = e.Stats().ColdLaunches
+	if leg.Makespan > 0 {
+		leg.ReqPerSec = metrics.Throughput(leg.Done, leg.Makespan)
+	}
+	return leg
+}
+
+// Table renders the experiment in paper style.
+func (r ColdstartResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Coldstart: deployable-artifact launch economics (probe binary %d KB)\n",
+		coldstartProbeKB)
+	fmt.Fprintf(&b, "  cold launch (upload + JIT): %s   warm launch (artifact cache): %s   gap: %.2fx\n",
+		metrics.Ms(r.Cold), metrics.Ms(r.Warm), r.Ratio)
+	t := &metrics.Table{
+		Title: fmt.Sprintf("\nColdstart: placement on a repeated-program workload (%d replicas, %d programs)",
+			coldstartReplicas, coldstartPrograms),
+		Header: []string{"placement", "done", "cold", "mean launch", "req/s"},
+	}
+	for _, leg := range []ColdstartLeg{r.RR, r.PA} {
+		t.AddRow(leg.Policy, fmt.Sprint(leg.Done), fmt.Sprint(leg.ColdLaunches),
+			metrics.Ms(leg.MeanLaunch), fmt.Sprintf("%.2f", leg.ReqPerSec))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

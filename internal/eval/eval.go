@@ -115,7 +115,7 @@ func runPieLoad(e *pie.Engine, app string, paramsFor func(task int) string, tota
 func runPieLoadAfter(e *pie.Engine, app string, paramsFor func(task int) string, total, concurrency int, after func()) loadResult {
 	res := loadResult{Latency: &metrics.Series{Name: app}}
 	e.Go("loadgen", func() {
-		if h, err := e.Launch(app, paramsFor(0)); err == nil {
+		if h, err := e.Launch(pie.Spec(app, paramsFor(0))); err == nil {
 			_ = h.Wait()
 		}
 		start := e.Now()
@@ -133,7 +133,7 @@ func runPieLoadAfter(e *pie.Engine, app string, paramsFor func(task int) string,
 					}
 					for attempt := 0; attempt < 4; attempt++ {
 						t0 := e.Now()
-						h, err := e.Launch(app, paramsFor(task))
+						h, err := e.Launch(pie.Spec(app, paramsFor(task)))
 						if err != nil {
 							res.Failures++
 							continue

@@ -61,7 +61,7 @@ func launchProbe(seed uint64, n int, warm bool) time.Duration {
 	lat := &metrics.Series{}
 	e.Go("driver", func() {
 		if warm {
-			h, err := e.Launch("text_completion", params)
+			h, err := e.Launch(pie.Spec("text_completion", params))
 			if err == nil {
 				h.Recv().Get()
 				h.Wait()
@@ -71,7 +71,7 @@ func launchProbe(seed uint64, n int, warm bool) time.Duration {
 		for i := 0; i < n; i++ {
 			g.Go("launcher", func() {
 				t0 := e.Now()
-				h, err := e.Launch("text_completion", params)
+				h, err := e.Launch(pie.Spec("text_completion", params))
 				if err != nil {
 					return
 				}
@@ -186,7 +186,7 @@ func apiProbe(seed uint64, n int) Fig10Point {
 		g := sim.NewGroup(e.Clock())
 		for i := 0; i < n; i++ {
 			g.Go("launcher", func() {
-				h, err := e.Launch("api_probe")
+				h, err := e.Launch(pie.Spec("api_probe"))
 				if err != nil {
 					return
 				}
@@ -269,7 +269,7 @@ func Figure11(o Options) Fig11Result {
 		e := newPieEngine(o.seed(), nil)
 		var cc, ic, tok int
 		e.Go("driver", func() {
-			h, err := e.Launch(task.app, marshalParams(task.params))
+			h, err := e.Launch(pie.Spec(task.app, marshalParams(task.params)))
 			if err != nil {
 				return
 			}

@@ -213,7 +213,7 @@ func runOffloadLeg(o Options, oversub, ratio float64, rounds int) OffloadPoint {
 	e.Go("loadgen", func() {
 		// Warmup populates the binary cache so steady-state numbers
 		// exclude cold JIT.
-		if h, err := e.Launch("kv_hold", params); err == nil {
+		if h, err := e.Launch(pie.Spec("kv_hold", params)); err == nil {
 			_ = h.Wait()
 		}
 		start := e.Now()
@@ -230,7 +230,7 @@ func runOffloadLeg(o Options, oversub, ratio float64, rounds int) OffloadPoint {
 					}
 					for attempt := 0; attempt < 4; attempt++ {
 						t0 := e.Now()
-						h, err := e.Launch("kv_hold", params)
+						h, err := e.Launch(pie.Spec("kv_hold", params))
 						if err != nil {
 							p.Failures++
 							continue

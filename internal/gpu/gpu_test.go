@@ -110,3 +110,20 @@ func TestDeviceIdleNotification(t *testing.T) {
 		t.Fatal("device not idle after drain")
 	}
 }
+
+func TestArtifactCost(t *testing.T) {
+	s := SpecFor("1B")
+	// Calibration: a Table 2 binary (129 KB) pays ~26 ms of upload + JIT
+	// on a cold launch, reproducing Fig. 9's cold-vs-warm gap.
+	got := s.ArtifactCost(129 << 10)
+	want := time.Duration(129<<10) * 200 * time.Nanosecond
+	if got != want {
+		t.Fatalf("ArtifactCost(129KB) = %v, want %v", got, want)
+	}
+	if s.ArtifactCost(0) != 0 || s.ArtifactCost(-1) != 0 {
+		t.Fatal("empty binaries must cost nothing")
+	}
+	if s.ArtifactCacheBytes <= 0 {
+		t.Fatal("default artifact cache capacity must be positive")
+	}
+}

@@ -1,22 +1,30 @@
 // Package ilm implements Pie's application layer (§5.1): the Inferlet
-// Lifecycle Manager. It launches inferlets into sandboxed cooperative
-// processes, manages the compiled-binary cache and pooled instance
-// allocation that make launches cheap (Fig. 9), relays user↔inferlet
-// messages, and hosts the broadcast/subscribe fabric for inter-inferlet
-// collaboration.
+// Lifecycle Manager. It hosts the versioned program registry (deployable
+// inferlet artifacts with manifests), launches inferlets into sandboxed
+// cooperative processes, relays user↔inferlet messages, and hosts the
+// broadcast/subscribe fabric for inter-inferlet collaboration.
 //
 // The paper executes inferlets as WebAssembly modules under wasmtime with
 // pooled allocation preconfigured for 1,000 concurrent instances. Here the
 // sandbox is a cooperative sim process whose only capability surface is
 // the inferlet.Session interface — inferlets cannot reach the engine, the
 // clock, or each other except through session calls, which preserves the
-// isolation structure the paper relies on. Launch costs reproduce the
-// upload + JIT pipeline: cold launches pay per-byte upload and compile
-// charges; warm launches reuse the cached artifact.
+// isolation structure the paper relies on.
+//
+// Deployment API v2: programs register as name@version artifacts whose
+// manifests (required models/traits, resource limits) are validated
+// against the catalog's trait closure at register and launch time
+// (api.ErrUnsatisfiedManifest). Launches take a LaunchSpec (version
+// reference, args, priority, deadline, client tag) and return a handle
+// with Abort. Launch costs reproduce the upload + JIT pipeline per
+// replica: the first launch of an artifact on a replica is cold (per-byte
+// upload and compile charges, priced by the device spec); warm launches
+// hit the replica's LRU artifact cache.
 package ilm
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"pie/api"
@@ -29,31 +37,65 @@ import (
 // Launch-pipeline calibration (Fig. 9; see DESIGN.md §4): a
 // single-threaded launch dispatcher serializes admission (its service time
 // produces the latency growth with concurrent launches), while
-// instantiation, upload, and JIT run in the launching process.
+// instantiation, upload, and JIT run in the launching process. Upload and
+// JIT per-byte charges live on gpu.Spec (ArtifactCost) — they are replica
+// properties now that each replica keeps its own artifact cache.
 const (
 	dispatchWarm     = 90 * time.Microsecond
 	dispatchCold     = 100 * time.Microsecond
 	instantiateFixed = 1200 * time.Microsecond
-	uploadPerByte    = 10 * time.Nanosecond
-	jitPerByte       = 190 * time.Nanosecond
 	poolSlots        = 1000 // wasmtime pooled-allocation preallocation
 	poolOverflowCost = 5 * time.Millisecond
 )
 
 // Placer decides which control layer hosts a new inferlet instance. A
 // cluster router places across replica controllers; a single-replica
-// deployment always returns the same one.
+// deployment always returns the same one. artifact is the name@version
+// cache key — the program-affinity policy probes replicas' warm-artifact
+// caches with it.
 type Placer interface {
-	Place(program string, args []string) *core.Controller
+	Place(program, artifact string, args []string) *core.Controller
 }
+
+// LaunchSpec describes one inferlet launch (deployment API v2).
+type LaunchSpec struct {
+	// Program references a registered artifact: "name" (latest version)
+	// or "name@version" (exact).
+	Program string
+	// Args are the launch arguments (GetArg inside the inferlet).
+	Args []string
+	// Priority seeds the batch-scheduler priority of every command queue
+	// the instance opens.
+	Priority int
+	// Deadline bounds the instance's virtual runtime from launch; on
+	// expiry it is aborted with api.ErrDeadlineExceeded. Combined with a
+	// manifest deadline, the tighter bound wins. Zero means none.
+	Deadline time.Duration
+	// ClientTag is an opaque client label carried on the handle
+	// (multi-tenant attribution in listings and logs).
+	ClientTag string
+}
+
+// ProgramInfo describes one registered artifact (registry listings).
+type ProgramInfo struct {
+	Name       string
+	Version    string
+	Latest     bool // this version is what a bare-name launch resolves to
+	BinarySize int
+	Manifest   inferlet.Manifest
+}
+
+// Ref formats the artifact's registry key.
+func (p ProgramInfo) Ref() string { return inferlet.Ref(p.Name, p.Version) }
 
 // ILM is the inferlet lifecycle manager.
 type ILM struct {
 	clock    *sim.Clock
 	place    Placer
 	world    *netsim.World
-	programs map[string]*inferlet.Program
-	compiled map[string]bool // JIT cache
+	models   []api.ModelInfo              // catalog view for manifest validation
+	programs map[string]map[string]*entry // name -> version -> artifact
+	latest   map[string]string            // name -> highest registered version
 	launchQ  *sim.Mailbox[*launchReq]
 	topics   map[string]map[*subscription]struct{}
 	live     int
@@ -61,23 +103,34 @@ type ILM struct {
 
 	// Stats.
 	Launches     int
-	ColdLaunches int
+	ColdLaunches int // launches that paid the upload + JIT pipeline
+	Aborts       int // instances cancelled via Handle.Abort (incl. deadline)
 }
 
+// entry is one registered artifact.
+type entry struct {
+	prog    *inferlet.Program
+	version string
+	parsed  [3]int
+}
+
+func (e *entry) ref() string { return inferlet.Ref(e.prog.Name, e.version) }
+
 type launchReq struct {
-	cold  bool
 	grant *sim.Signal
 }
 
 // New starts the ILM on the clock. Launched instances are placed onto a
 // control layer by place — the cluster router in multi-replica engines.
-func New(clock *sim.Clock, place Placer, world *netsim.World) *ILM {
+// models is the catalog view program manifests validate against.
+func New(clock *sim.Clock, place Placer, world *netsim.World, models []api.ModelInfo) *ILM {
 	m := &ILM{
 		clock:    clock,
 		place:    place,
 		world:    world,
-		programs: make(map[string]*inferlet.Program),
-		compiled: make(map[string]bool),
+		models:   models,
+		programs: make(map[string]map[string]*entry),
+		latest:   make(map[string]string),
 		launchQ:  sim.NewMailbox[*launchReq](clock),
 		topics:   make(map[string]map[*subscription]struct{}),
 	}
@@ -85,24 +138,99 @@ func New(clock *sim.Clock, place Placer, world *netsim.World) *ILM {
 	return m
 }
 
-// Register installs a program in the inferlet registry.
+// Register deploys a program artifact into the versioned registry. The
+// manifest is validated against the catalog's trait closure now — an
+// unsatisfiable deployment fails here, typed api.ErrUnsatisfiedManifest,
+// instead of inside a running inferlet. Registering the same name@version
+// twice is an error; registering a new version of an existing name is a
+// normal rolling deployment (bare-name launches resolve to the highest
+// version).
 func (m *ILM) Register(p inferlet.Program) error {
 	if p.Name == "" || p.Run == nil {
 		return fmt.Errorf("ilm: program needs a name and a Run body")
 	}
-	if _, dup := m.programs[p.Name]; dup {
-		return fmt.Errorf("ilm: program %q already registered", p.Name)
+	version := p.Manifest.Version
+	if version == "" {
+		version = defaultVersion
+	}
+	parsed, err := parseVersion(version)
+	if err != nil {
+		return fmt.Errorf("%w: program %q: %v", api.ErrUnsatisfiedManifest, p.Name, err)
+	}
+	version = canonicalVersion(parsed) // "1.0" and "1.0.0" are one artifact
+	if err := validateManifest(p.Name, p.Manifest, m.models); err != nil {
+		return err
+	}
+	if _, dup := m.programs[p.Name][version]; dup {
+		return fmt.Errorf("ilm: program %q already registered", inferlet.Ref(p.Name, version))
 	}
 	cp := p
-	m.programs[p.Name] = &cp
+	cp.Manifest.Version = version
+	if m.programs[p.Name] == nil {
+		m.programs[p.Name] = make(map[string]*entry)
+	}
+	m.programs[p.Name][version] = &entry{prog: &cp, version: version, parsed: parsed}
+	if cur, ok := m.latest[p.Name]; !ok {
+		m.latest[p.Name] = version
+	} else if curParsed, _ := parseVersion(cur); versionLess(curParsed, parsed) {
+		m.latest[p.Name] = version
+	}
 	return nil
 }
 
-// Programs lists registered program names.
+// resolve maps a program reference ("name" or "name@version") to its
+// registry entry.
+func (m *ILM) resolve(ref string) (*entry, error) {
+	name, version := inferlet.SplitRef(ref)
+	versions, ok := m.programs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", api.ErrNoSuchProgram, name)
+	}
+	if version == "" {
+		version = m.latest[name]
+	} else if parsed, err := parseVersion(version); err != nil {
+		return nil, fmt.Errorf("%w: %q has no version %q", api.ErrNoSuchProgram, name, version)
+	} else {
+		version = canonicalVersion(parsed) // "name@1.0" resolves "1.0.0"
+	}
+	e, ok := versions[version]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q has no version %q", api.ErrNoSuchProgram, name, version)
+	}
+	return e, nil
+}
+
+// Programs lists registered program names, sorted.
 func (m *ILM) Programs() []string {
 	out := make([]string, 0, len(m.programs))
 	for n := range m.programs {
 		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProgramInfos lists every registered artifact, sorted by name then
+// version order.
+func (m *ILM) ProgramInfos() []ProgramInfo {
+	var out []ProgramInfo
+	for _, name := range m.Programs() {
+		versions := make([]*entry, 0, len(m.programs[name]))
+		for _, e := range m.programs[name] {
+			versions = append(versions, e)
+		}
+		sort.Slice(versions, func(i, j int) bool {
+			return versionLess(versions[i].parsed, versions[j].parsed)
+		})
+		for _, e := range versions {
+			out = append(out, ProgramInfo{
+				Name:       name,
+				Version:    e.version,
+				Latest:     m.latest[name] == e.version,
+				BinarySize: e.prog.BinarySize,
+				Manifest:   e.prog.Manifest,
+			})
+		}
 	}
 	return out
 }
@@ -110,34 +238,35 @@ func (m *ILM) Programs() []string {
 // dispatcherLoop serializes launch admission (single-threaded, like the
 // ILM RPC front end): the source of Fig. 9's latency growth under
 // concurrent launches.
+// The dispatcher charges the warm admission cost; cold launches pay the
+// dispatch delta in the launching process once placement has picked the
+// replica (coldness is a per-replica property now).
 func (m *ILM) dispatcherLoop() {
 	for {
 		req, err := m.launchQ.Recv()
 		if err != nil {
 			return
 		}
-		if req.cold {
-			m.clock.Sleep(dispatchCold)
-		} else {
-			m.clock.Sleep(dispatchWarm)
-		}
+		m.clock.Sleep(dispatchWarm)
 		sim.Fire(req.grant)
 	}
 }
 
 // Handle is the client-side connection to a running inferlet.
 type Handle struct {
-	ID      uint64
-	Program string
-	ilm     *ILM
-	ctl     *core.Controller // the replica control layer hosting the instance
-	inst    *core.Instance
-	proc    *sim.Proc
-	toUser  *sim.Mailbox[string]
-	toInflt *sim.Mailbox[string]
-	done    *sim.Future[error]
-	killErr error
-	logs    []string
+	ID        uint64
+	Program   string
+	Version   string
+	ClientTag string
+	ilm       *ILM
+	ctl       *core.Controller // the replica control layer hosting the instance
+	inst      *core.Instance
+	proc      *sim.Proc
+	toUser    *sim.Mailbox[string]
+	toInflt   *sim.Mailbox[string]
+	done      *sim.Future[error]
+	killErr   error
+	logs      []string
 }
 
 // Send delivers a message to the inferlet (the client side of
@@ -159,6 +288,25 @@ func (h *Handle) Wait() error {
 // Done reports whether the inferlet has finished.
 func (h *Handle) Done() bool { return h.done.Done() }
 
+// Abort cancels the inferlet: every page and embedding slot it holds
+// returns to the pools (queue-scoped reclamation through the control
+// layer — pending calls fail, page pins drop, offloaded pages unpin),
+// and Wait resolves with api.ErrAborted. Aborting a finished or already
+// aborted inferlet is a no-op. Must be called from a sim process. It
+// reports whether this call performed the abort.
+func (h *Handle) Abort() bool { return h.abort(api.ErrAborted) }
+
+func (h *Handle) abort(reason error) bool {
+	if h.done.Done() {
+		return false
+	}
+	if !h.ctl.AbortInstance(h.inst, reason) {
+		return false
+	}
+	h.ilm.Aborts++
+	return true
+}
+
 // Logs returns lines the inferlet emitted via Print.
 func (h *Handle) Logs() []string { return append([]string(nil), h.logs...) }
 
@@ -167,47 +315,91 @@ func (h *Handle) Stats() (controlCalls, inferCalls, outputTokens int) {
 	return h.inst.ControlCalls, h.inst.InferCalls, h.inst.OutputTokens
 }
 
-// Launch starts an inferlet. It must be called from a sim process (a
-// client, another inferlet, or a test driver) and returns once the
-// instance is running. The first launch of a program is cold: the binary
-// uploads and JIT-compiles, then stays cached.
-func (m *ILM) Launch(program string, args []string) (*Handle, error) {
-	p, ok := m.programs[program]
-	if !ok {
-		return nil, fmt.Errorf("ilm: no program %q", program)
+// Launch starts an inferlet from a LaunchSpec. It must be called from a
+// sim process (a client, another inferlet, or a test driver) and returns
+// once the instance is running. The manifest is revalidated, the
+// placement policy picks a replica, and the launch is cold — paying the
+// upload + JIT pipeline — iff that replica's artifact cache lacks the
+// binary.
+func (m *ILM) Launch(spec LaunchSpec) (*Handle, error) {
+	e, err := m.resolve(spec.Program)
+	if err != nil {
+		return nil, err
 	}
-	cold := !m.compiled[program]
-	req := &launchReq{cold: cold, grant: sim.NewSignal(m.clock)}
+	p := e.prog
+	if err := validateManifest(p.Name, p.Manifest, m.models); err != nil {
+		return nil, err
+	}
+	req := &launchReq{grant: sim.NewSignal(m.clock)}
 	m.launchQ.Send(req)
 	if err := sim.Await(req.grant); err != nil {
 		return nil, err
-	}
-	if cold {
-		m.clock.Sleep(time.Duration(p.BinarySize) * (uploadPerByte + jitPerByte))
-		m.compiled[program] = true
-		m.ColdLaunches++
 	}
 	m.clock.Sleep(instantiateFixed)
 	if m.live >= poolSlots {
 		m.clock.Sleep(poolOverflowCost)
 	}
-	m.Launches++
-	m.live++
+	// Placement happens after admission serializes the herd; the instance
+	// registers with the control layer immediately, so load-aware
+	// placement sees launches-in-flight (an instance still paying its
+	// JIT) instead of an all-zeros tie.
+	ctl := m.place.Place(p.Name, e.ref(), spec.Args)
 
 	m.handleID++
 	h := &Handle{
-		ID:      m.handleID,
-		Program: program,
-		ilm:     m,
-		ctl:     m.place.Place(program, args),
-		toUser:  sim.NewMailbox[string](m.clock),
-		toInflt: sim.NewMailbox[string](m.clock),
-		done:    sim.NewFuture[error](m.clock),
+		ID:        m.handleID,
+		Program:   p.Name,
+		Version:   e.version,
+		ClientTag: spec.ClientTag,
+		ilm:       m,
+		ctl:       ctl,
+		toUser:    sim.NewMailbox[string](m.clock),
+		toInflt:   sim.NewMailbox[string](m.clock),
+		done:      sim.NewFuture[error](m.clock),
 	}
-	sess := &session{ilm: m, handle: h, ctl: h.ctl, args: append([]string(nil), args...)}
-	sess.rng = sim.NewRNG(0x5EED ^ uint64(h.ID))
+	h.inst = ctl.RegisterInstance(p.Name, nil, func(reason error) {
+		h.killErr = reason
+		if h.proc != nil {
+			m.clock.Kill(h.proc)
+		}
+	})
+	h.inst.MaxQueues = p.Manifest.Limits.MaxQueues
+	h.inst.MaxKvPages = p.Manifest.Limits.MaxKvPages
+	h.inst.DefaultPriority = spec.Priority
 
-	h.proc = m.clock.Go("inferlet:"+program, func() {
+	cold := !ctl.HasArtifact(e.ref())
+	if cold {
+		// Upload + JIT on this replica, plus the dispatcher's extra
+		// cold-admission handling. Concurrent launches of a
+		// still-compiling artifact each pay the pipeline (the cache
+		// admits on completion), reproducing Fig. 9's cold curve.
+		m.clock.Sleep(dispatchCold - dispatchWarm + ctl.ArtifactCost(p.BinarySize))
+	}
+	ctl.AdmitArtifact(e.ref(), p.BinarySize, cold)
+	if h.inst.Dead() {
+		// Reclaimed (FCFS contention) while still compiling: the launch
+		// fails before the program ever runs and counts as neither a
+		// launch nor a cold launch.
+		err := h.killErr
+		if err == nil {
+			err = api.ErrTerminated
+		}
+		h.done.Resolve(err)
+		h.toUser.Close()
+		h.toInflt.Close()
+		return nil, err
+	}
+	m.Launches++
+	if cold {
+		m.ColdLaunches++
+	}
+	m.live++
+
+	sess := &session{ilm: m, handle: h, ctl: h.ctl, args: append([]string(nil), spec.Args...)}
+	sess.rng = sim.NewRNG(0x5EED ^ uint64(h.ID))
+	sess.inst = h.inst
+
+	h.proc = m.clock.Go("inferlet:"+p.Name, func() {
 		var err error
 		func() {
 			defer func() {
@@ -233,12 +425,30 @@ func (m *ILM) Launch(program string, args []string) (*Handle, error) {
 		h.toUser.Close()
 		h.toInflt.Close()
 	})
-	h.inst = h.ctl.RegisterInstance(program, h.proc, func(reason error) {
-		h.killErr = reason
-		m.clock.Kill(h.proc)
-	})
-	sess.inst = h.inst
+	h.inst.Proc = h.proc
+
+	if d := effectiveDeadline(spec.Deadline, p.Manifest.Limits.Deadline); d > 0 {
+		m.clock.GoDaemon("ilm:deadline", func() {
+			m.clock.Sleep(d)
+			h.abort(fmt.Errorf("%w after %v", api.ErrDeadlineExceeded, d))
+		})
+	}
 	return h, nil
+}
+
+// effectiveDeadline combines a launch-spec deadline with a manifest
+// deadline: the tighter nonzero bound wins.
+func effectiveDeadline(spec, manifest time.Duration) time.Duration {
+	switch {
+	case spec <= 0:
+		return manifest
+	case manifest <= 0:
+		return spec
+	case spec < manifest:
+		return spec
+	default:
+		return manifest
+	}
 }
 
 // subscription implements inferlet.Subscription.

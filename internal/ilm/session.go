@@ -89,7 +89,7 @@ func (s *session) Subscribe(topic string) inferlet.Subscription {
 
 func (s *session) Spawn(program string, args []string) (inferlet.Child, error) {
 	s.inst.ControlCalls++
-	h, err := s.ilm.Launch(program, args)
+	h, err := s.ilm.Launch(LaunchSpec{Program: program, Args: args})
 	if err != nil {
 		return nil, err
 	}

@@ -158,6 +158,14 @@ type ReplicaStats struct {
 	KVPeakPages  int `json:"kv_peak_pages"`
 	SwapInPages  int `json:"swap_in_pages"`
 	SwapOutPages int `json:"swap_out_pages"`
+
+	// Warm-artifact cache: program binaries resident on the replica and
+	// the cold/warm launch split they produced (Fig. 9 economics).
+	Artifacts         int `json:"artifacts"`
+	ArtifactHits      int `json:"artifact_hits"`
+	ArtifactMisses    int `json:"artifact_misses"`
+	ArtifactEvictions int `json:"artifact_evictions"`
+	Aborts            int `json:"aborts"`
 }
 
 // ReplicaTable renders per-replica stats in paper style.

@@ -34,7 +34,7 @@ func runInferlet(t *testing.T, body func(s inferlet.Session) (string, error)) (s
 	})
 	var got string
 	if err := e.RunClient(func() {
-		h, err := e.Launch("probe")
+		h, err := e.Launch(pie.Spec("probe"))
 		if err != nil {
 			t.Errorf("launch: %v", err)
 			return
@@ -329,7 +329,7 @@ func TestFutureCombinatorsInSim(t *testing.T) {
 		},
 	})
 	if err := e.RunClient(func() {
-		h, err := e.Launch("combinators")
+		h, err := e.Launch(pie.Spec("combinators"))
 		if err != nil {
 			t.Errorf("launch: %v", err)
 			return
@@ -382,7 +382,7 @@ func TestAnyAcrossLayers(t *testing.T) {
 		},
 	})
 	if err := e.RunClient(func() {
-		h, err := e.Launch("mixed")
+		h, err := e.Launch(pie.Spec("mixed"))
 		if err != nil {
 			t.Errorf("launch: %v", err)
 			return

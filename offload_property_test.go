@@ -169,7 +169,7 @@ func runChaos(t *testing.T, seed uint64) pie.Stats {
 		defer func() { probeDone = true }()
 		var hs []*pie.Handle
 		for i := 0; i < chaosAgents; i++ {
-			h, err := e.Launch("chaos", fmt.Sprint(i))
+			h, err := e.Launch(pie.Spec("chaos", fmt.Sprint(i)))
 			if err != nil {
 				t.Errorf("launch %d: %v", i, err)
 				return
@@ -275,7 +275,7 @@ func TestExportResidencyReflectsOffload(t *testing.T) {
 		},
 	})
 	err := e.RunClient(func() {
-		h, err := e.Launch("exporter")
+		h, err := e.Launch(pie.Spec("exporter"))
 		if err != nil {
 			t.Errorf("launch exporter: %v", err)
 			return
@@ -287,7 +287,7 @@ func TestExportResidencyReflectsOffload(t *testing.T) {
 		if dev, total := e.Controller().ExportResidency("res:key"); dev != 4 || total != 4 {
 			t.Errorf("fresh export residency %d/%d, want 4/4", dev, total)
 		}
-		if _, err := e.LaunchAndWait("presser"); err != nil {
+		if _, err := e.LaunchAndWait(pie.Spec("presser")); err != nil {
 			t.Errorf("presser: %v", err)
 			return
 		}

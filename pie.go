@@ -40,17 +40,40 @@ import (
 // embed the engine need only import "pie": programs are written against
 // Session, obtain a *Queue from Session.Open, and negotiate trait
 // capabilities from it (see package inferlet for the full v2 API).
+// Programs deploy with a Manifest (version, required models/traits,
+// resource limits) and launch from a LaunchSpec.
 type (
-	Program = inferlet.Program
-	Session = inferlet.Session
-	Queue   = inferlet.Queue
+	Program  = inferlet.Program
+	Manifest = inferlet.Manifest
+	Limits   = inferlet.Limits
+	Session  = inferlet.Session
+	Queue    = inferlet.Queue
+
+	// LaunchSpec describes one inferlet launch: program reference
+	// ("name" or "name@version"), args, default queue priority, virtual
+	// deadline, and an opaque client tag.
+	LaunchSpec = ilm.LaunchSpec
+	// ProgramInfo describes one registered artifact (Engine.Programs).
+	ProgramInfo = ilm.ProgramInfo
 )
+
+// Spec builds the common LaunchSpec: a program reference plus positional
+// launch arguments. Callers needing priority, deadline, or a client tag
+// construct the LaunchSpec literal instead.
+func Spec(program string, args ...string) LaunchSpec {
+	return LaunchSpec{Program: program, Args: args}
+}
 
 // Re-exported API errors (see package api for the full set).
 var (
-	ErrNoSuchModel = api.ErrNoSuchModel
-	ErrNoSuchTrait = api.ErrNoSuchTrait
-	ErrQueueClosed = api.ErrQueueClosed
+	ErrNoSuchModel         = api.ErrNoSuchModel
+	ErrNoSuchTrait         = api.ErrNoSuchTrait
+	ErrQueueClosed         = api.ErrQueueClosed
+	ErrNoSuchProgram       = api.ErrNoSuchProgram
+	ErrUnsatisfiedManifest = api.ErrUnsatisfiedManifest
+	ErrAborted             = api.ErrAborted
+	ErrDeadlineExceeded    = api.ErrDeadlineExceeded
+	ErrLimitExceeded       = api.ErrLimitExceeded
 )
 
 // ExecutionMode selects functional fidelity (see internal/infer).
@@ -81,9 +104,10 @@ type PlacementPolicy = cluster.PlacementPolicy
 
 // Re-exported placement policies.
 const (
-	PlaceRoundRobin  = cluster.PlaceRoundRobin
-	PlaceLeastLoaded = cluster.PlaceLeastLoaded
-	PlaceKVAffinity  = cluster.PlaceKVAffinity
+	PlaceRoundRobin      = cluster.PlaceRoundRobin
+	PlaceLeastLoaded     = cluster.PlaceLeastLoaded
+	PlaceKVAffinity      = cluster.PlaceKVAffinity
+	PlaceProgramAffinity = cluster.PlaceProgramAffinity
 )
 
 // AutoscaleConfig tunes the cluster's queue-depth autoscaler.
@@ -147,6 +171,11 @@ type Config struct {
 	// derived from GPU memory geometry (0 keeps the geometry). Used by
 	// oversubscription experiments and tests.
 	KVPagesOverride int
+	// ArtifactCacheBytes sizes each replica's warm-artifact cache (the
+	// compiled program binaries resident there; cold launches pay upload
+	// + JIT, warm ones skip it). 0 takes the device default (8 MB, which
+	// holds every Table 2 binary); negative disables eviction.
+	ArtifactCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -222,6 +251,7 @@ func New(cfg Config) *Engine {
 		total = cfg.Autoscale.Max
 	}
 	offload := core.OffloadConfig{HostRatio: cfg.HostKVRatio, Eviction: cfg.KVEviction}
+	artifacts := core.ArtifactConfig{CapacityBytes: cfg.ArtifactCacheBytes}
 	replicas := make([]*cluster.Replica, 0, total)
 	for i := 0; i < total; i++ {
 		backend := infer.NewBackend(clock, fmt.Sprintf("l4-%d", i))
@@ -236,20 +266,24 @@ func New(cfg Config) *Engine {
 		replicas = append(replicas, &cluster.Replica{
 			ID:      i,
 			Backend: backend,
-			Ctl:     core.NewController(clock, backend, rts, sched, offload),
+			Ctl:     core.NewController(clock, backend, rts, sched, offload, artifacts),
 		})
 	}
 	cl := cluster.New(clock, cfg.Placement, cfg.Autoscale, replicas, cfg.Replicas)
 	world := netsim.NewWorld(clock)
 	world.DefaultLatency = cfg.ExternalLatency
-	lifecycle := ilm.New(clock, cl, world)
+	lifecycle := ilm.New(clock, cl, world, replicas[0].Ctl.ModelInfos())
 	return &Engine{
 		cfg: cfg, clock: clock, catalog: cat,
 		cluster: cl, ilm: lifecycle, world: world,
 	}
 }
 
-// Register installs an inferlet program.
+// Register deploys an inferlet program into the versioned registry,
+// validating its manifest against the catalog (ErrUnsatisfiedManifest on
+// requirements the installed models cannot serve). Registering a new
+// version of an existing name is a rolling deployment: bare-name launches
+// resolve to the highest version.
 func (e *Engine) Register(p inferlet.Program) error { return e.ilm.Register(p) }
 
 // MustRegister is Register for static program sets; it panics on error.
@@ -260,6 +294,10 @@ func (e *Engine) MustRegister(ps ...inferlet.Program) {
 		}
 	}
 }
+
+// Programs lists every registered artifact with its manifest, sorted by
+// name then version.
+func (e *Engine) Programs() []ProgramInfo { return e.ilm.ProgramInfos() }
 
 // RegisterTool installs an external service reachable from inferlets and
 // baseline clients via HTTP calls.
@@ -294,12 +332,26 @@ func (h *Handle) Logs() []string { return h.h.Logs() }
 // inference-layer calls, and accepted output tokens (Fig. 10/11).
 func (h *Handle) Stats() (controlCalls, inferCalls, outputTokens int) { return h.h.Stats() }
 
-// Launch starts an inferlet over the client link (one half RTT out; the
-// full acknowledgement round trip is visible through Wait/Recv). Must be
-// called from a sim process.
-func (e *Engine) Launch(program string, args ...string) (*Handle, error) {
+// Abort cancels the inferlet: queue-scoped reclamation frees every page
+// and embedding slot it holds, in-flight calls fail, and Wait resolves
+// with ErrAborted. A no-op on finished runs. Must be called from a sim
+// process; it reports whether this call performed the abort.
+func (h *Handle) Abort() bool { return h.h.Abort() }
+
+// Program reports the launched program name and resolved version.
+func (h *Handle) Program() (name, version string) { return h.h.Program, h.h.Version }
+
+// ClientTag reports the opaque client label from the LaunchSpec.
+func (h *Handle) ClientTag() string { return h.h.ClientTag }
+
+// Launch starts an inferlet described by a LaunchSpec over the client
+// link (one half RTT out; the full acknowledgement round trip is visible
+// through Wait/Recv). Must be called from a sim process. The common case
+// reads e.Launch(pie.Spec("name", args...)); legacy call sites keep the
+// old positional signature through inferlet/compat.Launch.
+func (e *Engine) Launch(spec LaunchSpec) (*Handle, error) {
 	e.clock.Sleep(e.cfg.ClientRTT / 2)
-	h, err := e.ilm.Launch(program, args)
+	h, err := e.ilm.Launch(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -307,8 +359,8 @@ func (e *Engine) Launch(program string, args ...string) (*Handle, error) {
 }
 
 // LaunchAndWait runs an inferlet to completion and returns its logs.
-func (e *Engine) LaunchAndWait(program string, args ...string) ([]string, error) {
-	h, err := e.Launch(program, args...)
+func (e *Engine) LaunchAndWait(spec LaunchSpec) ([]string, error) {
+	h, err := e.Launch(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -352,8 +404,15 @@ type Stats struct {
 	Terminations   int
 	Launches       int
 	ColdLaunches   int
+	Aborts         int
 	ToolCalls      int
 	ActiveReplicas int
+
+	// Warm-artifact cache, aggregated across replicas (Fig. 9
+	// economics: Misses paid upload + JIT, Hits skipped it).
+	ArtifactHits      int
+	ArtifactMisses    int
+	ArtifactEvictions int
 
 	// Tiered KV cache (zero when HostKVRatio is 0).
 	KVDevicePages int // device-resident pages right now
@@ -370,6 +429,7 @@ func (e *Engine) Stats() Stats {
 	out := Stats{
 		Launches:       e.ilm.Launches,
 		ColdLaunches:   e.ilm.ColdLaunches,
+		Aborts:         e.ilm.Aborts,
 		ToolCalls:      e.world.Calls,
 		ActiveReplicas: e.cluster.ActiveReplicas(),
 	}
@@ -383,6 +443,10 @@ func (e *Engine) Stats() Stats {
 			out.MaxBatch = s.MaxBatch
 		}
 		out.Terminations += r.Ctl.Terminations
+		art := r.Ctl.ArtifactStats()
+		out.ArtifactHits += art.Hits
+		out.ArtifactMisses += art.Misses
+		out.ArtifactEvictions += art.Evictions
 		off := r.Ctl.OffloadStats()
 		out.KVDevicePages += off.DeviceInUse
 		out.KVHostPages += off.HostInUse

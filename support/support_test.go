@@ -29,7 +29,7 @@ func run(t *testing.T, seed uint64, body func(s inferlet.Session) (string, error
 	})
 	var got string
 	if err := e.RunClient(func() {
-		h, err := e.Launch("t")
+		h, err := e.Launch(pie.Spec("t"))
 		if err != nil {
 			t.Errorf("launch: %v", err)
 			return
@@ -359,7 +359,7 @@ func TestContextDropReleasesPages(t *testing.T) {
 		},
 	})
 	if err := e.RunClient(func() {
-		h, _ := e.Launch("dropper")
+		h, _ := e.Launch(pie.Spec("dropper"))
 		if err := h.Wait(); err != nil {
 			t.Error(err)
 		}

@@ -62,7 +62,7 @@ func TestFCFSTerminatesNewest(t *testing.T) {
 	half := capacity / 2
 
 	if err := e.RunClient(func() {
-		older, err := e.Launch("hog", strconv.Itoa(half))
+		older, err := e.Launch(pie.Spec("hog", strconv.Itoa(half)))
 		if err != nil {
 			t.Errorf("launch older: %v", err)
 			return
@@ -71,7 +71,7 @@ func TestFCFSTerminatesNewest(t *testing.T) {
 			t.Errorf("older: %s", msg)
 			return
 		}
-		newer, err := e.Launch("hog", strconv.Itoa(capacity-half-1))
+		newer, err := e.Launch(pie.Spec("hog", strconv.Itoa(capacity-half-1)))
 		if err != nil {
 			t.Errorf("launch newer: %v", err)
 			return
@@ -107,7 +107,7 @@ func TestFCFSSelfTermination(t *testing.T) {
 	e.MustRegister(greedyHog)
 	_, capacity := e.PoolStats("llama-8b")
 	if err := e.RunClient(func() {
-		h, err := e.Launch("hog", strconv.Itoa(capacity+1))
+		h, err := e.Launch(pie.Spec("hog", strconv.Itoa(capacity+1)))
 		if err != nil {
 			t.Errorf("launch: %v", err)
 			return
@@ -128,9 +128,9 @@ func TestTerminationReleasesResources(t *testing.T) {
 	e.MustRegister(greedyHog)
 	_, capacity := e.PoolStats("llama-8b")
 	if err := e.RunClient(func() {
-		a, _ := e.Launch("hog", strconv.Itoa(capacity-1))
+		a, _ := e.Launch(pie.Spec("hog", strconv.Itoa(capacity-1)))
 		a.Recv().Get()
-		b, _ := e.Launch("hog", "1")
+		b, _ := e.Launch(pie.Spec("hog", "1"))
 		b.Recv().Get()
 		// Pool is full. The older instance asks for one more page: the
 		// newest (b) is reclaimed and its page satisfies a.
@@ -284,7 +284,7 @@ func TestExportImportSharedKV(t *testing.T) {
 	exp, imp := exportImportPrograms("shared context for everyone ")
 	e.MustRegister(exp, imp)
 	if err := e.RunClient(func() {
-		he, _ := e.Launch("exporter")
+		he, _ := e.Launch(pie.Spec("exporter"))
 		msg, _ := he.Recv().Get()
 		var n int
 		fmt.Sscanf(msg, "exported:%d", &n)
@@ -296,10 +296,10 @@ func TestExportImportSharedKV(t *testing.T) {
 			t.Errorf("exporter: %v", err)
 		}
 		// Exporter is gone; its export must survive (registry holds refs).
-		h1, _ := e.Launch("importer", strconv.Itoa(n))
+		h1, _ := e.Launch(pie.Spec("importer", strconv.Itoa(n)))
 		m1, _ := h1.Recv().Get()
 		h1.Wait()
-		h2, _ := e.Launch("importer", strconv.Itoa(n))
+		h2, _ := e.Launch(pie.Spec("importer", strconv.Itoa(n)))
 		m2, _ := h2.Recv().Get()
 		h2.Wait()
 		if m1 != m2 || m1 == "" {
@@ -352,7 +352,7 @@ func TestHandleIsolation(t *testing.T) {
 	e := pie.New(pie.Config{Seed: 2, Mode: pie.ModeTiming})
 	e.MustRegister(badHandles)
 	if err := e.RunClient(func() {
-		h, _ := e.Launch("bad-handles")
+		h, _ := e.Launch(pie.Spec("bad-handles"))
 		if err := h.Wait(); err != nil {
 			t.Error(err)
 		}
@@ -373,7 +373,7 @@ func TestSchedulerPolicies(t *testing.T) {
 		if err := e.RunClient(func() {
 			hs := make([]*pie.Handle, 0, n)
 			for i := 0; i < n; i++ {
-				h, err := e.Launch("autoregressive10")
+				h, err := e.Launch(pie.Spec("autoregressive10"))
 				if err != nil {
 					t.Errorf("launch: %v", err)
 					return
@@ -425,11 +425,11 @@ func TestBroadcastSubscribe(t *testing.T) {
 		},
 	})
 	if err := e.RunClient(func() {
-		l1, _ := e.Launch("listener")
-		l2, _ := e.Launch("listener")
+		l1, _ := e.Launch(pie.Spec("listener"))
+		l2, _ := e.Launch(pie.Spec("listener"))
 		l1.Recv().Get()
 		l2.Recv().Get()
-		sp, _ := e.Launch("speaker")
+		sp, _ := e.Launch(pie.Spec("speaker"))
 		sp.Wait()
 		m1, _ := l1.Recv().Get()
 		m2, _ := l2.Recv().Get()
@@ -480,7 +480,7 @@ func TestSpawnChild(t *testing.T) {
 		},
 	})
 	if err := e.RunClient(func() {
-		h, _ := e.Launch("parent")
+		h, _ := e.Launch(pie.Spec("parent"))
 		if msg, _ := h.Recv().Get(); msg != "ok" {
 			t.Errorf("parent reported %q", msg)
 		}
@@ -509,7 +509,7 @@ func TestToolHTTP(t *testing.T) {
 		},
 	})
 	if err := e.RunClient(func() {
-		h, _ := e.Launch("io")
+		h, _ := e.Launch(pie.Spec("io"))
 		msg, _ := h.Recv().Get()
 		if msg != `{"temp": 21} in 40ms` {
 			t.Errorf("got %q", msg)
@@ -549,8 +549,8 @@ func TestQueuePriority(t *testing.T) {
 		},
 	})
 	if err := e.RunClient(func() {
-		lo, _ := e.Launch("pri", "0")
-		hi, _ := e.Launch("pri", "10")
+		lo, _ := e.Launch(pie.Spec("pri", "0"))
+		hi, _ := e.Launch(pie.Spec("pri", "10"))
 		lo.Wait()
 		hi.Wait()
 	}); err != nil {
