@@ -208,4 +208,22 @@ var (
 	// ErrLimitExceeded reports an API call that would exceed a resource
 	// limit declared in the program's manifest.
 	ErrLimitExceeded = errors.New("pie: manifest resource limit exceeded")
+
+	// Fault-tolerance errors (cluster health, retry, and admission).
+
+	// ErrReplicaLost reports work stranded on a replica the cluster
+	// declared dead: in-flight inferlets are aborted with it (and requeued
+	// when the launch carries a retry policy), and waiters on its exports
+	// see it instead of hanging.
+	ErrReplicaLost = errors.New("pie: replica lost")
+	// ErrOverloaded reports a best-effort launch shed by the saturation
+	// guard: aggregate KV or queue utilization crossed the configured
+	// watermark, so admission preserves goodput for high-priority traffic.
+	ErrOverloaded = errors.New("pie: cluster overloaded, best-effort launch shed")
+	// ErrTransientFault reports an injected or spurious per-call failure
+	// that is safe to retry (fault-injection plans surface it).
+	ErrTransientFault = errors.New("pie: transient fault")
+	// ErrRetryBudgetExhausted reports a retried launch that ran out of its
+	// RetryPolicy backoff budget before any attempt succeeded.
+	ErrRetryBudgetExhausted = errors.New("pie: retry budget exhausted")
 )

@@ -35,10 +35,11 @@ const defaultJSONPath = "BENCH_sim.json"
 func main() {
 	quick := flag.Bool("quick", false, "run CI-sized workloads")
 	seed := flag.Uint64("seed", 42, "deterministic seed for every experiment")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster,offload,coldstart)")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster,offload,coldstart,faults)")
 	clusterExp := flag.Bool("cluster", false, "also run the replica-scaling cluster sweep (experiment id: cluster)")
 	offloadExp := flag.Bool("offload", false, "also run the tiered-KV host-offload oversubscription sweep (experiment id: offload)")
 	coldstartExp := flag.Bool("coldstart", false, "also run the deployable-artifact cold/warm launch sweep (experiment id: coldstart)")
+	faultsExp := flag.Bool("faults", false, "also run the fault-tolerance chaos experiment (experiment id: faults)")
 	jsonOut := flag.Bool("json", false, "write BENCH_sim.json with wall time and events/sec per experiment")
 	jsonPath := flag.String("json-out", defaultJSONPath, "path for the -json report (implies -json)")
 	flag.Parse()
@@ -63,6 +64,9 @@ func main() {
 	}
 	if *coldstartExp {
 		want["coldstart"] = true
+	}
+	if *faultsExp {
+		want["faults"] = true
 	}
 	all := want["all"]
 
@@ -201,6 +205,9 @@ func main() {
 	if want["coldstart"] {
 		run("coldstart", coldstartRun(o))
 	}
+	if want["faults"] {
+		run("faults", faultsRun(o))
+	}
 
 	if len(rep.Experiments) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected")
@@ -263,6 +270,25 @@ func coldstartRun(o eval.Options) func() (string, map[string]float64) {
 			"rr-mean-launch-ms":  float64(r.RR.MeanLaunch) / float64(time.Millisecond),
 			"pa-mean-launch-ms":  float64(r.PA.MeanLaunch) / float64(time.Millisecond),
 			"pa-vs-rr-speedup-x": r.PA.ReqPerSec / r.RR.ReqPerSec,
+		}
+	}
+}
+
+// faultsRun adapts the fault-tolerance chaos experiment to the harness.
+func faultsRun(o eval.Options) func() (string, map[string]float64) {
+	return func() (string, map[string]float64) {
+		r := eval.FaultsSweep(o)
+		return r.Table(), map[string]float64{
+			"replicas-lost":       float64(r.Faulted.ReplicasLost),
+			"detect-ms":           float64(r.Faulted.DetectTime) / float64(time.Millisecond),
+			"requeues":            float64(r.Faulted.Requeues),
+			"sheds":               float64(r.Faulted.Sheds),
+			"leaked-pages":        float64(r.Faulted.LeakedPages),
+			"hp-goodput-retained": r.GoodputRetained,
+			"baseline-hp-per-sec": r.Baseline.HPGoodput,
+			"faulted-hp-per-sec":  r.Faulted.HPGoodput,
+			"faulted-hp-failed":   float64(r.Faulted.HPFailed),
+			"faulted-be-failed":   float64(r.Faulted.BEFailed),
 		}
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -104,34 +105,78 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	seed := flag.Uint64("seed", 42, "deterministic seed")
-	replicas := flag.Int("replicas", 1, "backend replicas behind the cluster router")
-	placement := flag.String("placement", "round-robin", "placement policy: round-robin | least-outstanding-tokens | kv-affinity | program-affinity")
-	autoMax := flag.Int("autoscale-max", 0, "enable the autoscaler with this max replica bound (0 disables)")
-	autoMin := flag.Int("autoscale-min", 1, "autoscaler min replica bound")
-	hostKV := flag.Float64("host-kv-ratio", 0, "host-memory KV tier size as a multiple of device page capacity (0 disables offload)")
-	kvEvict := flag.String("kv-evict", "lru", "KV offload eviction policy: lru | priority")
-	artCache := flag.Int64("artifact-cache", 0, "per-replica warm-artifact cache capacity in bytes (0: device default, <0: unbounded)")
-	flag.Parse()
+// buildConfig defines the CLI surface on fs, parses args, and assembles
+// the engine config. Split from main so tests can drive the same flag
+// wiring (notably the fault-injection, health, shedding, and retry knobs)
+// without exec'ing the binary.
+func buildConfig(fs *flag.FlagSet, args []string) (addr string, cfg pie.Config, err error) {
+	addrFlag := fs.String("addr", ":8080", "listen address")
+	seed := fs.Uint64("seed", 42, "deterministic seed")
+	replicas := fs.Int("replicas", 1, "backend replicas behind the cluster router")
+	placement := fs.String("placement", "round-robin", "placement policy: round-robin | least-outstanding-tokens | kv-affinity | program-affinity")
+	autoMax := fs.Int("autoscale-max", 0, "enable the autoscaler with this max replica bound (0 disables)")
+	autoMin := fs.Int("autoscale-min", 1, "autoscaler min replica bound")
+	hostKV := fs.Float64("host-kv-ratio", 0, "host-memory KV tier size as a multiple of device page capacity (0 disables offload)")
+	kvEvict := fs.String("kv-evict", "lru", "KV offload eviction policy: lru | priority")
+	artCache := fs.Int64("artifact-cache", 0, "per-replica warm-artifact cache capacity in bytes (0: device default, <0: unbounded)")
+	healthEvery := fs.Duration("health-interval", 0, "replica health-check interval (0 disables the health monitor)")
+	hangTimeout := fs.Duration("hang-timeout", 0, "declare a silent replica dead after this much virtual time without progress (0: default)")
+	shedWatermark := fs.Float64("shed-watermark", 0, "shed best-effort launches above this cluster KV utilization (0 disables shedding)")
+	shedQueue := fs.Float64("shed-queue", 0, "shed best-effort launches above this mean per-replica queue depth (0: default)")
+	faultPlan := fs.String("fault-plan", "", "injected fault schedule, e.g. 'crash:1@200ms,hang:2@300ms,slow:3@100ms*4'")
+	faultRate := fs.Float64("fault-rate", 0, "per-launch transient fault probability (0 disables)")
+	faultSeed := fs.Uint64("fault-seed", 0, "seed for the transient-fault stream (default: -seed)")
+	retryAttempts := fs.Int("retry-attempts", 0, "default launch retry attempts, including the first (<=1 disables retries)")
+	retryBudget := fs.Duration("retry-budget", 0, "default cumulative backoff budget per launch (0: unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return "", pie.Config{}, err
+	}
 
 	pol, err := cluster.ParsePlacement(*placement)
 	if err != nil {
-		log.Fatal(err)
+		return "", pie.Config{}, err
 	}
 	evict, err := core.ParseEviction(*kvEvict)
 	if err != nil {
-		log.Fatal(err)
+		return "", pie.Config{}, err
 	}
-	cfg := pie.Config{Seed: *seed, Replicas: *replicas, Placement: pol,
+	cfg = pie.Config{Seed: *seed, Replicas: *replicas, Placement: pol,
 		HostKVRatio: *hostKV, KVEviction: evict, ArtifactCacheBytes: *artCache}
 	if *autoMax > 0 {
 		cfg.Autoscale = pie.AutoscaleConfig{Enabled: true, Min: *autoMin, Max: *autoMax}
 	}
+	if *healthEvery > 0 {
+		cfg.Health = pie.HealthConfig{Enabled: true, Interval: *healthEvery, HangTimeout: *hangTimeout}
+	}
+	if *shedWatermark > 0 {
+		cfg.Shed = pie.ShedConfig{Enabled: true, KVWatermark: *shedWatermark, QueueDepth: *shedQueue}
+	}
+	if *faultPlan != "" || *faultRate > 0 {
+		plan, perr := pie.ParseFaultPlan(*faultPlan)
+		if perr != nil {
+			return "", pie.Config{}, perr
+		}
+		plan.CallFailRate = *faultRate
+		plan.Seed = *faultSeed
+		if plan.Seed == 0 {
+			plan.Seed = *seed
+		}
+		cfg.Faults = plan
+	}
+	if *retryAttempts > 1 {
+		cfg.DefaultRetry = pie.RetryPolicy{MaxAttempts: *retryAttempts, Budget: *retryBudget}
+	}
+	return *addrFlag, cfg, nil
+}
+
+func main() {
+	addr, cfg, err := buildConfig(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
 	s := newServer(newEngine(cfg))
-	log.Printf("pie-server listening on %s (%v)", *addr, s.engine)
-	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+	log.Printf("pie-server listening on %s (%v)", addr, s.engine)
+	log.Fatal(http.ListenAndServe(addr, s.mux()))
 }
 
 // inject runs fn as a sim process and blocks the HTTP handler until done.
@@ -142,6 +187,34 @@ func (s *server) inject(name string, fn func()) {
 		fn()
 	})
 	<-done
+}
+
+// errCode maps an engine error to the machine-readable code used in /v1/
+// error bodies, so clients can branch on failure class (retry a
+// replica_lost, back off an overloaded) without parsing message text.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, pie.ErrNoSuchProgram):
+		return "no_such_program"
+	case errors.Is(err, pie.ErrUnsatisfiedManifest):
+		return "unsatisfied_manifest"
+	case errors.Is(err, pie.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, pie.ErrRetryBudgetExhausted):
+		return "retry_budget_exhausted"
+	case errors.Is(err, pie.ErrReplicaLost):
+		return "replica_lost"
+	case errors.Is(err, pie.ErrTransientFault):
+		return "transient_fault"
+	case errors.Is(err, pie.ErrAborted):
+		return "aborted"
+	case errors.Is(err, pie.ErrDeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, pie.ErrTerminated):
+		return "terminated"
+	default:
+		return "internal"
+	}
 }
 
 // writeErr emits the structured error body shared by every endpoint.
@@ -207,6 +280,15 @@ func (s *server) launch(w http.ResponseWriter, r *http.Request) {
 			status, code = http.StatusNotFound, "no_such_program"
 		case errors.Is(err, pie.ErrUnsatisfiedManifest):
 			status, code = http.StatusConflict, "unsatisfied_manifest"
+		case errors.Is(err, pie.ErrOverloaded):
+			// Saturation guard shed a best-effort launch: classic 429,
+			// with Retry-After so well-behaved clients back off.
+			w.Header().Set("Retry-After", "1")
+			status, code = http.StatusTooManyRequests, "overloaded"
+		case errors.Is(err, pie.ErrRetryBudgetExhausted),
+			errors.Is(err, pie.ErrReplicaLost),
+			errors.Is(err, pie.ErrTransientFault):
+			status, code = http.StatusServiceUnavailable, errCode(err)
 		}
 		writeErr(w, status, code, err.Error())
 		return
@@ -314,6 +396,7 @@ func (s *server) wait(w http.ResponseWriter, r *http.Request) {
 	}
 	if runErr != nil {
 		resp["error"] = runErr.Error()
+		resp["error_code"] = errCode(runErr)
 	}
 	s.evict(id)
 	writeJSON(w, resp)

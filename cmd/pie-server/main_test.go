@@ -2,12 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"pie"
 )
@@ -554,5 +557,202 @@ func TestAbortEndpoint(t *testing.T) {
 	resp2.Body.Close()
 	if err := json.Unmarshal(blob2, &eb); err != nil || eb.Error.Code != "already_finished" {
 		t.Fatalf("abort finished run: error body %s, want already_finished", blob2)
+	}
+}
+
+// waitReplicasLost polls /v1/stats until the health monitor has declared
+// at least n replicas dead. The external-mode clock free-runs between
+// requests, so scheduled faults and their detection complete within a few
+// wall milliseconds; the poll only absorbs scheduler jitter.
+func waitReplicasLost(t *testing.T, ts *httptest.Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var doc struct {
+			Engine struct {
+				ReplicasLost int `json:"ReplicasLost"`
+			} `json:"engine"`
+		}
+		getJSON(t, ts.URL+"/v1/stats", &doc)
+		if doc.Engine.ReplicasLost >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("health monitor never declared %d replica(s) dead", n)
+}
+
+// TestOverloadAndReplicaLostLaunchBodies: once the fault plan crash-stops
+// the only replica and the health monitor declares it dead, a best-effort
+// launch is shed by the saturation guard with a 429 "overloaded" body (and
+// a Retry-After header), while a high-priority launch fails placement with
+// a 503 "replica_lost" body.
+func TestOverloadAndReplicaLostLaunchBodies(t *testing.T) {
+	plan, err := pie.ParseFaultPlan("crash:0@1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startTestServer(t, pie.Config{
+		Seed:     7,
+		Replicas: 1,
+		Health:   pie.HealthConfig{Enabled: true, Interval: 2 * time.Millisecond},
+		Shed:     pie.ShedConfig{Enabled: true},
+		Faults:   plan,
+	})
+	waitReplicasLost(t, ts, 1)
+
+	post := func(priority int) (*http.Response, []byte) {
+		body := fmt.Sprintf(`{"program":"text_completion","args":["{\"prompt\":\"Hi\",\"max_tokens\":2}"],"priority":%d}`, priority)
+		resp, err := http.Post(ts.URL+"/v1/launch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, blob
+	}
+
+	resp, blob := post(-1) // best-effort: shed
+	var eb errBody
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("best-effort launch on dead cluster: status %d, want 429 (%s)", resp.StatusCode, blob)
+	}
+	if err := json.Unmarshal(blob, &eb); err != nil || eb.Error.Code != "overloaded" {
+		t.Fatalf("shed body %s (code %q), want overloaded", blob, eb.Error.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+
+	resp, blob = post(0) // high-priority: typed placement failure
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("launch on dead cluster: status %d, want 503 (%s)", resp.StatusCode, blob)
+	}
+	if err := json.Unmarshal(blob, &eb); err != nil || eb.Error.Code != "replica_lost" {
+		t.Fatalf("dead-cluster body %s (code %q), want replica_lost", blob, eb.Error.Code)
+	}
+}
+
+// TestWaitReportsReplicaLost: a hang fault freezes the only replica's
+// device without failing health checks while it is idle (no outstanding
+// work means no missed progress). The launch therefore places normally,
+// its first inference call stalls forever, the health monitor times the
+// replica out, and the parked /v1/wait returns a typed replica_lost error
+// body instead of hanging.
+func TestWaitReportsReplicaLost(t *testing.T) {
+	plan, err := pie.ParseFaultPlan("hang:0@1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startTestServer(t, pie.Config{
+		Seed:     7,
+		Replicas: 1,
+		Health: pie.HealthConfig{Enabled: true, Interval: 2 * time.Millisecond,
+			HangTimeout: 40 * time.Millisecond},
+		Faults: plan,
+	})
+
+	resp, err := http.Post(ts.URL+"/v1/launch?program=text_completion", "application/json",
+		strings.NewReader(`{"prompt":"Hi","max_tokens":4}`))
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("launch on hung-but-undetected replica: status %d (%s)", resp.StatusCode, blob)
+	}
+
+	var waited struct {
+		Error     string `json:"error"`
+		ErrorCode string `json:"error_code"`
+	}
+	getJSON(t, ts.URL+"/v1/wait?id=1", &waited)
+	if waited.ErrorCode != "replica_lost" {
+		t.Fatalf("wait on hung replica: error %q code %q, want replica_lost", waited.Error, waited.ErrorCode)
+	}
+	if !strings.Contains(waited.Error, "replica lost") {
+		t.Fatalf("wait error %q does not mention replica loss", waited.Error)
+	}
+}
+
+// TestErrCodeClassification pins the machine-readable error codes /v1/
+// bodies carry, including precedence: a retry-budget-exhausted error that
+// wraps its replica-lost cause must classify as the exhaustion, not the
+// cause.
+func TestErrCodeClassification(t *testing.T) {
+	for want, err := range map[string]error{
+		"no_such_program":        pie.ErrNoSuchProgram,
+		"unsatisfied_manifest":   pie.ErrUnsatisfiedManifest,
+		"overloaded":             fmt.Errorf("wrapped: %w", pie.ErrOverloaded),
+		"retry_budget_exhausted": fmt.Errorf("%w: %w", pie.ErrRetryBudgetExhausted, pie.ErrReplicaLost),
+		"replica_lost":           pie.ErrReplicaLost,
+		"transient_fault":        pie.ErrTransientFault,
+		"aborted":                pie.ErrAborted,
+		"deadline_exceeded":      pie.ErrDeadlineExceeded,
+		"terminated":             pie.ErrTerminated,
+		"internal":               errors.New("disk on fire"),
+	} {
+		if got := errCode(err); got != want {
+			t.Errorf("errCode(%v) = %q, want %q", err, got, want)
+		}
+	}
+}
+
+// TestBuildConfig drives the CLI wiring main uses: defaults, the fault-
+// tolerance knobs, and rejection of malformed flag values.
+func TestBuildConfig(t *testing.T) {
+	fs := func() *flag.FlagSet { return flag.NewFlagSet("test", flag.ContinueOnError) }
+
+	addr, cfg, err := buildConfig(fs(), nil)
+	if err != nil || addr != ":8080" {
+		t.Fatalf("defaults: addr=%q err=%v", addr, err)
+	}
+	if cfg.Seed != 42 || cfg.Replicas != 1 || cfg.Health.Enabled || cfg.Shed.Enabled ||
+		!cfg.Faults.Empty() || cfg.DefaultRetry.Enabled() {
+		t.Fatalf("default config armed fault machinery: %+v", cfg)
+	}
+
+	_, cfg, err = buildConfig(fs(), []string{
+		"-addr", ":0", "-seed", "7", "-replicas", "8",
+		"-autoscale-max", "12", "-autoscale-min", "2",
+		"-health-interval", "5ms", "-hang-timeout", "80ms",
+		"-shed-watermark", "0.85", "-shed-queue", "6.5",
+		"-fault-plan", "crash:1@200ms,slow:2@100ms*3", "-fault-rate", "0.01",
+		"-retry-attempts", "4", "-retry-budget", "250ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Health.Enabled || cfg.Health.Interval != 5*time.Millisecond || cfg.Health.HangTimeout != 80*time.Millisecond {
+		t.Fatalf("health wiring: %+v", cfg.Health)
+	}
+	if !cfg.Shed.Enabled || cfg.Shed.KVWatermark != 0.85 || cfg.Shed.QueueDepth != 6.5 {
+		t.Fatalf("shed wiring: %+v", cfg.Shed)
+	}
+	if len(cfg.Faults.Events) != 2 || cfg.Faults.CallFailRate != 0.01 || cfg.Faults.Seed != 7 {
+		t.Fatalf("fault wiring (seed should default to -seed): %+v", cfg.Faults)
+	}
+	if cfg.DefaultRetry.MaxAttempts != 4 || cfg.DefaultRetry.Budget != 250*time.Millisecond {
+		t.Fatalf("retry wiring: %+v", cfg.DefaultRetry)
+	}
+	if !cfg.Autoscale.Enabled || cfg.Autoscale.Min != 2 || cfg.Autoscale.Max != 12 {
+		t.Fatalf("autoscale wiring: %+v", cfg.Autoscale)
+	}
+
+	// An explicit fault seed overrides the engine seed.
+	_, cfg, err = buildConfig(fs(), []string{"-fault-rate", "0.5", "-fault-seed", "99"})
+	if err != nil || cfg.Faults.Seed != 99 {
+		t.Fatalf("fault-seed override: %+v, %v", cfg.Faults, err)
+	}
+
+	for _, bad := range [][]string{
+		{"-placement", "bogus"},
+		{"-kv-evict", "bogus"},
+		{"-fault-plan", "explode:1@5ms"},
+	} {
+		if _, _, err := buildConfig(fs(), bad); err == nil {
+			t.Errorf("buildConfig(%v) accepted malformed flags", bad)
+		}
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"pie/api"
 	"pie/internal/core"
 	"pie/internal/infer"
 	"pie/internal/metrics"
@@ -138,6 +139,18 @@ type Replica struct {
 	draining bool
 	// Placements counts inferlet instances routed here.
 	Placements int
+
+	// Health machinery (see health.go / faults.go).
+	health    HealthState
+	crashed   bool          // crash fault applied: heartbeats have stopped
+	crashedAt time.Duration // when they stopped
+	slowdown  float64       // slow fault applied: kernel cost multiplier
+	// Progress watchdog bookkeeping.
+	lastKernels int
+	progressAt  time.Duration
+	// Evacuations counts in-flight instances aborted off this replica by
+	// the health layer when it died — the requeue candidates.
+	Evacuations int
 }
 
 // Active reports whether the replica accepts or serves work.
@@ -145,6 +158,9 @@ func (r *Replica) Active() bool { return r.active }
 
 // Draining reports whether the replica is finishing existing work only.
 func (r *Replica) Draining() bool { return r.draining }
+
+// Health reports the replica's position in the failure state machine.
+func (r *Replica) Health() HealthState { return r.health }
 
 // Cluster routes inferlet launches across replicas and autoscales the
 // active set.
@@ -169,6 +185,23 @@ type Cluster struct {
 	// drains completed, so cached context survives deactivation.
 	ExportsMigrated int // drain completions that moved at least one page
 	PagesMigrated   int
+
+	// Fault layer (health.go, faults.go, shed.go).
+	health   HealthConfig
+	shed     ShedConfig
+	faults   FaultPlan
+	faultRNG *sim.RNG
+
+	// Fault-layer stats.
+	FaultsInjected  int           // replica fault events applied
+	TransientFaults int           // injected transient launch failures
+	Suspects        int           // healthy -> suspect transitions
+	ReplicasLost    int           // replicas declared dead
+	Replacements    int           // cold spares activated to replace the dead
+	ExportsLost     int           // KV exports declared lost on dead replicas
+	PagesLost       int           // their physical page references
+	Sheds           int           // best-effort launches rejected at admission
+	DetectTime      time.Duration // cumulative failure-onset -> declared-dead latency
 }
 
 // New builds a cluster over the prebuilt replica set, activating the first
@@ -220,20 +253,35 @@ func (c *Cluster) ActiveReplicas() int {
 	return n
 }
 
-// placeable returns replicas eligible for new work, in ID order.
+// placeable returns replicas eligible for new work, in ID order: healthy,
+// active, not draining. Suspect replicas are avoided but serve as a last
+// resort; dead ones never return. May be empty when every replica is dead.
 func (c *Cluster) placeable() []*Replica {
 	out := make([]*Replica, 0, len(c.replicas))
 	for _, r := range c.replicas {
-		if r.active && !r.draining {
+		if r.active && !r.draining && r.health == HealthHealthy {
 			out = append(out, r)
 		}
 	}
 	if len(out) == 0 {
+		// No healthy serving replica. Fall back to suspects (they may be
+		// merely stalled) before giving up.
+		for _, r := range c.replicas {
+			if r.active && !r.draining && r.health == HealthSuspect {
+				out = append(out, r)
+			}
+		}
+	}
+	if len(out) == 0 {
 		// Every active replica is draining (or none is active): revive the
-		// lowest-ID replica so placement always succeeds.
-		r := c.replicas[0]
-		r.active, r.draining = true, false
-		out = append(out, r)
+		// lowest-ID live replica so placement still succeeds.
+		for _, r := range c.replicas {
+			if r.health == HealthHealthy && !r.crashed {
+				r.active, r.draining = true, false
+				out = append(out, r)
+				break
+			}
+		}
 	}
 	return out
 }
@@ -241,17 +289,25 @@ func (c *Cluster) placeable() []*Replica {
 // Place picks a replica for a new inferlet instance and returns its
 // controller (the ilm.Placer contract). artifact is the program's
 // name@version cache key, the program-affinity policy's routing signal.
-func (c *Cluster) Place(program, artifact string, args []string) *core.Controller {
+// When every replica is dead it fails typed with api.ErrReplicaLost —
+// retried by launches carrying a retry policy, surfaced otherwise.
+func (c *Cluster) Place(program, artifact string, args []string) (*core.Controller, error) {
 	r := c.pick(artifact, args)
+	if r == nil {
+		return nil, fmt.Errorf("%w: no live replica to place %q on", api.ErrReplicaLost, program)
+	}
 	r.Placements++
 	if c.OnPlace != nil {
 		c.OnPlace(r)
 	}
-	return r.Ctl
+	return r.Ctl, nil
 }
 
 func (c *Cluster) pick(artifact string, args []string) *Replica {
 	cands := c.placeable()
+	if len(cands) == 0 {
+		return nil
+	}
 	switch c.policy {
 	case PlaceRoundRobin:
 		r := cands[c.rr%len(cands)]
@@ -295,7 +351,7 @@ func (c *Cluster) hashStick(key string, cands []*Replica) *Replica {
 	start := int(h.Sum64() % uint64(len(c.replicas)))
 	for i := 0; i < len(c.replicas); i++ {
 		r := c.replicas[(start+i)%len(c.replicas)]
-		if r.active && !r.draining {
+		if r.active && !r.draining && r.health == HealthHealthy {
 			return r
 		}
 	}
@@ -388,9 +444,12 @@ func (c *Cluster) autoscaleLoop() {
 // evaluate runs one autoscaler tick: finish completed drains, then compare
 // the mean queue depth per serving replica against the thresholds. All
 // iteration is in replica-ID order, so same-seed runs scale identically.
+// Dead and suspect replicas never count toward capacity: their stuck
+// queues would otherwise read as load the cluster does not actually have
+// the hardware to serve.
 func (c *Cluster) evaluate() {
 	for _, r := range c.replicas {
-		if r.active && r.draining && r.Ctl.Instances() == 0 && r.Ctl.OutstandingCalls() == 0 {
+		if r.active && r.draining && r.health == HealthHealthy && r.Ctl.Instances() == 0 && r.Ctl.OutstandingCalls() == 0 {
 			// Before the replica goes dark, migrate its KV exports to the
 			// lowest-ID serving replica: application-managed prompt caches
 			// survive the drain, and the kv-affinity router keeps finding
@@ -411,7 +470,7 @@ func (c *Cluster) evaluate() {
 	serving := 0
 	depth := 0
 	for _, r := range c.replicas {
-		if r.active && !r.draining {
+		if r.active && !r.draining && r.health == HealthHealthy {
 			serving++
 			depth += r.Ctl.OutstandingCalls()
 		}
@@ -429,28 +488,30 @@ func (c *Cluster) evaluate() {
 }
 
 // migrationTarget picks the replica that inherits a drained replica's KV
-// exports: the lowest-ID serving replica other than the drained one.
+// exports: the lowest-ID healthy serving replica other than the drained
+// one.
 func (c *Cluster) migrationTarget(drained *Replica) *Replica {
 	for _, r := range c.replicas {
-		if r != drained && r.active && !r.draining {
+		if r != drained && r.active && !r.draining && r.health == HealthHealthy {
 			return r
 		}
 	}
 	return nil
 }
 
-// scaleUp prefers un-draining a still-warm replica (lowest ID first), then
-// activates the lowest-ID inactive one.
+// scaleUp prefers un-draining a still-warm healthy replica (lowest ID
+// first), then activates the lowest-ID inactive healthy one. Dead and
+// suspect replicas are not capacity.
 func (c *Cluster) scaleUp() {
 	for _, r := range c.replicas {
-		if r.active && r.draining {
+		if r.active && r.draining && r.health == HealthHealthy {
 			r.draining = false
 			c.ScaleUps++
 			return
 		}
 	}
 	for _, r := range c.replicas {
-		if !r.active {
+		if !r.active && r.health == HealthHealthy && !r.crashed {
 			r.active = true
 			c.ScaleUps++
 			return
@@ -458,12 +519,14 @@ func (c *Cluster) scaleUp() {
 	}
 }
 
-// scaleDown drains the highest-ID serving replica: it stops receiving
-// placements and deactivates once its instances and queues empty.
+// scaleDown drains the highest-ID healthy serving replica: it stops
+// receiving placements and deactivates once its instances and queues
+// empty. Suspect replicas are skipped — draining a replica that may be
+// dead would never complete.
 func (c *Cluster) scaleDown() {
 	for i := len(c.replicas) - 1; i >= 0; i-- {
 		r := c.replicas[i]
-		if r.active && !r.draining {
+		if r.active && !r.draining && r.health == HealthHealthy {
 			r.draining = true
 			c.DrainStart++
 			return
@@ -506,6 +569,9 @@ func (c *Cluster) ReplicaStats() []metrics.ReplicaStats {
 			ArtifactMisses:    art.Misses,
 			ArtifactEvictions: art.Evictions,
 			Aborts:            r.Ctl.Aborts,
+
+			Health:   r.health.String(),
+			Requeues: r.Evacuations,
 		})
 	}
 	return out

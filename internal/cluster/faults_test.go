@@ -1,0 +1,436 @@
+package cluster_test
+
+// Fault-tolerance tests for the cluster layer: typed waiter errors on
+// replica death (no parked-forever Handle.Wait), retry-driven requeue onto
+// survivors, health-aware autoscaling, and the seeded chaos contract —
+// a random kill/hang schedule over a stress workload must replay
+// byte-identically, leak no KV pages on survivors, and leave every launch
+// either completed or failed with a typed error. Runs under -race in CI.
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"pie"
+	"pie/internal/cluster"
+	"pie/internal/metrics"
+	"pie/internal/sim"
+)
+
+// tightHealth detects failures quickly so tests stay short.
+func tightHealth() pie.HealthConfig {
+	return pie.HealthConfig{
+		Enabled:      true,
+		Interval:     2 * time.Millisecond,
+		SuspectAfter: 4 * time.Millisecond,
+		DeadAfter:    10 * time.Millisecond,
+		HangTimeout:  40 * time.Millisecond,
+	}
+}
+
+// crashAt builds a single-event crash plan.
+func crashAt(replica int, at time.Duration) pie.FaultPlan {
+	return pie.FaultPlan{Events: []pie.FaultEvent{
+		{At: at, Replica: replica, Kind: pie.FaultCrash},
+	}}
+}
+
+// TestWaitReturnsTypedErrorOnReplicaDeath is the waiter-leak regression
+// test: a launch in flight on the only replica when it crash-stops must
+// resolve Wait with api.ErrReplicaLost — before the health layer, the
+// done future parked forever because nothing ever released the dead
+// replica's instances.
+func TestWaitReturnsTypedErrorOnReplicaDeath(t *testing.T) {
+	e := newEngine(t, pie.Config{
+		Seed: 3, Replicas: 1,
+		Health: tightHealth(),
+		Faults: crashAt(0, 30*time.Millisecond),
+	})
+	var waitErr error
+	err := e.RunClient(func() {
+		h, lerr := e.Launch(pie.Spec("text_completion", completionParams(64, "")))
+		if lerr != nil {
+			t.Errorf("launch: %v", lerr)
+			return
+		}
+		waitErr = h.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(waitErr, pie.ErrReplicaLost) {
+		t.Fatalf("Wait on dead replica = %v, want ErrReplicaLost", waitErr)
+	}
+	cl := e.Cluster()
+	if cl.ReplicasLost != 1 {
+		t.Fatalf("ReplicasLost = %d, want 1", cl.ReplicasLost)
+	}
+	if cl.Replicas()[0].Health() != cluster.HealthDead {
+		t.Fatalf("replica health = %v, want dead", cl.Replicas()[0].Health())
+	}
+}
+
+// TestHangDetectionAbortsWaiters covers the hang arm of the fault model:
+// a hung device keeps answering health checks while idle (no outstanding
+// work means no missed progress), so the launch places normally — then
+// its first inference call stalls and the progress watchdog must time the
+// replica out and fail the waiter typed.
+func TestHangDetectionAbortsWaiters(t *testing.T) {
+	e := newEngine(t, pie.Config{
+		Seed: 3, Replicas: 1,
+		Health: tightHealth(),
+		Faults: pie.FaultPlan{Events: []pie.FaultEvent{
+			{At: time.Millisecond, Replica: 0, Kind: pie.FaultHang},
+		}},
+	})
+	var waitErr error
+	err := e.RunClient(func() {
+		// The hang is already in place: this launch's first kernel never
+		// completes.
+		h, lerr := e.Launch(pie.Spec("text_completion", completionParams(8, "")))
+		if lerr != nil {
+			t.Errorf("launch: %v", lerr)
+			return
+		}
+		waitErr = h.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(waitErr, pie.ErrReplicaLost) {
+		t.Fatalf("Wait on hung replica = %v, want ErrReplicaLost", waitErr)
+	}
+	if e.Cluster().Suspects == 0 {
+		t.Fatal("hang was never flagged suspect before death")
+	}
+}
+
+// TestRetryRequeuesOntoSurvivor: with a retry policy, the same handle
+// survives its replica's death — the launch requeues onto the survivor
+// and completes, counting one logical launch across two attempts.
+func TestRetryRequeuesOntoSurvivor(t *testing.T) {
+	e := newEngine(t, pie.Config{
+		Seed: 3, Replicas: 2, Placement: pie.PlaceRoundRobin,
+		Health: tightHealth(),
+		Faults: crashAt(0, 30*time.Millisecond),
+	})
+	var waitErr error
+	var attempts int
+	err := e.RunClient(func() {
+		spec := pie.Spec("text_completion", completionParams(64, ""))
+		spec.Retry = pie.RetryPolicy{MaxAttempts: 4}
+		h, lerr := e.Launch(spec) // round-robin: lands on replica 0
+		if lerr != nil {
+			t.Errorf("launch: %v", lerr)
+			return
+		}
+		waitErr = h.Wait()
+		attempts = h.Attempts()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waitErr != nil {
+		t.Fatalf("retried launch failed: %v", waitErr)
+	}
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (requeue after replica death)", attempts)
+	}
+	st := e.Stats()
+	if st.Requeues == 0 {
+		t.Fatal("engine counted no requeues")
+	}
+	if st.Launches != 1 {
+		t.Fatalf("Launches = %d, want 1 (one logical launch across attempts)", st.Launches)
+	}
+}
+
+// TestAutoscalerIgnoresDeadReplicas: a replica crash-stopped under
+// sustained load must drop out of the autoscaler's capacity accounting —
+// placements keep landing on healthy serving replicas only, the dead
+// replica is never reactivated, and the workload still drains.
+func TestAutoscalerIgnoresDeadReplicas(t *testing.T) {
+	e := newEngine(t, pie.Config{
+		Seed: 5, Replicas: 4, Placement: pie.PlaceLeastLoaded,
+		Autoscale: pie.AutoscaleConfig{
+			Enabled: true, Min: 1, Max: 4,
+			Interval: 5 * time.Millisecond,
+			UpDepth:  4, DownDepth: 1,
+		},
+		Health:       tightHealth(),
+		Faults:       crashAt(1, 120*time.Millisecond),
+		DefaultRetry: pie.RetryPolicy{MaxAttempts: 4},
+	})
+	badPlacements := 0
+	e.Cluster().OnPlace = func(r *cluster.Replica) {
+		// Decision-time check: never place onto anything but a healthy,
+		// active, non-draining replica (suspect fallback is only legal
+		// when no healthy replica exists, which this test never hits).
+		if r.Health() != cluster.HealthHealthy || !r.Active() || r.Draining() {
+			badPlacements++
+		}
+	}
+	const total, conc = 96, 24
+	var done, failed int
+	err := e.RunClient(func() {
+		g := sim.NewGroup(e.Clock())
+		queue := sim.NewMailbox[int](e.Clock())
+		for i := 0; i < total; i++ {
+			queue.Send(i)
+		}
+		for w := 0; w < conc; w++ {
+			g.Go("client", func() {
+				for {
+					if _, ok := queue.TryRecv(); !ok {
+						return
+					}
+					h, lerr := e.Launch(pie.Spec("text_completion", completionParams(8, "")))
+					if lerr == nil {
+						lerr = h.Wait()
+					}
+					if lerr != nil {
+						failed++
+						continue
+					}
+					done++
+				}
+			})
+		}
+		g.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badPlacements != 0 {
+		t.Fatalf("%d placements landed on unhealthy/inactive/draining replicas", badPlacements)
+	}
+	if done+failed != total || done == 0 {
+		t.Fatalf("work unaccounted: done %d failed %d of %d", done, failed, total)
+	}
+	cl := e.Cluster()
+	if cl.ReplicasLost != 1 {
+		t.Fatalf("ReplicasLost = %d, want 1", cl.ReplicasLost)
+	}
+	dead := cl.Replicas()[1]
+	if dead.Health() != cluster.HealthDead || dead.Active() {
+		t.Fatalf("dead replica state: health %v active %v, want dead and inactive",
+			dead.Health(), dead.Active())
+	}
+	// The autoscaler kept the surviving set serving: every active replica
+	// at the end is healthy.
+	for _, r := range cl.Replicas() {
+		if r.Active() && r.Health() != cluster.HealthHealthy {
+			t.Fatalf("replica %d active while %v", r.ID, r.Health())
+		}
+	}
+}
+
+// --- Seeded chaos -------------------------------------------------------
+
+// chaosDoc is the full result document the determinism check compares.
+type chaosDoc struct {
+	Replicas []metrics.ReplicaStats `json:"replicas"`
+	Stats    pie.Stats              `json:"stats"`
+	Done     int                    `json:"done"`
+	Typed    int                    `json:"typed_failures"`
+}
+
+// runChaos drives a stress workload under a seeded random kill/hang/slow
+// schedule with retry armed, and asserts the no-lost-work contract: every
+// launch completes or fails typed, and surviving replicas end with zero
+// KV pages allocated.
+func runChaos(t *testing.T, seed uint64) chaosDoc {
+	t.Helper()
+	plan := pie.RandomFaultPlan(seed, 8, 6, 600*time.Millisecond)
+	e := newEngine(t, pie.Config{
+		Seed: seed, Replicas: 8, Placement: pie.PlaceLeastLoaded,
+		Health: tightHealth(),
+		Faults: plan,
+		DefaultRetry: pie.RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  16 * time.Millisecond,
+			Budget:      100 * time.Millisecond,
+		},
+	})
+	const total, conc = 160, 32
+	doc := chaosDoc{}
+	err := e.RunClient(func() {
+		g := sim.NewGroup(e.Clock())
+		queue := sim.NewMailbox[int](e.Clock())
+		for i := 0; i < total; i++ {
+			queue.Send(i)
+		}
+		for w := 0; w < conc; w++ {
+			g.Go("client", func() {
+				for {
+					if _, ok := queue.TryRecv(); !ok {
+						return
+					}
+					h, lerr := e.Launch(pie.Spec("text_completion", completionParams(8, "")))
+					if lerr == nil {
+						lerr = h.Wait()
+					}
+					switch {
+					case lerr == nil:
+						doc.Done++
+					case errors.Is(lerr, pie.ErrReplicaLost),
+						errors.Is(lerr, pie.ErrRetryBudgetExhausted),
+						errors.Is(lerr, pie.ErrTransientFault),
+						errors.Is(lerr, pie.ErrTerminated):
+						doc.Typed++
+					default:
+						t.Errorf("untyped launch failure: %v", lerr)
+					}
+				}
+			})
+		}
+		g.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Done+doc.Typed != total {
+		t.Fatalf("lost work: done %d + typed %d != %d", doc.Done, doc.Typed, total)
+	}
+	for _, r := range e.Cluster().Replicas() {
+		if r.Health() == cluster.HealthDead {
+			continue
+		}
+		if inUse, _ := r.Ctl.KVLoad(); inUse != 0 {
+			t.Fatalf("replica %d leaked %d KV pages", r.ID, inUse)
+		}
+	}
+	doc.Replicas = e.ReplicaStats()
+	doc.Stats = e.Stats()
+	return doc
+}
+
+// TestChaosScheduleSurvivesAndReplays: the chaos schedule actually bites
+// (faults injected, replicas lost, launches requeued), the workload
+// drains without hangs or leaks, and the same seed replays the entire
+// stats document byte-identically — failure injection included.
+func TestChaosScheduleSurvivesAndReplays(t *testing.T) {
+	a := runChaos(t, 11)
+	if a.Stats.FaultsInjected == 0 {
+		t.Fatal("chaos plan injected no faults")
+	}
+	if a.Stats.ReplicasLost == 0 {
+		t.Fatal("chaos schedule killed no replicas")
+	}
+	if a.Stats.Requeues == 0 {
+		t.Fatal("no launches were requeued off dead replicas")
+	}
+
+	blob := func(d chaosDoc) string {
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if x, y := blob(a), blob(runChaos(t, 11)); x != y {
+		t.Fatalf("same-seed chaos runs diverged:\n%s\n%s", x, y)
+	}
+}
+
+// TestChaosSeedSensitivity: different seeds must produce different fault
+// schedules (the chaos layer is actually random, not a fixed script).
+func TestChaosSeedSensitivity(t *testing.T) {
+	a := pie.RandomFaultPlan(1, 8, 6, 600*time.Millisecond)
+	b := pie.RandomFaultPlan(2, 8, 6, 600*time.Millisecond)
+	if a.String() == b.String() {
+		t.Fatalf("seeds 1 and 2 built identical fault plans: %s", a.String())
+	}
+	for _, ev := range a.Events {
+		if ev.Replica == 0 {
+			t.Fatal("random plan targeted replica 0 (the reserved quorum replica)")
+		}
+	}
+}
+
+// TestShedBestEffortUnderSaturation drives the admission guard's live
+// signal path: an idle cluster admits best-effort launches, a saturated
+// one sheds them typed with ErrOverloaded while high-priority work keeps
+// flowing.
+func TestShedBestEffortUnderSaturation(t *testing.T) {
+	e := newEngine(t, pie.Config{
+		Seed: 5, Replicas: 1,
+		Shed: pie.ShedConfig{Enabled: true, QueueDepth: 0.5},
+	})
+	var idleErr, busyErr error
+	err := e.RunClient(func() {
+		be := pie.Spec("text_completion", completionParams(2, ""))
+		be.Priority = -1
+		if _, idleErr = e.LaunchAndWait(be); idleErr != nil {
+			return
+		}
+		h, lerr := e.Launch(pie.Spec("text_completion", completionParams(64, "")))
+		if lerr != nil {
+			t.Errorf("high-priority launch: %v", lerr)
+			return
+		}
+		// Let the decode loop queue outstanding calls past the watermark.
+		e.Clock().Sleep(20 * time.Millisecond)
+		_, busyErr = e.Launch(be)
+		if werr := h.Wait(); werr != nil {
+			t.Errorf("high-priority wait: %v", werr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idleErr != nil {
+		t.Fatalf("idle cluster shed a best-effort launch: %v", idleErr)
+	}
+	if !errors.Is(busyErr, pie.ErrOverloaded) {
+		t.Fatalf("saturated launch = %v, want ErrOverloaded", busyErr)
+	}
+	if sheds := e.Cluster().Sheds; sheds != 1 {
+		t.Fatalf("Sheds = %d, want 1", sheds)
+	}
+}
+
+// TestTransientFaultInjectionRetries arms the per-launch transient stream
+// at a high rate and checks the retry policy absorbs it: every launch
+// completes, faults were actually injected, and at least one launch needed
+// more than one attempt.
+func TestTransientFaultInjectionRetries(t *testing.T) {
+	e := newEngine(t, pie.Config{
+		Seed: 8, Replicas: 2,
+		Faults:       pie.FaultPlan{CallFailRate: 0.5, Seed: 8},
+		DefaultRetry: pie.RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+	})
+	retried := false
+	err := e.RunClient(func() {
+		for i := 0; i < 8; i++ {
+			h, lerr := e.Launch(pie.Spec("text_completion", completionParams(2, "")))
+			if lerr != nil {
+				t.Errorf("launch %d: %v", i, lerr)
+				return
+			}
+			if werr := h.Wait(); werr != nil {
+				t.Errorf("wait %d: %v", i, werr)
+				return
+			}
+			if h.Attempts() > 1 {
+				retried = true
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := e.Cluster()
+	if cl.TransientFaults == 0 {
+		t.Fatal("CallFailRate 0.5 injected no transient faults")
+	}
+	if !retried {
+		t.Fatal("no launch reported Attempts > 1 despite injected faults")
+	}
+	if cl.HealthEnabled() {
+		t.Fatal("health monitor armed without config")
+	}
+}

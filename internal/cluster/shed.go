@@ -1,0 +1,77 @@
+package cluster
+
+import "fmt"
+
+import "pie/api"
+
+// Saturation load shedding: near saturation the cluster stops admitting
+// best-effort launches (negative LaunchSpec.Priority — the batch scheduler
+// treats higher priority as better) instead of letting them in to die and
+// drag high-priority goodput down with them. Two aggregate signals gate
+// admission, both computed over healthy serving replicas only, so losing
+// replicas to faults tightens admission automatically.
+
+// ShedConfig tunes the saturation guard. The zero value disables it.
+type ShedConfig struct {
+	Enabled bool
+	// KVWatermark sheds best-effort launches when aggregate KV page
+	// utilization (in-use / capacity across healthy serving replicas)
+	// reaches this fraction (default 0.9).
+	KVWatermark float64
+	// QueueDepth sheds when mean outstanding inference calls per healthy
+	// serving replica reaches it (default 96 — twice the autoscaler's
+	// grow threshold, so shedding starts only after growth has run out).
+	QueueDepth float64
+}
+
+func (s ShedConfig) withDefaults() ShedConfig {
+	if s.KVWatermark <= 0 || s.KVWatermark > 1 {
+		s.KVWatermark = 0.9
+	}
+	if s.QueueDepth <= 0 {
+		s.QueueDepth = 96
+	}
+	return s
+}
+
+// EnableShedding installs the saturation guard. Call before Engine.Run.
+func (c *Cluster) EnableShedding(cfg ShedConfig) {
+	cfg.Enabled = true
+	c.shed = cfg.withDefaults()
+}
+
+// AdmitLaunch is the admission gate the ILM consults before a launch
+// enters the dispatch pipeline (the ilm.Admission contract). Launches at
+// priority >= 0 are always admitted; best-effort launches are shed with
+// api.ErrOverloaded while either saturation signal is over its watermark.
+func (c *Cluster) AdmitLaunch(priority int) error {
+	if !c.shed.Enabled || priority >= 0 {
+		return nil
+	}
+	var kvInUse, kvCap, depth, serving int
+	for _, r := range c.replicas {
+		if !r.active || r.draining || r.health != HealthHealthy {
+			continue
+		}
+		serving++
+		in, cap := r.Ctl.KVLoad()
+		kvInUse += in
+		kvCap += cap
+		depth += r.Ctl.OutstandingCalls()
+	}
+	if serving == 0 {
+		c.Sheds++
+		return fmt.Errorf("%w: no healthy serving replica", api.ErrOverloaded)
+	}
+	kvUtil := 0.0
+	if kvCap > 0 {
+		kvUtil = float64(kvInUse) / float64(kvCap)
+	}
+	meanDepth := float64(depth) / float64(serving)
+	if kvUtil >= c.shed.KVWatermark || meanDepth >= c.shed.QueueDepth {
+		c.Sheds++
+		return fmt.Errorf("%w: kv %.0f%% of watermark %.0f%%, depth %.1f of %.1f",
+			api.ErrOverloaded, kvUtil*100, c.shed.KVWatermark*100, meanDepth, c.shed.QueueDepth)
+	}
+	return nil
+}

@@ -231,6 +231,62 @@ func (ctl *Controller) AbortInstance(inst *Instance, reason error) bool {
 	return true
 }
 
+// AbortInstanceByID aborts the live instance with the given ID; see
+// AbortInstance. It reports whether an abort happened.
+func (ctl *Controller) AbortInstanceByID(id uint64, reason error) bool {
+	return ctl.AbortInstance(ctl.instances[id], reason)
+}
+
+// AbortAllInstances aborts every live instance with the given reason, in
+// instance-ID order so same-seed runs unwind identically. The cluster
+// health layer calls it when a replica is declared dead: every in-flight
+// inferlet fails typed (api.ErrReplicaLost) instead of parking forever on
+// a device that will never answer. Returns the number aborted.
+func (ctl *Controller) AbortAllInstances(reason error) int {
+	n := 0
+	for _, id := range ctl.SortedInstanceIDs() {
+		if ctl.AbortInstance(ctl.instances[id], reason) {
+			n++
+		}
+	}
+	return n
+}
+
+// DropExports declares every KV export on this controller lost — the
+// registry's page references release and the names vanish — and reports
+// how many exports and physical page references were dropped. Called when
+// a replica dies: its cached context is unrecoverable, and affinity
+// routing must stop finding it here.
+func (ctl *Controller) DropExports() (exports, pages int) {
+	names := make([]string, 0, len(ctl.exports))
+	for name := range ctl.exports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		entry := ctl.exports[name]
+		for _, p := range entry.phys {
+			ctl.pagePool[entry.model].release(p)
+		}
+		pages += len(entry.phys)
+		delete(ctl.exports, name)
+		exports++
+	}
+	return exports, pages
+}
+
+// KVLoad reports aggregate KV page occupancy across every model pool,
+// both tiers. The cluster's saturation guard reads it to decide when to
+// shed best-effort launches.
+func (ctl *Controller) KVLoad() (inUse, capacity int) {
+	for _, name := range ctl.order {
+		p := ctl.pagePool[name]
+		inUse += p.inUse()
+		capacity += p.capacity()
+	}
+	return inUse, capacity
+}
+
 // Instances returns the number of live instances.
 func (ctl *Controller) Instances() int { return len(ctl.instances) }
 

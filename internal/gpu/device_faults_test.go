@@ -1,0 +1,115 @@
+package gpu
+
+// Device fault-model tests: crash-stop (Fail) strands kernels without
+// deadlocking the simulation, slowdown multiplies kernel cost, and the
+// auxiliary cost functions price sanely. The cluster health layer builds
+// its detection contract on exactly these behaviors.
+
+import (
+	"testing"
+	"time"
+
+	"pie/internal/sim"
+)
+
+func TestSpecAuxCosts(t *testing.T) {
+	s := SpecFor("1B")
+	if s.EmbedCost(64) <= s.EmbedCost(0) {
+		t.Fatal("EmbedCost not monotonic in tokens")
+	}
+	if s.SampleCost(8) <= s.SampleCost(0) {
+		t.Fatal("SampleCost not monotonic in seqs")
+	}
+	if got := s.PageBytes(16); got != 16*s.KvBytesPerToken {
+		t.Fatalf("PageBytes(16) = %d, want %d", got, 16*s.KvBytesPerToken)
+	}
+	if s.SwapCost(0, 16) != 0 {
+		t.Fatal("SwapCost of zero pages should be free")
+	}
+	if s.SwapCost(2, 16) <= s.HostXferSetup {
+		t.Fatal("SwapCost must exceed the DMA setup floor")
+	}
+	if s.KvOpCost(128) <= s.KvOpCost(0) {
+		t.Fatal("KvOpCost not monotonic in tokens")
+	}
+}
+
+func TestDeviceSlowdownMultipliesKernelCost(t *testing.T) {
+	clock := sim.NewClock()
+	d := NewDevice(clock, "throttled")
+	var slowEnd, fullEnd time.Duration
+	clock.Go("driver", func() {
+		d.SetSlowdown(4)
+		if d.Slowdown() != 4 {
+			t.Errorf("Slowdown() = %v, want 4", d.Slowdown())
+		}
+		_ = sim.Await(d.Submit("k", 10*time.Millisecond))
+		slowEnd = clock.Now()
+		d.SetSlowdown(1)
+		_ = sim.Await(d.Submit("k", 10*time.Millisecond))
+		fullEnd = clock.Now()
+	})
+	if err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if slowEnd != 40*time.Millisecond {
+		t.Fatalf("slowed kernel finished at %v, want 40ms", slowEnd)
+	}
+	if fullEnd-slowEnd != 10*time.Millisecond {
+		t.Fatalf("restored kernel took %v, want 10ms", fullEnd-slowEnd)
+	}
+}
+
+func TestDeviceFailMidKernelGoesDark(t *testing.T) {
+	clock := sim.NewClock()
+	d := NewDevice(clock, "crash-busy")
+	d.Submit("doomed", 10*time.Millisecond)
+	clock.Go("killer", func() {
+		clock.Sleep(5 * time.Millisecond)
+		if !d.Busy() {
+			t.Error("device should be mid-kernel at 5ms")
+		}
+		d.Fail()
+		if !d.Failed() {
+			t.Error("Failed() false after Fail()")
+		}
+	})
+	// The stranded kernel must not deadlock the run: the dead device parks.
+	if err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Kernels() != 0 {
+		t.Fatalf("crash-stopped device completed %d kernels", d.Kernels())
+	}
+}
+
+func TestDeviceFailWhileIdleParksNextKernel(t *testing.T) {
+	clock := sim.NewClock()
+	d := NewDevice(clock, "crash-idle")
+	clock.Go("driver", func() {
+		d.Fail()
+		d.Submit("never", time.Millisecond)
+		clock.Sleep(5 * time.Millisecond)
+	})
+	if err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Kernels() != 0 || d.BusyTime() != 0 {
+		t.Fatalf("dead device did work: kernels=%d busy=%v", d.Kernels(), d.BusyTime())
+	}
+}
+
+func TestDeviceClose(t *testing.T) {
+	clock := sim.NewClock()
+	d := NewDevice(clock, "closing")
+	clock.Go("driver", func() {
+		_ = sim.Await(d.Submit("k", time.Millisecond))
+		d.Close()
+	})
+	if err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Idle() || d.Kernels() != 1 {
+		t.Fatalf("closed device state: idle=%v kernels=%d", d.Idle(), d.Kernels())
+	}
+}

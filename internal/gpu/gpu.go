@@ -209,6 +209,8 @@ type Device struct {
 	idleFn   func()
 	busyTime time.Duration
 	kernels  int
+	slowdown float64 // >1 multiplies every kernel cost (degraded device)
+	failed   bool    // crash-stopped: never executes or completes again
 }
 
 type kernel struct {
@@ -230,10 +232,23 @@ func (d *Device) loop() {
 		if err != nil {
 			return
 		}
+		if d.failed {
+			d.park()
+		}
 		d.busy = true
 		for {
-			d.clock.Sleep(k.cost)
-			d.busyTime += k.cost
+			cost := k.cost
+			if d.slowdown > 1 {
+				cost = time.Duration(float64(cost) * d.slowdown)
+			}
+			d.clock.Sleep(cost)
+			if d.failed {
+				// Crash-stopped mid-kernel: the in-flight kernel is lost,
+				// its completion never fires, and the device goes dark. The
+				// cluster health layer is responsible for unwinding waiters.
+				d.park()
+			}
+			d.busyTime += cost
 			d.kernels++
 			sim.Fire(k.done)
 			next, ok := d.queue.TryRecv()
@@ -247,6 +262,13 @@ func (d *Device) loop() {
 			d.idleFn()
 		}
 	}
+}
+
+// park strands the device process on a signal that never fires. Daemons
+// parked without pending events contribute nothing to the event heap, so a
+// dead device never turns a finished simulation into a deadlock.
+func (d *Device) park() {
+	_ = sim.Await(sim.NewSignal(d.clock))
 }
 
 // Submit enqueues a kernel and returns its completion signal.
@@ -272,6 +294,23 @@ func (d *Device) BusyTime() time.Duration { return d.busyTime }
 
 // Kernels returns the number of kernels executed.
 func (d *Device) Kernels() int { return d.kernels }
+
+// Fail crash-stops the device: the kernel in flight (if any) is lost, and
+// no submitted kernel will ever execute or complete again. Queued and
+// future submissions park their waiters; recovering them is the cluster
+// health layer's job. Irreversible.
+func (d *Device) Fail() { d.failed = true }
+
+// Failed reports whether the device has crash-stopped.
+func (d *Device) Failed() bool { return d.failed }
+
+// SetSlowdown degrades the device: every subsequent kernel costs factor
+// times its modeled price (a thermally throttled or contended accelerator).
+// Factors <= 1 restore full speed.
+func (d *Device) SetSlowdown(factor float64) { d.slowdown = factor }
+
+// Slowdown reports the current degradation factor (0 or 1 = full speed).
+func (d *Device) Slowdown() float64 { return d.slowdown }
 
 // Close shuts the device process down.
 func (d *Device) Close() { d.queue.Close() }

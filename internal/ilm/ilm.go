@@ -54,7 +54,25 @@ const (
 // cache key — the program-affinity policy probes replicas' warm-artifact
 // caches with it.
 type Placer interface {
-	Place(program, artifact string, args []string) *core.Controller
+	// Place fails typed (api.ErrReplicaLost) when no live replica can
+	// host the instance; launches carrying a retry policy retry it.
+	Place(program, artifact string, args []string) (*core.Controller, error)
+}
+
+// Admission is the optional saturation gate a Placer may implement (the
+// cluster's load shedder does): consulted once per launch, before the
+// dispatch pipeline, with the launch's priority. A typed error
+// (api.ErrOverloaded) rejects the launch without admitting it to die.
+type Admission interface {
+	AdmitLaunch(priority int) error
+}
+
+// FaultSource is the optional transient-fault hook a Placer may implement
+// (the cluster's fault injector does): consulted once per launch attempt,
+// in deterministic order. A typed error (api.ErrTransientFault) fails the
+// attempt retryably.
+type FaultSource interface {
+	LaunchFault() error
 }
 
 // LaunchSpec describes one inferlet launch (deployment API v2).
@@ -74,6 +92,11 @@ type LaunchSpec struct {
 	// ClientTag is an opaque client label carried on the handle
 	// (multi-tenant attribution in listings and logs).
 	ClientTag string
+	// Retry controls requeue-on-failure: a launch that dies retryably
+	// (replica lost, transient fault) is re-placed onto a surviving
+	// replica after capped exponential backoff. The zero value takes the
+	// ILM's default policy (itself zero — no retries — unless configured).
+	Retry RetryPolicy
 }
 
 // ProgramInfo describes one registered artifact (registry listings).
@@ -101,11 +124,20 @@ type ILM struct {
 	live     int
 	handleID uint64
 
+	defaultRetry RetryPolicy // applied when a LaunchSpec's Retry is zero
+	retrySeq     uint64      // seeds per-handle jitter streams
+
 	// Stats.
 	Launches     int
 	ColdLaunches int // launches that paid the upload + JIT pipeline
 	Aborts       int // instances cancelled via Handle.Abort (incl. deadline)
+	Requeues     int // attempts re-placed after their replica died mid-run
+	Retries      int // attempts retried before placement stuck (incl. transients)
 }
+
+// SetDefaultRetry installs the retry policy applied to launches whose
+// spec leaves Retry zero. Call before launching.
+func (m *ILM) SetDefaultRetry(p RetryPolicy) { m.defaultRetry = p }
 
 // entry is one registered artifact.
 type entry struct {
@@ -252,7 +284,11 @@ func (m *ILM) dispatcherLoop() {
 	}
 }
 
-// Handle is the client-side connection to a running inferlet.
+// Handle is the client-side connection to a running inferlet. One handle
+// spans every attempt of a retried launch: the client's mailboxes and done
+// future survive requeues, so Wait/Recv keep working while the instance
+// moves between replicas (messages already consumed by a dead attempt are
+// lost — launch-level retry is at-least-once).
 type Handle struct {
 	ID        uint64
 	Program   string
@@ -267,7 +303,22 @@ type Handle struct {
 	done      *sim.Future[error]
 	killErr   error
 	logs      []string
+
+	// Retry machinery.
+	spec         LaunchSpec
+	entry        *entry
+	policy       RetryPolicy
+	retryRNG     *sim.RNG
+	attempts     int           // attempts started (1 = first launch)
+	backoffSpent time.Duration // cumulative backoff, charged against policy.Budget
+	counted      bool          // counted in ilm.Launches (first successful attempt)
+	requeuing    bool          // between attempts: last instance died, requeue pending
+	aborted      error         // abort latched during the requeue gap
 }
+
+// Attempts reports how many launch attempts the handle has started
+// (1 = no retries happened).
+func (h *Handle) Attempts() int { return h.attempts }
 
 // Send delivers a message to the inferlet (the client side of
 // send/receive).
@@ -300,11 +351,19 @@ func (h *Handle) abort(reason error) bool {
 	if h.done.Done() {
 		return false
 	}
-	if !h.ctl.AbortInstance(h.inst, reason) {
-		return false
+	if h.ctl != nil && h.ctl.AbortInstance(h.inst, reason) {
+		h.ilm.Aborts++
+		return true
 	}
-	h.ilm.Aborts++
-	return true
+	// No live instance right now. If the handle is between retry attempts
+	// (its last instance died and the requeue daemon is working), latch
+	// the abort; the requeue loop honors it instead of relaunching.
+	if h.requeuing && h.aborted == nil {
+		h.aborted = reason
+		h.ilm.Aborts++
+		return true
+	}
+	return false
 }
 
 // Logs returns lines the inferlet emitted via Print.
@@ -318,9 +377,16 @@ func (h *Handle) Stats() (controlCalls, inferCalls, outputTokens int) {
 // Launch starts an inferlet from a LaunchSpec. It must be called from a
 // sim process (a client, another inferlet, or a test driver) and returns
 // once the instance is running. The manifest is revalidated, the
-// placement policy picks a replica, and the launch is cold — paying the
-// upload + JIT pipeline — iff that replica's artifact cache lacks the
-// binary.
+// saturation guard (if the placer implements Admission) may shed
+// best-effort launches typed api.ErrOverloaded, the placement policy
+// picks a replica, and the launch is cold — paying the upload + JIT
+// pipeline — iff that replica's artifact cache lacks the binary.
+//
+// With a RetryPolicy (on the spec or the ILM default), retryable failures
+// — a replica dying during or after launch, an injected transient fault —
+// are retried with capped exponential backoff: synchronous failures here
+// in the caller's process, failures after Launch returned through a
+// requeue daemon that re-places the same Handle onto a survivor.
 func (m *ILM) Launch(spec LaunchSpec) (*Handle, error) {
 	e, err := m.resolve(spec.Program)
 	if err != nil {
@@ -330,33 +396,89 @@ func (m *ILM) Launch(spec LaunchSpec) (*Handle, error) {
 	if err := validateManifest(p.Name, p.Manifest, m.models); err != nil {
 		return nil, err
 	}
+	if gate, ok := m.place.(Admission); ok {
+		if err := gate.AdmitLaunch(spec.Priority); err != nil {
+			return nil, err
+		}
+	}
+	m.retrySeq++
+	h := &Handle{
+		Program:   p.Name,
+		Version:   e.version,
+		ClientTag: spec.ClientTag,
+		ilm:       m,
+		spec:      spec,
+		entry:     e,
+		policy:    spec.Retry.withDefaults(m.defaultRetry),
+		retryRNG:  sim.NewRNG(0xFA17 ^ m.retrySeq*0x9E3779B97F4A7C15),
+		toUser:    sim.NewMailbox[string](m.clock),
+		toInflt:   sim.NewMailbox[string](m.clock),
+		done:      sim.NewFuture[error](m.clock),
+	}
+	for {
+		err := m.attempt(h)
+		if err == nil {
+			break
+		}
+		d, final := h.nextRetryDelay(err)
+		if final != nil {
+			h.done.Resolve(final)
+			h.toUser.Close()
+			h.toInflt.Close()
+			return nil, final
+		}
+		m.Retries++
+		m.clock.Sleep(d)
+	}
+	if d := effectiveDeadline(spec.Deadline, p.Manifest.Limits.Deadline); d > 0 {
+		m.clock.GoDaemon("ilm:deadline", func() {
+			m.clock.Sleep(d)
+			h.abort(fmt.Errorf("%w after %v", api.ErrDeadlineExceeded, d))
+		})
+	}
+	return h, nil
+}
+
+// attempt runs one launch attempt end to end: dispatcher admission,
+// transient-fault check, placement, instance registration, artifact
+// upload/JIT, and finally spawning the inferlet process. On success the
+// handle's ctl/inst/proc point at the new attempt and nil returns; on
+// failure the handle is left instance-less and the caller decides whether
+// to retry.
+func (m *ILM) attempt(h *Handle) error {
+	e := h.entry
+	p := e.prog
+	h.attempts++
 	req := &launchReq{grant: sim.NewSignal(m.clock)}
 	m.launchQ.Send(req)
 	if err := sim.Await(req.grant); err != nil {
-		return nil, err
+		return err
 	}
 	m.clock.Sleep(instantiateFixed)
 	if m.live >= poolSlots {
 		m.clock.Sleep(poolOverflowCost)
 	}
+	if faults, ok := m.place.(FaultSource); ok {
+		if err := faults.LaunchFault(); err != nil {
+			return err
+		}
+	}
 	// Placement happens after admission serializes the herd; the instance
 	// registers with the control layer immediately, so load-aware
 	// placement sees launches-in-flight (an instance still paying its
 	// JIT) instead of an all-zeros tie.
-	ctl := m.place.Place(p.Name, e.ref(), spec.Args)
-
-	m.handleID++
-	h := &Handle{
-		ID:        m.handleID,
-		Program:   p.Name,
-		Version:   e.version,
-		ClientTag: spec.ClientTag,
-		ilm:       m,
-		ctl:       ctl,
-		toUser:    sim.NewMailbox[string](m.clock),
-		toInflt:   sim.NewMailbox[string](m.clock),
-		done:      sim.NewFuture[error](m.clock),
+	ctl, err := m.place.Place(p.Name, e.ref(), h.spec.Args)
+	if err != nil {
+		return err
 	}
+
+	if h.ID == 0 {
+		m.handleID++
+		h.ID = m.handleID
+	}
+	h.ctl = ctl
+	h.killErr = nil
+	h.proc = nil
 	h.inst = ctl.RegisterInstance(p.Name, nil, func(reason error) {
 		h.killErr = reason
 		if h.proc != nil {
@@ -365,7 +487,7 @@ func (m *ILM) Launch(spec LaunchSpec) (*Handle, error) {
 	})
 	h.inst.MaxQueues = p.Manifest.Limits.MaxQueues
 	h.inst.MaxKvPages = p.Manifest.Limits.MaxKvPages
-	h.inst.DefaultPriority = spec.Priority
+	h.inst.DefaultPriority = h.spec.Priority
 
 	cold := !ctl.HasArtifact(e.ref())
 	if cold {
@@ -377,27 +499,30 @@ func (m *ILM) Launch(spec LaunchSpec) (*Handle, error) {
 	}
 	ctl.AdmitArtifact(e.ref(), p.BinarySize, cold)
 	if h.inst.Dead() {
-		// Reclaimed (FCFS contention) while still compiling: the launch
-		// fails before the program ever runs and counts as neither a
-		// launch nor a cold launch.
+		// Reclaimed while still compiling — FCFS contention
+		// (api.ErrTerminated, final) or the replica died under the launch
+		// (api.ErrReplicaLost, retryable). Counts as neither a launch nor
+		// a cold launch.
 		err := h.killErr
 		if err == nil {
 			err = api.ErrTerminated
 		}
-		h.done.Resolve(err)
-		h.toUser.Close()
-		h.toInflt.Close()
-		return nil, err
+		return err
 	}
-	m.Launches++
+	if !h.counted {
+		// One logical launch however many attempts it takes.
+		m.Launches++
+		h.counted = true
+	}
 	if cold {
 		m.ColdLaunches++
 	}
 	m.live++
 
-	sess := &session{ilm: m, handle: h, ctl: h.ctl, args: append([]string(nil), spec.Args...)}
+	sess := &session{ilm: m, handle: h, ctl: h.ctl, args: append([]string(nil), h.spec.Args...)}
 	sess.rng = sim.NewRNG(0x5EED ^ uint64(h.ID))
 	sess.inst = h.inst
+	inst := h.inst
 
 	h.proc = m.clock.Go("inferlet:"+p.Name, func() {
 		var err error
@@ -416,24 +541,76 @@ func (m *ILM) Launch(spec LaunchSpec) (*Handle, error) {
 			}()
 			err = p.Run(sess)
 		}()
-		sess.cancelSubscriptions()
-		h.ctl.ReleaseInstance(h.inst)
-		m.live--
-		h.done.Resolve(err)
-		// Fail any client still waiting on messages (queued messages stay
-		// readable); keep late client sends from piling up.
-		h.toUser.Close()
-		h.toInflt.Close()
+		m.finishAttempt(h, sess, inst, err)
 	})
 	h.inst.Proc = h.proc
+	return nil
+}
 
-	if d := effectiveDeadline(spec.Deadline, p.Manifest.Limits.Deadline); d > 0 {
-		m.clock.GoDaemon("ilm:deadline", func() {
-			m.clock.Sleep(d)
-			h.abort(fmt.Errorf("%w after %v", api.ErrDeadlineExceeded, d))
-		})
+// finishAttempt runs in the inferlet process as an attempt ends, in any
+// way: normal return, abort, deadline, FCFS termination, or replica
+// death. Retryable failures with retry headroom hand the handle to a
+// requeue daemon (backoff, then re-place on a survivor) and keep the
+// client's done future and mailboxes open; everything else resolves the
+// handle for good.
+func (m *ILM) finishAttempt(h *Handle, sess *session, inst *core.Instance, err error) {
+	sess.cancelSubscriptions()
+	h.ctl.ReleaseInstance(inst)
+	m.live--
+	if err != nil {
+		d, final := h.nextRetryDelay(err)
+		if final == nil {
+			m.Requeues++
+			h.requeuing = true
+			m.clock.GoDaemon("ilm:requeue", func() {
+				m.clock.Sleep(d)
+				m.requeue(h)
+			})
+			return
+		}
+		err = final
 	}
-	return h, nil
+	h.done.Resolve(err)
+	// Fail any client still waiting on messages (queued messages stay
+	// readable); keep late client sends from piling up.
+	h.toUser.Close()
+	h.toInflt.Close()
+}
+
+// requeue re-places a handle whose previous attempt died retryably. It
+// runs in the requeue daemon; synchronous attempt failures keep retrying
+// here until the policy says stop, at which point the handle resolves
+// with the final error (clients parked in Wait unpark typed).
+func (m *ILM) requeue(h *Handle) {
+	finalize := func(err error) {
+		h.done.Resolve(err)
+		h.toUser.Close()
+		h.toInflt.Close()
+	}
+	for {
+		if h.aborted != nil {
+			// Abort (or deadline) latched while no instance was live.
+			finalize(h.aborted)
+			return
+		}
+		err := m.attempt(h)
+		if err == nil {
+			h.requeuing = false
+			if h.aborted != nil {
+				// Aborted mid-attempt, after the instance came back up:
+				// kill it now; finishAttempt resolves the handle.
+				h.ctl.AbortInstance(h.inst, h.aborted)
+			}
+			return
+		}
+		d, final := h.nextRetryDelay(err)
+		if final != nil {
+			finalize(final)
+			return
+		}
+		m.Retries++
+		m.clock.Sleep(d)
+	}
 }
 
 // effectiveDeadline combines a launch-spec deadline with a manifest

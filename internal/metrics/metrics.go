@@ -166,6 +166,12 @@ type ReplicaStats struct {
 	ArtifactMisses    int `json:"artifact_misses"`
 	ArtifactEvictions int `json:"artifact_evictions"`
 	Aborts            int `json:"aborts"`
+
+	// Fault layer: the replica's health state ("healthy", "suspect",
+	// "dead") and the in-flight instances evacuated off it when it died
+	// (the launches handed back for requeue).
+	Health   string `json:"health"`
+	Requeues int    `json:"requeues"`
 }
 
 // ReplicaTable renders per-replica stats in paper style.
@@ -177,6 +183,10 @@ func ReplicaTable(rows []ReplicaStats) *Table {
 	for _, r := range rows {
 		state := "inactive"
 		switch {
+		case r.Health == "dead":
+			state = "dead"
+		case r.Health == "suspect" && r.Active:
+			state = "suspect"
 		case r.Active && r.Draining:
 			state = "draining"
 		case r.Active:

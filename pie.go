@@ -74,6 +74,14 @@ var (
 	ErrAborted             = api.ErrAborted
 	ErrDeadlineExceeded    = api.ErrDeadlineExceeded
 	ErrLimitExceeded       = api.ErrLimitExceeded
+	ErrTerminated          = api.ErrTerminated
+
+	// Fault-tolerance errors: replica death surfaced to waiters, launches
+	// shed at admission, injected transient faults, and retry exhaustion.
+	ErrReplicaLost          = api.ErrReplicaLost
+	ErrOverloaded           = api.ErrOverloaded
+	ErrTransientFault       = api.ErrTransientFault
+	ErrRetryBudgetExhausted = api.ErrRetryBudgetExhausted
 )
 
 // ExecutionMode selects functional fidelity (see internal/infer).
@@ -112,6 +120,52 @@ const (
 
 // AutoscaleConfig tunes the cluster's queue-depth autoscaler.
 type AutoscaleConfig = cluster.AutoscaleConfig
+
+// Fault-tolerance configuration (internal/cluster, internal/ilm): replica
+// health checking, saturation load shedding, deterministic fault
+// injection, and launch retry policies.
+type (
+	// HealthConfig tunes the replica health monitor (healthy → suspect →
+	// dead → replaced). The zero value disables it.
+	HealthConfig = cluster.HealthConfig
+	// ShedConfig tunes the saturation guard that sheds best-effort
+	// (negative-priority) launches with ErrOverloaded. The zero value
+	// disables it.
+	ShedConfig = cluster.ShedConfig
+	// FaultPlan is a deterministic, seeded failure schedule replayed
+	// against the replicas (chaos experiments).
+	FaultPlan = cluster.FaultPlan
+	// FaultEvent schedules one replica fault at a virtual instant.
+	FaultEvent = cluster.FaultEvent
+	// FaultKind names a replica fault: crash-stop, hang, or slow-down.
+	FaultKind = cluster.FaultKind
+	// HealthState is a replica's position in the failure state machine.
+	HealthState = cluster.HealthState
+	// RetryPolicy controls launch requeue-on-failure: attempts, capped
+	// exponential backoff with deterministic jitter, and a backoff budget.
+	RetryPolicy = ilm.RetryPolicy
+)
+
+// Re-exported fault kinds and health states.
+const (
+	FaultCrash = cluster.FaultCrash
+	FaultHang  = cluster.FaultHang
+	FaultSlow  = cluster.FaultSlow
+
+	HealthHealthy = cluster.HealthHealthy
+	HealthSuspect = cluster.HealthSuspect
+	HealthDead    = cluster.HealthDead
+)
+
+// ParseFaultPlan parses a compact fault-plan spec, e.g.
+// "crash:1@200ms,hang:2@300ms,slow:3@100ms*4" (CLI flags).
+func ParseFaultPlan(spec string) (FaultPlan, error) { return cluster.ParseFaultPlan(spec) }
+
+// RandomFaultPlan derives a seeded random kill/hang/slow schedule over
+// (0, window] for chaos tests; replica 0 is never faulted.
+func RandomFaultPlan(seed uint64, replicas, events int, window time.Duration) FaultPlan {
+	return cluster.RandomFaultPlan(seed, replicas, events, window)
+}
 
 // EvictionPolicy selects the tiered-KV offload victim policy
 // (internal/core).
@@ -176,6 +230,22 @@ type Config struct {
 	// + JIT, warm ones skip it). 0 takes the device default (8 MB, which
 	// holds every Table 2 binary); negative disables eviction.
 	ArtifactCacheBytes int64
+	// Health enables and tunes replica failure detection and recovery:
+	// dead replicas are taken out of rotation, their in-flight inferlets
+	// aborted typed (ErrReplicaLost) and requeued when retried, their
+	// exports declared lost, and a cold spare activated as replacement.
+	Health HealthConfig
+	// Shed enables the saturation guard: best-effort (negative-priority)
+	// launches are rejected with ErrOverloaded when aggregate KV or queue
+	// utilization crosses the watermarks.
+	Shed ShedConfig
+	// Faults injects a deterministic failure schedule (chaos testing):
+	// replica crash/hang/slow events plus a transient per-launch failure
+	// rate, all byte-identically reproducible from the plan's seed.
+	Faults FaultPlan
+	// DefaultRetry applies to launches whose LaunchSpec.Retry is zero.
+	// The zero value keeps failures final (no retries).
+	DefaultRetry RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -270,9 +340,23 @@ func New(cfg Config) *Engine {
 		})
 	}
 	cl := cluster.New(clock, cfg.Placement, cfg.Autoscale, replicas, cfg.Replicas)
+	if cfg.Health.Enabled {
+		cl.EnableHealth(cfg.Health)
+	}
+	if cfg.Shed.Enabled {
+		cl.EnableShedding(cfg.Shed)
+	}
+	if !cfg.Faults.Empty() {
+		if err := cl.InjectFaults(cfg.Faults); err != nil {
+			panic(err)
+		}
+	}
 	world := netsim.NewWorld(clock)
 	world.DefaultLatency = cfg.ExternalLatency
 	lifecycle := ilm.New(clock, cl, world, replicas[0].Ctl.ModelInfos())
+	if cfg.DefaultRetry.Enabled() {
+		lifecycle.SetDefaultRetry(cfg.DefaultRetry)
+	}
 	return &Engine{
 		cfg: cfg, clock: clock, catalog: cat,
 		cluster: cl, ilm: lifecycle, world: world,
@@ -343,6 +427,11 @@ func (h *Handle) Program() (name, version string) { return h.h.Program, h.h.Vers
 
 // ClientTag reports the opaque client label from the LaunchSpec.
 func (h *Handle) ClientTag() string { return h.h.ClientTag }
+
+// Attempts reports how many placement attempts the launch has made: 1 on
+// the happy path, more when the retry policy requeued it after a replica
+// loss or transient fault.
+func (h *Handle) Attempts() int { return h.h.Attempts() }
 
 // Launch starts an inferlet described by a LaunchSpec over the client
 // link (one half RTT out; the full acknowledgement round trip is visible
@@ -421,6 +510,17 @@ type Stats struct {
 	SwapInPages   int // pages faulted host -> device
 	SwapOutPages  int // pages offloaded device -> host
 	SwapTime      time.Duration
+
+	// Fault layer (all zero without health/shed/fault config).
+	FaultsInjected  int           // replica fault events applied
+	TransientFaults int           // injected transient launch failures
+	ReplicasLost    int           // replicas declared dead
+	Replacements    int           // cold spares activated for the dead
+	ExportsLost     int           // KV exports lost with dead replicas
+	Sheds           int           // best-effort launches shed at admission
+	Requeues        int           // launches re-placed after replica death
+	Retries         int           // launch attempts retried before placement stuck
+	DetectTime      time.Duration // cumulative failure-onset -> declared-dead latency
 }
 
 // Stats snapshots engine counters. Per-device counters (busy time,
@@ -432,6 +532,16 @@ func (e *Engine) Stats() Stats {
 		Aborts:         e.ilm.Aborts,
 		ToolCalls:      e.world.Calls,
 		ActiveReplicas: e.cluster.ActiveReplicas(),
+
+		FaultsInjected:  e.cluster.FaultsInjected,
+		TransientFaults: e.cluster.TransientFaults,
+		ReplicasLost:    e.cluster.ReplicasLost,
+		Replacements:    e.cluster.Replacements,
+		ExportsLost:     e.cluster.ExportsLost,
+		Sheds:           e.cluster.Sheds,
+		Requeues:        e.ilm.Requeues,
+		Retries:         e.ilm.Retries,
+		DetectTime:      e.cluster.DetectTime,
 	}
 	for _, r := range e.cluster.Replicas() {
 		s := r.Ctl.Scheduler()
