@@ -10,7 +10,10 @@
 // the control layer owns the virtual→physical mapping.
 package api
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // Embed is a handle to a single token-embedding slot.
 type Embed uint64
@@ -179,6 +182,34 @@ type Message struct {
 	Body string
 }
 
+// ServiceClass is a named service-quality contract for launches. Classes
+// are registered with the engine (pie.Config.Classes) and referenced by
+// name from LaunchSpecs and program manifests; the cluster's scaling loop
+// tracks per-class SLO attainment from live latency samples, and the
+// admission layer may degrade (rather than shed) launches of Degradable
+// classes near saturation.
+type ServiceClass struct {
+	// Name keys the class; LaunchSpec.Class and Manifest.Class reference it.
+	Name string
+	// TTFTTarget bounds time-to-first-token: launch to the first completed
+	// forward pass. Zero means no TTFT objective.
+	TTFTTarget time.Duration
+	// ITLTarget bounds inter-token latency: the gap between successive
+	// completed forward passes of one instance. Zero means no ITL objective.
+	ITLTarget time.Duration
+	// MinTokensPerSec is an advisory throughput objective (reported, not
+	// yet enforced by the scaler).
+	MinTokensPerSec float64
+	// Priority seeds the batch-scheduler priority of launches in this class
+	// whose LaunchSpec leaves Priority zero. Negative marks best-effort
+	// traffic eligible for hard shedding.
+	Priority int
+	// Degradable opts launches of this class into graceful degradation:
+	// near saturation they are admitted with a shorter output cap and a
+	// cheaper model variant (trait-negotiated) instead of being shed.
+	Degradable bool
+}
+
 // Errors shared across layers.
 var (
 	ErrNoSuchModel    = errors.New("pie: no such model")
@@ -226,4 +257,8 @@ var (
 	// ErrRetryBudgetExhausted reports a retried launch that ran out of its
 	// RetryPolicy backoff budget before any attempt succeeded.
 	ErrRetryBudgetExhausted = errors.New("pie: retry budget exhausted")
+
+	// ErrNoSuchClass reports a launch or manifest referencing a service
+	// class absent from the engine's registry (Config.Classes).
+	ErrNoSuchClass = errors.New("pie: no such service class")
 )

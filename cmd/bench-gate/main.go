@@ -154,6 +154,8 @@ func main() {
 			(1-fresh.EventsPerSec/base.EventsPerSec)*100, base.EventsPerSec, fresh.EventsPerSec))
 	}
 
+	writeStepSummary(base, fresh, freshByID, violations)
+
 	fmt.Printf("bench-gate: %d experiments, %d headline metrics checked (tol %.0f%%, perf-tol %.0f%%)\n",
 		len(base.Experiments), checked, *tol*100, *perfTol*100)
 	fmt.Printf("bench-gate: suite events/sec baseline %.0f, fresh %.0f (%+.1f%%)\n",
@@ -165,8 +167,77 @@ func main() {
 			fmt.Println("  -", v)
 		}
 		fmt.Println("(intentional behavior changes must regenerate BENCH_sim.json in the same PR:" +
-			" GOMAXPROCS=1 go run ./cmd/pie-bench -quick -cluster -offload -coldstart -json-out BENCH_sim.json)")
+			" GOMAXPROCS=1 go run ./cmd/pie-bench -quick -cluster -offload -coldstart -faults -slo -json-out BENCH_sim.json)")
 		os.Exit(1)
 	}
 	fmt.Println("bench-gate: OK")
+}
+
+// pct renders a signed relative change, tolerating a zero baseline.
+func pct(fresh, base float64) string {
+	if base == 0 {
+		if fresh == 0 {
+			return "0.0%"
+		}
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", (fresh/base-1)*100)
+}
+
+// writeStepSummary appends a per-experiment baseline-vs-fresh delta table
+// to the GitHub Actions step summary (when $GITHUB_STEP_SUMMARY is set),
+// so a reviewer can see exactly which metrics moved without reading the
+// job log. Purely cosmetic: write failures warn but never change the
+// gate's verdict.
+func writeStepSummary(base, fresh benchfmt.Report, freshByID map[string]benchfmt.Experiment, violations []string) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-gate: step summary:", err)
+		return
+	}
+	defer f.Close()
+
+	verdict := "OK"
+	if len(violations) > 0 {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(violations))
+	}
+	fmt.Fprintf(f, "### bench-gate: %s\n\n", verdict)
+	fmt.Fprintln(f, "| experiment | metric | baseline | fresh | delta |")
+	fmt.Fprintln(f, "|---|---|---:|---:|---:|")
+	for _, b := range base.Experiments {
+		fr, ok := freshByID[b.ID]
+		if !ok {
+			fmt.Fprintf(f, "| %s | — | — | — | missing from fresh |\n", b.ID)
+			continue
+		}
+		fmt.Fprintf(f, "| %s | events | %d | %d | %s |\n",
+			b.ID, b.Events, fr.Events, pct(float64(fr.Events), float64(b.Events)))
+		fmt.Fprintf(f, "| %s | events/sec | %.0f | %.0f | %s |\n",
+			b.ID, b.EventsPerSec, fr.EventsPerSec, pct(fr.EventsPerSec, b.EventsPerSec))
+		keys := make([]string, 0, len(b.Headline))
+		for k := range b.Headline {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fv, ok := fr.Headline[k]
+			if !ok {
+				fmt.Fprintf(f, "| %s | %s | %.4g | — | missing from fresh |\n", b.ID, k, b.Headline[k])
+				continue
+			}
+			fmt.Fprintf(f, "| %s | %s | %.4g | %.4g | %s |\n", b.ID, k, b.Headline[k], fv, pct(fv, b.Headline[k]))
+		}
+	}
+	fmt.Fprintf(f, "\nSuite events/sec: baseline %.0f, fresh %.0f (%s).\n",
+		base.EventsPerSec, fresh.EventsPerSec, pct(fresh.EventsPerSec, base.EventsPerSec))
+	if len(violations) > 0 {
+		fmt.Fprintln(f, "\nViolations:")
+		for _, v := range violations {
+			fmt.Fprintf(f, "- %s\n", v)
+		}
+	}
 }

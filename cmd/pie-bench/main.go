@@ -35,11 +35,12 @@ const defaultJSONPath = "BENCH_sim.json"
 func main() {
 	quick := flag.Bool("quick", false, "run CI-sized workloads")
 	seed := flag.Uint64("seed", 42, "deterministic seed for every experiment")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster,offload,coldstart,faults)")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster,offload,coldstart,faults,slo)")
 	clusterExp := flag.Bool("cluster", false, "also run the replica-scaling cluster sweep (experiment id: cluster)")
 	offloadExp := flag.Bool("offload", false, "also run the tiered-KV host-offload oversubscription sweep (experiment id: offload)")
 	coldstartExp := flag.Bool("coldstart", false, "also run the deployable-artifact cold/warm launch sweep (experiment id: coldstart)")
 	faultsExp := flag.Bool("faults", false, "also run the fault-tolerance chaos experiment (experiment id: faults)")
+	sloExp := flag.Bool("slo", false, "also run the SLO-aware service-class scaling experiment (experiment id: slo)")
 	jsonOut := flag.Bool("json", false, "write BENCH_sim.json with wall time and events/sec per experiment")
 	jsonPath := flag.String("json-out", defaultJSONPath, "path for the -json report (implies -json)")
 	flag.Parse()
@@ -67,6 +68,9 @@ func main() {
 	}
 	if *faultsExp {
 		want["faults"] = true
+	}
+	if *sloExp {
+		want["slo"] = true
 	}
 	all := want["all"]
 
@@ -208,6 +212,9 @@ func main() {
 	if want["faults"] {
 		run("faults", faultsRun(o))
 	}
+	if want["slo"] {
+		run("slo", sloRun(o))
+	}
 
 	if len(rep.Experiments) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected")
@@ -289,6 +296,32 @@ func faultsRun(o eval.Options) func() (string, map[string]float64) {
 			"faulted-hp-per-sec":  r.Faulted.HPGoodput,
 			"faulted-hp-failed":   float64(r.Faulted.HPFailed),
 			"faulted-be-failed":   float64(r.Faulted.BEFailed),
+		}
+	}
+}
+
+// sloRun adapts the SLO-aware service-class scaling sweep to the
+// experiment harness. Headline metrics come from the high-load level,
+// where the contrast between the saturation-guarded scaler and the
+// queue-depth baseline lives; the low-load level contributes the
+// scale-to-zero cost numbers.
+func sloRun(o eval.Options) func() (string, map[string]float64) {
+	return func() (string, map[string]float64) {
+		r := eval.SLOSweep(o)
+		high := r.Levels[len(r.Levels)-1]
+		low := r.Levels[0]
+		return r.Table(), map[string]float64{
+			"slo-steady-ttft-attain":  high.SLO.SteadyTTFTAttain,
+			"base-steady-ttft-attain": high.Baseline.SteadyTTFTAttain,
+			"slo-cost-units":          high.SLO.CostUnits,
+			"base-cost-units":         high.Baseline.CostUnits,
+			"naive-cost-units":        high.SLO.NaiveCost,
+			"degradations":            float64(high.SLO.BatchDegraded),
+			"model-downgrades":        float64(high.SLO.ModelDowngrades),
+			"base-be-sheds":           float64(high.Baseline.BEShed),
+			"slo-be-done":             float64(high.SLO.BEDone),
+			"scale-ups":               float64(high.SLO.ScaleUps),
+			"low-slo-cost-units":      low.SLO.CostUnits,
 		}
 	}
 }

@@ -116,6 +116,11 @@ func buildConfig(fs *flag.FlagSet, args []string) (addr string, cfg pie.Config, 
 	placement := fs.String("placement", "round-robin", "placement policy: round-robin | least-outstanding-tokens | kv-affinity | program-affinity")
 	autoMax := fs.Int("autoscale-max", 0, "enable the autoscaler with this max replica bound (0 disables)")
 	autoMin := fs.Int("autoscale-min", 1, "autoscaler min replica bound")
+	classes := fs.String("classes", "", "service-class registry, e.g. 'interactive:ttft=250ms,itl=50ms,prio=10;batch:degradable' (empty: no classes)")
+	variants := fs.String("variants", "", "heterogeneous replica pool, e.g. 'l4:cost=1,count=4;l4e:cost=0.6,slow=1.4' (empty: homogeneous)")
+	scalerMax := fs.Int("scaler-max", 0, "enable the SLO scaler with this max replica bound (0 disables; supersedes -autoscale-max)")
+	scalerMin := fs.Int("scaler-min", 1, "SLO scaler min replica bound")
+	scaleToZero := fs.Bool("scale-to-zero", false, "let the SLO scaler drain an idle fleet to zero replicas")
 	hostKV := fs.Float64("host-kv-ratio", 0, "host-memory KV tier size as a multiple of device page capacity (0 disables offload)")
 	kvEvict := fs.String("kv-evict", "lru", "KV offload eviction policy: lru | priority")
 	artCache := fs.Int64("artifact-cache", 0, "per-replica warm-artifact cache capacity in bytes (0: device default, <0: unbounded)")
@@ -144,6 +149,21 @@ func buildConfig(fs *flag.FlagSet, args []string) (addr string, cfg pie.Config, 
 		HostKVRatio: *hostKV, KVEviction: evict, ArtifactCacheBytes: *artCache}
 	if *autoMax > 0 {
 		cfg.Autoscale = pie.AutoscaleConfig{Enabled: true, Min: *autoMin, Max: *autoMax}
+	}
+	if *classes != "" {
+		cfg.Classes, err = pie.ParseServiceClasses(*classes)
+		if err != nil {
+			return "", pie.Config{}, err
+		}
+	}
+	if *variants != "" {
+		cfg.Variants, err = pie.ParseReplicaVariants(*variants)
+		if err != nil {
+			return "", pie.Config{}, err
+		}
+	}
+	if *scalerMax > 0 {
+		cfg.Scaler = pie.ScalerConfig{Enabled: true, Min: *scalerMin, Max: *scalerMax, ScaleToZero: *scaleToZero}
 	}
 	if *healthEvery > 0 {
 		cfg.Health = pie.HealthConfig{Enabled: true, Interval: *healthEvery, HangTimeout: *hangTimeout}
@@ -198,6 +218,8 @@ func errCode(err error) string {
 		return "no_such_program"
 	case errors.Is(err, pie.ErrUnsatisfiedManifest):
 		return "unsatisfied_manifest"
+	case errors.Is(err, pie.ErrNoSuchClass):
+		return "no_such_class"
 	case errors.Is(err, pie.ErrOverloaded):
 		return "overloaded"
 	case errors.Is(err, pie.ErrRetryBudgetExhausted):
@@ -232,6 +254,7 @@ func writeErr(w http.ResponseWriter, status int, code, msg string) {
 type launchBody struct {
 	Program    string   `json:"program"` // "name" or "name@version"
 	Args       []string `json:"args"`
+	Class      string   `json:"class"` // service class (empty: manifest default)
 	Priority   int      `json:"priority"`
 	DeadlineMS int64    `json:"deadline_ms"`
 	ClientTag  string   `json:"client_tag"`
@@ -265,6 +288,7 @@ func (s *server) launch(w http.ResponseWriter, r *http.Request) {
 		spec = pie.LaunchSpec{
 			Program:   lb.Program,
 			Args:      lb.Args,
+			Class:     lb.Class,
 			Priority:  lb.Priority,
 			Deadline:  time.Duration(lb.DeadlineMS) * time.Millisecond,
 			ClientTag: lb.ClientTag,
@@ -280,6 +304,8 @@ func (s *server) launch(w http.ResponseWriter, r *http.Request) {
 			status, code = http.StatusNotFound, "no_such_program"
 		case errors.Is(err, pie.ErrUnsatisfiedManifest):
 			status, code = http.StatusConflict, "unsatisfied_manifest"
+		case errors.Is(err, pie.ErrNoSuchClass):
+			status, code = http.StatusBadRequest, "no_such_class"
 		case errors.Is(err, pie.ErrOverloaded):
 			// Saturation guard shed a best-effort launch: classic 429,
 			// with Retry-After so well-behaved clients back off.

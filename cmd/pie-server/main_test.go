@@ -699,6 +699,79 @@ func TestErrCodeClassification(t *testing.T) {
 	}
 }
 
+// TestServiceClassLaunchAndStats drives the SLO surface end to end over
+// HTTP: a classed launch admits and samples into the class tracker, an
+// unknown class fails typed at the API boundary, and /stats reports the
+// per-class attainment block plus per-replica variant/cost columns.
+func TestServiceClassLaunchAndStats(t *testing.T) {
+	classes, err := pie.ParseServiceClasses("interactive:ttft=250ms,itl=50ms,prio=10;batch:degradable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants, err := pie.ParseReplicaVariants("l4:cost=1,count=1;l4e:cost=0.5,slow=1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startTestServer(t, pie.Config{Seed: 7, Replicas: 2, Classes: classes, Variants: variants})
+
+	launch := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/launch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	resp, body := launch(`{"program":"text_completion","args":["{\"prompt\":\"Hi\",\"max_tokens\":2}"],"class":"interactive"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classed launch: status %d: %s", resp.StatusCode, body)
+	}
+	var launched struct {
+		ID int `json:"id"`
+	}
+	if err := json.Unmarshal(body, &launched); err != nil {
+		t.Fatal(err)
+	}
+	if resp := getJSON(t, fmt.Sprintf("%s/wait?id=%d", ts.URL, launched.ID), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait: status %d", resp.StatusCode)
+	}
+
+	// A class outside the registry fails typed before dispatch.
+	resp, body = launch(`{"program":"text_completion","args":["{}"],"class":"platinum"}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "no_such_class") {
+		t.Fatalf("unknown class: status %d body %s", resp.StatusCode, body)
+	}
+
+	var st struct {
+		Engine struct {
+			Classes []struct {
+				Class       string  `json:"class"`
+				TTFTSamples int     `json:"ttft_samples"`
+				TTFTAttain  float64 `json:"ttft_attainment"`
+			}
+		} `json:"engine"`
+		Replicas []struct {
+			Device   string  `json:"device"`
+			Variant  string  `json:"variant"`
+			CostRate float64 `json:"cost_rate"`
+		} `json:"replicas"`
+	}
+	getJSON(t, ts.URL+"/stats", &st)
+	if len(st.Engine.Classes) != 2 || st.Engine.Classes[0].Class != "batch" || st.Engine.Classes[1].Class != "interactive" {
+		t.Fatalf("class stats = %+v, want sorted [batch interactive]", st.Engine.Classes)
+	}
+	if got := st.Engine.Classes[1]; got.TTFTSamples == 0 || got.TTFTAttain != 1 {
+		t.Fatalf("interactive tracker never sampled: %+v", got)
+	}
+	if len(st.Replicas) != 2 || st.Replicas[0].Variant != "l4" || st.Replicas[1].Variant != "l4e" ||
+		st.Replicas[1].CostRate != 0.5 || st.Replicas[1].Device != "l4e-1" {
+		t.Fatalf("replica variant stats = %+v", st.Replicas)
+	}
+}
+
 // TestBuildConfig drives the CLI wiring main uses: defaults, the fault-
 // tolerance knobs, and rejection of malformed flag values.
 func TestBuildConfig(t *testing.T) {
@@ -746,10 +819,31 @@ func TestBuildConfig(t *testing.T) {
 		t.Fatalf("fault-seed override: %+v, %v", cfg.Faults, err)
 	}
 
+	// SLO surface: classes, heterogeneous variants, and the scaler.
+	_, cfg, err = buildConfig(fs(), []string{
+		"-classes", "interactive:ttft=250ms,prio=10;batch:degradable",
+		"-variants", "l4:cost=1,count=2;l4e:cost=0.6,slow=1.4",
+		"-scaler-max", "6", "-scaler-min", "2", "-scale-to-zero",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Classes) != 2 || cfg.Classes[0].TTFTTarget != 250*time.Millisecond || !cfg.Classes[1].Degradable {
+		t.Fatalf("class wiring: %+v", cfg.Classes)
+	}
+	if len(cfg.Variants) != 2 || cfg.Variants[1].CostRate != 0.6 || cfg.Variants[1].Slowdown != 1.4 {
+		t.Fatalf("variant wiring: %+v", cfg.Variants)
+	}
+	if !cfg.Scaler.Enabled || cfg.Scaler.Min != 2 || cfg.Scaler.Max != 6 || !cfg.Scaler.ScaleToZero {
+		t.Fatalf("scaler wiring: %+v", cfg.Scaler)
+	}
+
 	for _, bad := range [][]string{
 		{"-placement", "bogus"},
 		{"-kv-evict", "bogus"},
 		{"-fault-plan", "explode:1@5ms"},
+		{"-classes", "interactive:ttft=soon"},
+		{"-variants", "l4:price=1"},
 	} {
 		if _, _, err := buildConfig(fs(), bad); err == nil {
 			t.Errorf("buildConfig(%v) accepted malformed flags", bad)

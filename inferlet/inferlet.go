@@ -69,6 +69,12 @@ type Manifest struct {
 	// Traits lists the capability traits every required model must
 	// implement (through the supertrait closure).
 	Traits []api.Trait
+	// Class names the service class launches of this program default to
+	// (api.ServiceClass, registered in the engine config). A LaunchSpec
+	// class overrides it. Empty means unclassed. When the engine has a
+	// class registry, an unknown name fails launches typed
+	// api.ErrNoSuchClass.
+	Class string
 	// Limits bounds the instance's resource consumption; zero fields are
 	// unlimited.
 	Limits Limits

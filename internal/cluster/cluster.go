@@ -135,8 +135,20 @@ type Replica struct {
 	Backend *infer.Backend
 	Ctl     *core.Controller
 
+	// Heterogeneous-pool attributes (scaler.go). Zero values mean the
+	// default variant: reference speed at one cost unit per second.
+	Variant     string
+	CostRate    float64
+	SpeedFactor float64
+
 	active   bool
 	draining bool
+	// Cost and cold-start bookkeeping (scaler.go): activation epoch,
+	// accumulated active time from earlier activations, and the end of the
+	// post-activation warming window.
+	activeSince time.Duration
+	activeAccum time.Duration
+	warmUntil   time.Duration
 	// Placements counts inferlet instances routed here.
 	Placements int
 
@@ -192,6 +204,22 @@ type Cluster struct {
 	faults   FaultPlan
 	faultRNG *sim.RNG
 
+	// Service classes and the SLO scaler (serviceclass.go, scaler.go).
+	classes     map[string]api.ServiceClass
+	slo         *sloTracker
+	scaler      ScalerConfig
+	lastBusyAt  time.Duration
+	lowSatTicks int // consecutive scaler ticks below SatLow (hysteresis)
+
+	// Decisions is the bounded scale/degrade/shed decision log: one line
+	// per scaling action, degradation, or shed, byte-identical across
+	// same-seed runs (the determinism test contract).
+	Decisions []string
+
+	// SLO-layer stats.
+	Degradations      int // launches admitted degraded instead of shed
+	ScaleToZeroEvents int // idle-fleet drains initiated by the scaler
+
 	// Fault-layer stats.
 	FaultsInjected  int           // replica fault events applied
 	TransientFaults int           // injected transient launch failures
@@ -228,7 +256,7 @@ func New(clock *sim.Clock, policy PlacementPolicy, auto AutoscaleConfig, replica
 	}
 	c := &Cluster{clock: clock, policy: policy, auto: auto, replicas: replicas}
 	for i := 0; i < active; i++ {
-		replicas[i].active = true
+		c.markActive(replicas[i])
 	}
 	if auto.Enabled {
 		clock.GoDaemon("cluster:autoscaler", c.autoscaleLoop)
@@ -277,7 +305,7 @@ func (c *Cluster) placeable() []*Replica {
 		// lowest-ID live replica so placement still succeeds.
 		for _, r := range c.replicas {
 			if r.health == HealthHealthy && !r.crashed {
-				r.active, r.draining = true, false
+				c.markActive(r)
 				out = append(out, r)
 				break
 			}
@@ -441,20 +469,18 @@ func (c *Cluster) autoscaleLoop() {
 	}
 }
 
-// evaluate runs one autoscaler tick: finish completed drains, then compare
-// the mean queue depth per serving replica against the thresholds. All
-// iteration is in replica-ID order, so same-seed runs scale identically.
-// Dead and suspect replicas never count toward capacity: their stuck
-// queues would otherwise read as load the cluster does not actually have
-// the hardware to serve.
-func (c *Cluster) evaluate() {
+// finishDrains completes drains whose replicas have emptied: migrate their
+// KV exports to a surviving replica, then deactivate. Shared by the
+// queue-depth autoscaler and the SLO scaler; iteration is in replica-ID
+// order so same-seed runs decide identically.
+func (c *Cluster) finishDrains() {
 	for _, r := range c.replicas {
 		if r.active && r.draining && r.health == HealthHealthy && r.Ctl.Instances() == 0 && r.Ctl.OutstandingCalls() == 0 {
 			// Before the replica goes dark, migrate its KV exports to the
 			// lowest-ID serving replica: application-managed prompt caches
 			// survive the drain, and the kv-affinity router keeps finding
 			// them on a placeable replica. The transfer time (device ->
-			// host -> peer) is charged to the autoscaler's tick.
+			// host -> peer) is charged to the scaling loop's tick.
 			if dst := c.migrationTarget(r); dst != nil {
 				pages, cost := r.Ctl.MigrateExportsTo(dst.Ctl)
 				if pages > 0 {
@@ -463,10 +489,20 @@ func (c *Cluster) evaluate() {
 					c.clock.Sleep(cost)
 				}
 			}
-			r.active, r.draining = false, false
+			c.markInactive(r)
 			c.DrainDone++
 		}
 	}
+}
+
+// evaluate runs one autoscaler tick: finish completed drains, then compare
+// the mean queue depth per serving replica against the thresholds. All
+// iteration is in replica-ID order, so same-seed runs scale identically.
+// Dead and suspect replicas never count toward capacity: their stuck
+// queues would otherwise read as load the cluster does not actually have
+// the hardware to serve.
+func (c *Cluster) evaluate() {
+	c.finishDrains()
 	serving := 0
 	depth := 0
 	for _, r := range c.replicas {
@@ -505,14 +541,14 @@ func (c *Cluster) migrationTarget(drained *Replica) *Replica {
 func (c *Cluster) scaleUp() {
 	for _, r := range c.replicas {
 		if r.active && r.draining && r.health == HealthHealthy {
-			r.draining = false
+			c.markActive(r)
 			c.ScaleUps++
 			return
 		}
 	}
 	for _, r := range c.replicas {
 		if !r.active && r.health == HealthHealthy && !r.crashed {
-			r.active = true
+			c.markActive(r)
 			c.ScaleUps++
 			return
 		}
@@ -572,6 +608,12 @@ func (c *Cluster) ReplicaStats() []metrics.ReplicaStats {
 
 			Health:   r.health.String(),
 			Requeues: r.Evacuations,
+
+			Variant:    r.variantName(),
+			CostRate:   r.costRate(),
+			CostUnits:  r.costRate() * r.activeFor(c.now()).Seconds(),
+			Warming:    c.now() < r.warmUntil,
+			Downgrades: r.Ctl.Downgrades,
 		})
 	}
 	return out

@@ -131,10 +131,13 @@ func TestShedConfigDefaults(t *testing.T) {
 	if d.KVWatermark != 0.9 || d.QueueDepth != 96 {
 		t.Fatalf("zero-value defaults = %+v", d)
 	}
+	if d.DegradeRatio != 0.75 || d.DegradeOutputCap != 8 {
+		t.Fatalf("degradation defaults = %+v", d)
+	}
 	if got := (ShedConfig{KVWatermark: 1.5}).withDefaults().KVWatermark; got != 0.9 {
 		t.Fatalf("over-unity watermark normalized to %v, want 0.9", got)
 	}
-	keep := ShedConfig{Enabled: true, KVWatermark: 0.5, QueueDepth: 3}
+	keep := ShedConfig{Enabled: true, KVWatermark: 0.5, QueueDepth: 3, DegradeRatio: 0.5, DegradeOutputCap: 4}
 	if keep.withDefaults() != keep {
 		t.Fatalf("explicit config rewritten: %+v", keep.withDefaults())
 	}
@@ -196,19 +199,53 @@ func TestAdmitLaunchWithNoServingReplica(t *testing.T) {
 	if c.HealthEnabled() {
 		t.Fatal("shedding must not arm the health monitor")
 	}
-	if err := c.AdmitLaunch(0); err != nil {
+	if _, err := c.AdmitLaunch("", 0); err != nil {
 		t.Fatalf("high-priority launch gated: %v", err)
 	}
-	if err := c.AdmitLaunch(-1); !errors.Is(err, api.ErrOverloaded) {
-		t.Fatalf("best-effort with zero serving replicas = %v, want ErrOverloaded", err)
+	if _, err := c.AdmitLaunch("", -1); !errors.Is(err, api.ErrOverloaded) {
+		t.Fatalf("best-effort with no live replica = %v, want ErrOverloaded", err)
 	}
 	if c.Sheds != 1 {
 		t.Fatalf("Sheds = %d, want 1", c.Sheds)
 	}
 	// Shedding disabled: everything admits.
 	c2 := &Cluster{}
-	if err := c2.AdmitLaunch(-1); err != nil {
+	if _, err := c2.AdmitLaunch("", -1); err != nil {
 		t.Fatalf("disabled guard shed a launch: %v", err)
+	}
+}
+
+func TestAdmitLaunchWithSpareActivating(t *testing.T) {
+	// Regression: zero healthy *serving* replicas but a live spare (dead
+	// primary, inactive healthy spare — the window while recovery
+	// activates it). The old guard shed best-effort traffic vacuously
+	// here; the mean-depth computation also divided by zero. Placement
+	// will revive the spare, so the launch must admit.
+	c := &Cluster{replicas: []*Replica{
+		{ID: 0, active: true, health: HealthDead},
+		{ID: 1, active: false, health: HealthHealthy},
+	}}
+	c.EnableShedding(ShedConfig{})
+	if _, err := c.AdmitLaunch("", -1); err != nil {
+		t.Fatalf("best-effort shed while a live spare exists: %v", err)
+	}
+	if c.Sheds != 0 {
+		t.Fatalf("Sheds = %d, want 0 (vacuous shed)", c.Sheds)
+	}
+	// A draining-but-healthy replica is likewise revivable, not gone.
+	c2 := &Cluster{replicas: []*Replica{{ID: 0, active: true, draining: true, health: HealthHealthy}}}
+	c2.EnableShedding(ShedConfig{})
+	if _, err := c2.AdmitLaunch("", -1); err != nil {
+		t.Fatalf("best-effort shed while a draining replica exists: %v", err)
+	}
+	// Crashed spare does not count as live: genuinely out of hardware.
+	c3 := &Cluster{replicas: []*Replica{
+		{ID: 0, active: true, health: HealthDead},
+		{ID: 1, active: false, health: HealthHealthy, crashed: true},
+	}}
+	c3.EnableShedding(ShedConfig{})
+	if _, err := c3.AdmitLaunch("", -1); !errors.Is(err, api.ErrOverloaded) {
+		t.Fatal("no live replica anywhere: best-effort must shed")
 	}
 }
 

@@ -152,7 +152,7 @@ func (c *Cluster) checkHealth() {
 // cold spare activated as the replacement.
 func (c *Cluster) declareDead(r *Replica, detect time.Duration) {
 	r.health = HealthDead
-	r.active, r.draining = false, false
+	c.markInactive(r)
 	// A hung replica's device is already frozen; freezing a slow or
 	// healthy-looking one on the way out keeps it from completing work
 	// after the cluster has given up on it.
@@ -171,7 +171,7 @@ func (c *Cluster) declareDead(r *Replica, detect time.Duration) {
 	// the cold-start pipeline — the same economics as autoscaler growth.
 	for _, s := range c.replicas {
 		if !s.active && s.health == HealthHealthy && !s.crashed {
-			s.active = true
+			c.markActive(s)
 			c.Replacements++
 			break
 		}

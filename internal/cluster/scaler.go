@@ -1,0 +1,520 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The SLO scaler replaces the queue-depth autoscaler with a
+// saturation-guarded, cost-aware scaling loop. Each tick it:
+//
+//   - computes per-replica saturation — the max of KV-pool utilization,
+//     normalized queue depth, and normalized in-flight prefill — and
+//     averages it over healthy serving replicas;
+//   - reads per-class SLO attainment over the recent sample window (the
+//     sloTracker fed by live TTFT/ITL observations);
+//   - scales up when saturation crosses SatHigh or a class misses its
+//     attainment target under load, but never while a replica activated
+//     inside the cold-start window is still warming (no cascade scale-up
+//     on capacity that has not had a chance to absorb load yet);
+//   - picks the cheapest hardware variant whose projected latency meets
+//     the strictest class target (heterogeneous pools, llm-d style);
+//   - scales down the most expensive replica when the fleet is both slack
+//     and attaining, and drains the whole fleet to zero after sustained
+//     idleness when ScaleToZero is set.
+//
+// Every decision appends one line to the cluster's decision log; same-seed
+// runs produce byte-identical logs (the determinism test contract).
+
+// ScalerConfig tunes the SLO scaler. The zero value disables it; enabling
+// it replaces the queue-depth autoscaler.
+type ScalerConfig struct {
+	Enabled bool
+	// Min and Max bound the serving replica count (defaults: 1 and the
+	// replica set size). ScaleToZero may drain below Min when idle.
+	Min, Max int
+	// Interval is the evaluation period on the virtual clock (default 10ms).
+	Interval time.Duration
+	// SatHigh adds capacity when mean saturation reaches it (default 0.75);
+	// SatLow removes capacity when saturation falls to it (default 0.20).
+	SatHigh, SatLow float64
+	// AttainTarget is the recent-window SLO attainment fraction below which
+	// a class counts as missing (default 0.95).
+	AttainTarget float64
+	// QueueRef and PrefillRef normalize outstanding calls and in-flight
+	// prefill tokens into saturation fractions (defaults 32 calls, 4096
+	// tokens per replica).
+	QueueRef, PrefillRef float64
+	// ColdStartWindow holds further scale-up while any replica activated
+	// within it is still warming — newly added capacity pays artifact
+	// upload + JIT before it absorbs load, and scaling into that shadow
+	// cascades (default 40ms).
+	ColdStartWindow time.Duration
+	// ScaleToZero drains the entire fleet (below Min) once the cluster has
+	// been idle — no instances, no outstanding calls — for IdleAfter
+	// (default 250ms). Placement revives a replica on the next launch.
+	ScaleToZero bool
+	IdleAfter   time.Duration
+}
+
+func (s ScalerConfig) withDefaults(total int) ScalerConfig {
+	if s.Min <= 0 {
+		s.Min = 1
+	}
+	if s.Max <= 0 || s.Max > total {
+		s.Max = total
+	}
+	if s.Min > s.Max {
+		s.Min = s.Max
+	}
+	if s.Interval <= 0 {
+		s.Interval = 10 * time.Millisecond
+	}
+	if s.SatHigh <= 0 || s.SatHigh > 1 {
+		s.SatHigh = 0.75
+	}
+	if s.SatLow <= 0 || s.SatLow >= s.SatHigh {
+		s.SatLow = 0.20
+		if s.SatLow >= s.SatHigh {
+			s.SatLow = s.SatHigh / 2
+		}
+	}
+	if s.AttainTarget <= 0 || s.AttainTarget > 1 {
+		s.AttainTarget = 0.95
+	}
+	if s.QueueRef <= 0 {
+		s.QueueRef = 32
+	}
+	if s.PrefillRef <= 0 {
+		s.PrefillRef = 4096
+	}
+	if s.ColdStartWindow <= 0 {
+		s.ColdStartWindow = 40 * time.Millisecond
+	}
+	if s.IdleAfter <= 0 {
+		s.IdleAfter = 250 * time.Millisecond
+	}
+	return s
+}
+
+// EnableScaler installs the SLO scaler and starts its daemon. Call before
+// Engine.Run; mutually exclusive with the queue-depth autoscaler (the
+// engine config enforces that).
+func (c *Cluster) EnableScaler(cfg ScalerConfig) {
+	cfg.Enabled = true
+	c.scaler = cfg.withDefaults(len(c.replicas))
+	if c.slo == nil {
+		c.slo = newSLOTracker(nil)
+	}
+	for _, r := range c.replicas {
+		c.slo.noteVariant(r.Variant, r.speedFactor())
+	}
+	c.clock.GoDaemon("cluster:scaler", func() {
+		for {
+			c.clock.Sleep(c.scaler.Interval)
+			c.scalerTick()
+		}
+	})
+}
+
+// ScalerEnabled reports whether the SLO scaler is running.
+func (c *Cluster) ScalerEnabled() bool { return c.scaler.Enabled }
+
+// replicaSaturation folds one replica's three load signals into a single
+// fraction: the binding constraint governs (a full KV pool saturates a
+// replica whose queue is short, and vice versa).
+func (c *Cluster) replicaSaturation(r *Replica) float64 {
+	inUse, capacity := r.Ctl.KVLoad()
+	kv := 0.0
+	if capacity > 0 {
+		kv = float64(inUse) / float64(capacity)
+	}
+	queue := float64(r.Ctl.OutstandingCalls()) / c.scaler.QueueRef
+	prefill := float64(r.Ctl.OutstandingPrefillTokens()) / c.scaler.PrefillRef
+	sat := kv
+	if queue > sat {
+		sat = queue
+	}
+	if prefill > sat {
+		sat = prefill
+	}
+	return sat
+}
+
+// scalerTick runs one scaling decision. All iteration is in replica-ID
+// order and all class iteration in sorted-name order, so same-seed runs
+// decide identically.
+func (c *Cluster) scalerTick() {
+	c.finishDrains()
+	now := c.clock.Now()
+	serving, warming := 0, 0
+	var satSum float64
+	busy := false
+	for _, r := range c.replicas {
+		// Busyness counts work anywhere — including draining replicas still
+		// finishing instances — so scale-to-zero never fires on a fleet
+		// whose remaining work happens to sit on a drain.
+		if r.Ctl.Instances() > 0 || r.Ctl.OutstandingCalls() > 0 {
+			busy = true
+		}
+		if !r.active || r.draining || r.health != HealthHealthy {
+			continue
+		}
+		serving++
+		satSum += c.replicaSaturation(r)
+		if now < r.warmUntil {
+			warming++
+		}
+	}
+	if busy {
+		c.lastBusyAt = now
+	}
+	if serving == 0 {
+		return
+	}
+	sat := satSum / float64(serving)
+	missClass, missAtt := "", 1.0
+	if busy && sat > c.scaler.SatLow {
+		// Attainment only drives scaling when the fleet is actually
+		// loaded: a stale window of misses from a past burst must not pin
+		// an idle fleet up, and misses on an unsaturated fleet (intrinsic
+		// prompt latency) are not a capacity problem money can fix.
+		missClass, missAtt = c.slo.worstRecent(c.scaler.AttainTarget)
+	}
+	// Scale-down hysteresis: one quiet tick between bursts must not shed
+	// a replica the next tick will claw back (and pay a cold start for).
+	if sat <= c.scaler.SatLow && missClass == "" {
+		c.lowSatTicks++
+	} else {
+		c.lowSatTicks = 0
+	}
+	switch {
+	case (sat >= c.scaler.SatHigh || missClass != "") && serving < c.scaler.Max:
+		reason := fmt.Sprintf("sat=%.2f", sat)
+		if missClass != "" {
+			reason = fmt.Sprintf("sat=%.2f class=%s att=%.2f", sat, missClass, missAtt)
+		}
+		if warming > 0 {
+			c.logDecision("hold scale-up: %d replica(s) inside cold-start window (%s)", warming, reason)
+			return
+		}
+		c.scaleUpCostAware(reason)
+	case c.scaler.ScaleToZero && !busy && now-c.lastBusyAt >= c.scaler.IdleAfter:
+		drained := 0
+		for _, r := range c.replicas {
+			if r.active && !r.draining && r.health == HealthHealthy {
+				r.draining = true
+				c.DrainStart++
+				drained++
+			}
+		}
+		if drained > 0 {
+			c.ScaleToZeroEvents++
+			c.logDecision("scale-to-zero: drained %d idle replica(s) after %v idle", drained, now-c.lastBusyAt)
+		}
+	case c.lowSatTicks >= scaleDownPatience && serving > c.scaler.Min:
+		c.scaleDownCostAware(sat)
+	}
+}
+
+// scaleUpCostAware adds one replica: first un-drain a still-warm draining
+// replica, else activate an inactive spare. Candidates order by (cost rate
+// ascending, ID ascending) among variants whose projected latency meets
+// the strictest class target; when no variant qualifies, the fastest one
+// is taken — an SLO miss wants the best hardware available, whatever it
+// costs.
+func (c *Cluster) scaleUpCostAware(reason string) {
+	pick := func(eligible func(*Replica) bool) *Replica {
+		var best *Replica
+		bestQualifies := false
+		for _, r := range c.replicas {
+			if !eligible(r) {
+				continue
+			}
+			q := c.variantMeetsTargets(r)
+			switch {
+			case best == nil:
+				best, bestQualifies = r, q
+			case q && !bestQualifies:
+				best, bestQualifies = r, true
+			case q == bestQualifies && c.cheaperOrFaster(r, best, q):
+				best = r
+			}
+		}
+		return best
+	}
+	if r := pick(func(r *Replica) bool {
+		return r.active && r.draining && r.health == HealthHealthy
+	}); r != nil {
+		c.markActive(r)
+		c.ScaleUps++
+		c.logDecision("scale-up: un-drain replica=%d variant=%s (%s)", r.ID, r.variantName(), reason)
+		return
+	}
+	if r := pick(func(r *Replica) bool {
+		return !r.active && r.health == HealthHealthy && !r.crashed
+	}); r != nil {
+		c.markActive(r)
+		c.ScaleUps++
+		c.logDecision("scale-up: activate replica=%d variant=%s cost=%.2f (%s)", r.ID, r.variantName(), r.costRate(), reason)
+	}
+}
+
+// cheaperOrFaster orders two candidates of equal qualification: qualifying
+// candidates compete on price (cheapest first), non-qualifying ones on
+// speed (fastest first); ties break by lowest ID.
+func (c *Cluster) cheaperOrFaster(r, best *Replica, qualifies bool) bool {
+	if qualifies {
+		if r.costRate() != best.costRate() {
+			return r.costRate() < best.costRate()
+		}
+	} else {
+		if r.speedFactor() != best.speedFactor() {
+			return r.speedFactor() < best.speedFactor()
+		}
+	}
+	return r.ID < best.ID
+}
+
+// variantMeetsTargets projects the replica's variant latency against the
+// strictest registered class targets.
+func (c *Cluster) variantMeetsTargets(r *Replica) bool {
+	if c.slo == nil {
+		return true
+	}
+	ttftTarget, itlTarget := c.slo.strictestTargets()
+	if ttftTarget == 0 && itlTarget == 0 {
+		return true
+	}
+	estTTFT, estITL := c.slo.estimate(r.Variant, r.speedFactor())
+	if ttftTarget > 0 && estTTFT > ttftTarget {
+		return false
+	}
+	if itlTarget > 0 && estITL > itlTarget {
+		return false
+	}
+	return true
+}
+
+// scaleDownCostAware drains the most expensive healthy serving replica
+// (ties break by highest ID — mirror of activation order).
+func (c *Cluster) scaleDownCostAware(sat float64) {
+	var victim *Replica
+	for _, r := range c.replicas {
+		if !r.active || r.draining || r.health != HealthHealthy {
+			continue
+		}
+		if victim == nil || r.costRate() > victim.costRate() ||
+			(r.costRate() == victim.costRate() && r.ID > victim.ID) {
+			victim = r
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.draining = true
+	c.DrainStart++
+	c.logDecision("scale-down: drain replica=%d variant=%s cost=%.2f sat=%.2f", victim.ID, victim.variantName(), victim.costRate(), sat)
+}
+
+// --- Heterogeneous variants ---------------------------------------------
+
+// ReplicaVariant describes one hardware class in a heterogeneous replica
+// pool (llm-d's Accelerator: a name, a unit cost, and a relative speed).
+type ReplicaVariant struct {
+	// Name labels the variant; replica devices are named "<name>-<id>".
+	Name string
+	// CostRate is the cost-units-per-second price of keeping one replica
+	// of this variant active (default 1).
+	CostRate float64
+	// Slowdown multiplies every kernel cost relative to the reference
+	// device (1 = reference speed, 2 = half speed; default 1).
+	Slowdown float64
+	// Count is how many replicas take this variant, assigned in replica-ID
+	// order; <= 0 means all remaining replicas.
+	Count int
+}
+
+func (v ReplicaVariant) withDefaults() ReplicaVariant {
+	if v.Name == "" {
+		v.Name = "l4"
+	}
+	if v.CostRate <= 0 {
+		v.CostRate = 1
+	}
+	if v.Slowdown < 1 {
+		v.Slowdown = 1
+	}
+	return v
+}
+
+// ExpandVariants assigns a variant to each of total replicas in ID order:
+// each variant covers Count replicas (<= 0 meaning the remainder), and the
+// last variant pads out the pool. An empty spec yields the default
+// homogeneous pool.
+func ExpandVariants(variants []ReplicaVariant, total int) []ReplicaVariant {
+	if len(variants) == 0 {
+		variants = []ReplicaVariant{{}}
+	}
+	out := make([]ReplicaVariant, 0, total)
+	for _, v := range variants {
+		v = v.withDefaults()
+		n := v.Count
+		if n <= 0 || n > total-len(out) {
+			n = total - len(out)
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, v)
+		}
+		if len(out) == total {
+			break
+		}
+	}
+	for len(out) < total {
+		out = append(out, variants[len(variants)-1].withDefaults())
+	}
+	return out
+}
+
+// ParseReplicaVariants parses a compact heterogeneous-pool spec (CLI
+// flags): semicolon-separated variants, each "name:key=value,...", e.g.
+//
+//	l4:cost=1,count=4;l4e:cost=0.6,slow=1.4
+//
+// Keys: cost (float units/sec), slow (float kernel multiplier), count
+// (int replicas; the last variant may omit it to cover the remainder).
+func ParseReplicaVariants(spec string) ([]ReplicaVariant, error) {
+	var out []ReplicaVariant
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, _ := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("cluster: replica variant with empty name in %q", part)
+		}
+		v := ReplicaVariant{Name: name}
+		for _, kv := range strings.Split(rest, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, _ := strings.Cut(kv, "=")
+			var err error
+			switch strings.TrimSpace(key) {
+			case "cost":
+				v.CostRate, err = strconv.ParseFloat(val, 64)
+			case "slow", "slowdown":
+				v.Slowdown, err = strconv.ParseFloat(val, 64)
+			case "count":
+				v.Count, err = strconv.Atoi(val)
+			default:
+				err = fmt.Errorf("unknown key %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("cluster: replica variant %q: %v", name, err)
+			}
+		}
+		out = append(out, v.withDefaults())
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty replica-variant spec %q", spec)
+	}
+	return out, nil
+}
+
+// --- Cost accounting and the decision log -------------------------------
+
+// scaleDownPatience is how many consecutive below-SatLow ticks the scaler
+// waits before shedding capacity — cold starts make scale-down much more
+// expensive to regret than to delay.
+const scaleDownPatience = 3
+
+// maxDecisions bounds the decision log (it exists for the determinism
+// tests and post-mortems, not as an unbounded trace).
+const maxDecisions = 4096
+
+// logDecision appends one line to the scale/degrade/shed decision log.
+func (c *Cluster) logDecision(format string, args ...any) {
+	if len(c.Decisions) >= maxDecisions {
+		return
+	}
+	c.Decisions = append(c.Decisions, fmt.Sprintf("t=%v ", c.now())+fmt.Sprintf(format, args...))
+}
+
+// now is the cluster's virtual time, zero for clockless unit-test
+// clusters (which never run daemons).
+func (c *Cluster) now() time.Duration {
+	if c.clock == nil {
+		return 0
+	}
+	return c.clock.Now()
+}
+
+// markActive (re)activates a replica for placement, stamping cost and
+// cold-start bookkeeping. Un-draining keeps the original activation epoch:
+// the replica never stopped costing.
+func (c *Cluster) markActive(r *Replica) {
+	if !r.active {
+		r.activeSince = c.now()
+		r.warmUntil = r.activeSince + c.scaler.ColdStartWindow
+	}
+	r.active, r.draining = true, false
+}
+
+// markInactive retires a replica from the serving set, folding its active
+// span into the cost accumulator.
+func (c *Cluster) markInactive(r *Replica) {
+	if r.active {
+		r.activeAccum += c.now() - r.activeSince
+	}
+	r.active, r.draining = false, false
+}
+
+// activeFor reports the replica's cumulative active time as of now.
+func (r *Replica) activeFor(now time.Duration) time.Duration {
+	d := r.activeAccum
+	if r.active {
+		d += now - r.activeSince
+	}
+	return d
+}
+
+// costRate reports the replica's price per active second (default 1 for
+// replicas built without a variant).
+func (r *Replica) costRate() float64 {
+	if r.CostRate > 0 {
+		return r.CostRate
+	}
+	return 1
+}
+
+// speedFactor reports the variant's kernel slowdown (>= 1).
+func (r *Replica) speedFactor() float64 {
+	if r.SpeedFactor > 1 {
+		return r.SpeedFactor
+	}
+	return 1
+}
+
+func (r *Replica) variantName() string {
+	if r.Variant != "" {
+		return r.Variant
+	}
+	return "l4"
+}
+
+// CostUnits reports the fleet's cumulative cost: each replica's cost rate
+// times its active seconds, as of now. The baseline autoscaler and the SLO
+// scaler are priced identically, so legs compare.
+func (c *Cluster) CostUnits(now time.Duration) float64 {
+	var units float64
+	for _, r := range c.replicas {
+		units += r.costRate() * r.activeFor(now).Seconds()
+	}
+	return units
+}

@@ -1,0 +1,296 @@
+// White-box unit tests for the SLO scaler's pure pieces: config
+// normalization, heterogeneous-variant expansion and parsing, cost-aware
+// candidate ordering, cost accounting, and the latency tracker's window
+// arithmetic. Engine-level scaling behavior (ticks, cold-start holds,
+// scale-to-zero) is pinned by the eval experiment's acceptance and
+// determinism tests.
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pie/api"
+)
+
+func TestScalerConfigDefaults(t *testing.T) {
+	d := ScalerConfig{}.withDefaults(8)
+	want := ScalerConfig{
+		Min: 1, Max: 8, Interval: 10 * time.Millisecond,
+		SatHigh: 0.75, SatLow: 0.20, AttainTarget: 0.95,
+		QueueRef: 32, PrefillRef: 4096,
+		ColdStartWindow: 40 * time.Millisecond, IdleAfter: 250 * time.Millisecond,
+	}
+	if d != want {
+		t.Fatalf("zero-value defaults = %+v, want %+v", d, want)
+	}
+	// Max clamps to the fleet; Min clamps to Max.
+	if got := (ScalerConfig{Max: 20}).withDefaults(8).Max; got != 8 {
+		t.Fatalf("oversized Max = %d, want 8", got)
+	}
+	if got := (ScalerConfig{Min: 5, Max: 2}).withDefaults(8); got.Min != 2 {
+		t.Fatalf("Min > Max normalized to %+v", got)
+	}
+	// A SatLow at or above SatHigh falls back to the default, halving
+	// under SatHigh when even the default would invert.
+	if got := (ScalerConfig{SatHigh: 0.3, SatLow: 0.5}).withDefaults(8); got.SatLow != 0.20 {
+		t.Fatalf("inverted watermarks normalized to %+v", got)
+	}
+	if got := (ScalerConfig{SatHigh: 0.1, SatLow: 0.5}).withDefaults(8); got.SatLow != 0.05 {
+		t.Fatalf("inverted low watermarks normalized to %+v", got)
+	}
+	keep := ScalerConfig{
+		Enabled: true, Min: 2, Max: 4, Interval: time.Millisecond,
+		SatHigh: 0.9, SatLow: 0.1, AttainTarget: 0.99, QueueRef: 8,
+		PrefillRef: 512, ColdStartWindow: time.Millisecond,
+		ScaleToZero: true, IdleAfter: time.Second,
+	}
+	if keep.withDefaults(8) != keep {
+		t.Fatalf("explicit config rewritten: %+v", keep.withDefaults(8))
+	}
+}
+
+func TestScaleUpPicksCheapest(t *testing.T) {
+	// No SLO tracker: every variant qualifies, so price decides and ties
+	// break by lowest ID.
+	c := &Cluster{replicas: []*Replica{
+		{ID: 0, Variant: "l4", CostRate: 1.0, health: HealthHealthy},
+		{ID: 1, Variant: "l4e", CostRate: 0.6, health: HealthHealthy},
+		{ID: 2, Variant: "l4e", CostRate: 0.6, health: HealthHealthy},
+	}}
+	c.scaleUpCostAware("test")
+	if !c.replicas[1].active || c.ScaleUps != 1 {
+		t.Fatalf("picked %+v, want replica 1 active", c.replicas)
+	}
+	if len(c.Decisions) != 1 || !strings.Contains(c.Decisions[0], "activate replica=1 variant=l4e") {
+		t.Fatalf("decision log = %v", c.Decisions)
+	}
+}
+
+func TestScaleUpPrefersUnDrain(t *testing.T) {
+	// A draining replica is warm capacity: un-draining beats activating a
+	// cold spare, even a cheaper one.
+	c := &Cluster{replicas: []*Replica{
+		{ID: 0, CostRate: 1.0, active: true, draining: true, health: HealthHealthy},
+		{ID: 1, CostRate: 0.5, health: HealthHealthy},
+	}}
+	c.scaleUpCostAware("test")
+	if c.replicas[0].draining || !c.replicas[0].active {
+		t.Fatalf("draining replica not reclaimed: %+v", c.replicas[0])
+	}
+	if c.replicas[1].active {
+		t.Fatal("cold spare activated despite warm drain available")
+	}
+}
+
+func TestScaleUpPrefersQualifyingVariant(t *testing.T) {
+	// The slow economy variant projects past the ITL target, so the
+	// pricier reference variant wins despite costing more.
+	slo := newSLOTracker([]api.ServiceClass{{Name: "int", ITLTarget: 20 * time.Millisecond}})
+	slo.noteVariant("l4", 1)
+	slo.noteVariant("l4e", 4)
+	for i := 0; i < 4; i++ {
+		slo.observe("l4", "int", false, 10*time.Millisecond)
+	}
+	c := &Cluster{slo: slo, replicas: []*Replica{
+		{ID: 0, Variant: "l4e", CostRate: 0.5, SpeedFactor: 4, health: HealthHealthy},
+		{ID: 1, Variant: "l4", CostRate: 1.0, health: HealthHealthy},
+	}}
+	c.scaleUpCostAware("test")
+	if !c.replicas[1].active || c.replicas[0].active {
+		t.Fatalf("qualifying variant lost to cheaper non-qualifying: %+v", c.replicas)
+	}
+	// With a target no variant can meet, the fastest hardware wins — an
+	// SLO miss wants speed, whatever the price.
+	slo2 := newSLOTracker([]api.ServiceClass{{Name: "int", ITLTarget: time.Millisecond}})
+	slo2.noteVariant("l4", 1)
+	slo2.noteVariant("l4e", 4)
+	for i := 0; i < 4; i++ {
+		slo2.observe("l4", "int", false, 10*time.Millisecond)
+	}
+	c2 := &Cluster{slo: slo2, replicas: []*Replica{
+		{ID: 0, Variant: "l4e", CostRate: 0.5, SpeedFactor: 4, health: HealthHealthy},
+		{ID: 1, Variant: "l4", CostRate: 1.0, health: HealthHealthy},
+	}}
+	c2.scaleUpCostAware("test")
+	if !c2.replicas[1].active {
+		t.Fatalf("fastest variant not chosen when nothing qualifies: %+v", c2.replicas)
+	}
+}
+
+func TestScaleDownDrainsMostExpensive(t *testing.T) {
+	c := &Cluster{replicas: []*Replica{
+		{ID: 0, CostRate: 0.6, active: true, health: HealthHealthy},
+		{ID: 1, CostRate: 1.0, active: true, health: HealthHealthy},
+		{ID: 2, CostRate: 1.0, active: true, health: HealthHealthy},
+	}}
+	c.scaleDownCostAware(0.1)
+	// Most expensive first; equal cost breaks toward the highest ID —
+	// the mirror of activation order.
+	if !c.replicas[2].draining || c.replicas[0].draining || c.replicas[1].draining {
+		t.Fatalf("drain victim wrong: %+v", c.replicas)
+	}
+	if c.DrainStart != 1 {
+		t.Fatalf("DrainStart = %d, want 1", c.DrainStart)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	r := &Replica{CostRate: 2, activeAccum: 2 * time.Second}
+	if got := r.activeFor(10 * time.Second); got != 2*time.Second {
+		t.Fatalf("inactive replica accrues: %v", got)
+	}
+	r.active, r.activeSince = true, 4*time.Second
+	if got := r.activeFor(7 * time.Second); got != 5*time.Second {
+		t.Fatalf("active span not added: %v", got)
+	}
+	c := &Cluster{replicas: []*Replica{r, {activeAccum: 3 * time.Second}}}
+	// 2 units/s x 5s + default 1 unit/s x 3s.
+	if got := c.CostUnits(7 * time.Second); got != 13 {
+		t.Fatalf("CostUnits = %v, want 13", got)
+	}
+	// markInactive closes the open span (clockless clusters fold at t=0)
+	// and freezes the accumulator.
+	r.activeSince = 0
+	c.markInactive(r)
+	if r.active || r.activeFor(100*time.Second) != 2*time.Second {
+		t.Fatalf("markInactive bookkeeping: active=%v accum=%v", r.active, r.activeAccum)
+	}
+}
+
+func TestLatWindowArithmetic(t *testing.T) {
+	var w latWindow
+	if w.attainment(time.Second) != 1 {
+		t.Fatal("empty window must vacuously attain")
+	}
+	for i := 0; i < 3; i++ {
+		w.add(10 * time.Millisecond)
+	}
+	w.add(100 * time.Millisecond)
+	if got := w.attainment(20 * time.Millisecond); got != 0.75 {
+		t.Fatalf("attainment = %v, want 0.75", got)
+	}
+	if got := w.mean(); got != 32500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	// The ring holds only the most recent latWindowSize samples.
+	for i := 0; i < latWindowSize; i++ {
+		w.add(time.Millisecond)
+	}
+	if w.size() != latWindowSize || w.attainment(2*time.Millisecond) != 1 {
+		t.Fatalf("ring wrap: size=%d attainment=%v", w.size(), w.attainment(2*time.Millisecond))
+	}
+}
+
+func TestWorstRecentNeedsSamples(t *testing.T) {
+	slo := newSLOTracker([]api.ServiceClass{
+		{Name: "int", TTFTTarget: 10 * time.Millisecond},
+		{Name: "free"}, // no targets: never flagged
+	})
+	// Below the minimum sample count even 100% misses stay quiet — one
+	// early outlier must not trigger fleet-wide reactions.
+	for i := 0; i < minAttainSamples-1; i++ {
+		slo.observe("l4", "int", true, time.Second)
+	}
+	if name, _ := slo.worstRecent(0.95); name != "" {
+		t.Fatalf("underpopulated window flagged %q", name)
+	}
+	slo.observe("l4", "int", true, time.Second)
+	name, att := slo.worstRecent(0.95)
+	if name != "int" || att != 0 {
+		t.Fatalf("worstRecent = %q/%v, want int/0", name, att)
+	}
+	for i := 0; i < minAttainSamples; i++ {
+		slo.observe("l4", "free", true, time.Hour)
+	}
+	if name, _ := slo.worstRecent(0.95); name != "int" {
+		t.Fatalf("targetless class outranked a missing one: %q", name)
+	}
+}
+
+func TestEstimateScalesAcrossVariants(t *testing.T) {
+	slo := newSLOTracker(nil)
+	slo.noteVariant("l4", 1)
+	slo.noteVariant("l4e", 2)
+	if ttft, itl := slo.estimate("l4e", 2); ttft != 0 || itl != 0 {
+		t.Fatalf("unsampled tracker estimate = %v/%v, want optimistic zero", ttft, itl)
+	}
+	slo.observe("l4", "", true, 10*time.Millisecond)
+	slo.observe("l4", "", false, 4*time.Millisecond)
+	// A sampled variant answers from its own window.
+	if ttft, itl := slo.estimate("l4", 1); ttft != 10*time.Millisecond || itl != 4*time.Millisecond {
+		t.Fatalf("own-window estimate = %v/%v", ttft, itl)
+	}
+	// An unsampled one scales the fastest sampled window by the speed ratio.
+	if ttft, itl := slo.estimate("l4e", 2); ttft != 20*time.Millisecond || itl != 8*time.Millisecond {
+		t.Fatalf("scaled estimate = %v/%v", ttft, itl)
+	}
+}
+
+func TestExpandVariants(t *testing.T) {
+	// Empty spec: homogeneous default pool.
+	out := ExpandVariants(nil, 3)
+	if len(out) != 3 || out[0].Name != "l4" || out[0].CostRate != 1 || out[0].Slowdown != 1 {
+		t.Fatalf("default pool = %+v", out)
+	}
+	// Counted prefix plus remainder, and the last variant pads short specs.
+	out = ExpandVariants([]ReplicaVariant{
+		{Name: "a", Count: 2, CostRate: 2},
+		{Name: "b", CostRate: 0.5},
+	}, 5)
+	names := ""
+	for _, v := range out {
+		names += v.Name
+	}
+	if names != "aabbb" {
+		t.Fatalf("assignment = %q, want aabbb", names)
+	}
+	// Counts beyond the pool truncate.
+	if out = ExpandVariants([]ReplicaVariant{{Name: "a", Count: 9}}, 2); len(out) != 2 {
+		t.Fatalf("oversized count = %+v", out)
+	}
+}
+
+func TestParseReplicaVariants(t *testing.T) {
+	vs, err := ParseReplicaVariants("l4:cost=1,count=4;l4e:cost=0.6,slow=1.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ReplicaVariant{
+		{Name: "l4", CostRate: 1, Slowdown: 1, Count: 4},
+		{Name: "l4e", CostRate: 0.6, Slowdown: 1.4},
+	}
+	if len(vs) != 2 || vs[0] != want[0] || vs[1] != want[1] {
+		t.Fatalf("parsed %+v, want %+v", vs, want)
+	}
+	for _, bad := range []string{"", "  ", ":cost=1", "l4:price=1", "l4:cost=abc", "l4:count=x"} {
+		if _, err := ParseReplicaVariants(bad); err == nil {
+			t.Errorf("ParseReplicaVariants(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseServiceClasses(t *testing.T) {
+	cs, err := ParseServiceClasses("interactive:ttft=250ms,itl=50ms,prio=10;batch:tps=40,degradable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []api.ServiceClass{
+		{Name: "interactive", TTFTTarget: 250 * time.Millisecond, ITLTarget: 50 * time.Millisecond, Priority: 10},
+		{Name: "batch", MinTokensPerSec: 40, Degradable: true},
+	}
+	if len(cs) != 2 || cs[0] != want[0] || cs[1] != want[1] {
+		t.Fatalf("parsed %+v, want %+v", cs, want)
+	}
+	// degradable accepts an explicit boolean.
+	cs, err = ParseServiceClasses("b:degradable=false")
+	if err != nil || cs[0].Degradable {
+		t.Fatalf("degradable=false parsed as %+v (%v)", cs, err)
+	}
+	for _, bad := range []string{"", ":ttft=1ms", "a:ttft=soon", "a:prio=x", "a:bogus=1", "a:ttft=1ms;a:itl=2ms"} {
+		if _, err := ParseServiceClasses(bad); err == nil {
+			t.Errorf("ParseServiceClasses(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -36,12 +36,20 @@ type Controller struct {
 	// enqueue/complete/close. The cluster router's least-loaded placement
 	// and the autoscaler's queue-depth signal read these; control-side ops
 	// (dealloc, sync) never count.
-	outstandingCalls  int
-	outstandingTokens int
+	outstandingCalls   int
+	outstandingTokens  int
+	outstandingPrefill int // fresh tokens of admitted bulk-prefill forwards
+
+	// latencyFn, when set, observes every completed forward pass: the
+	// instance's service class, whether the sample is a TTFT (first forward
+	// of the instance) or an ITL (gap since its previous forward), and the
+	// measured duration. The cluster's SLO tracker installs it.
+	latencyFn func(class string, ttft bool, d time.Duration)
 
 	// Stats.
 	Terminations int
 	Aborts       int           // instances cancelled via their launch handle
+	Downgrades   int           // degraded sessions moved to a cheaper model variant
 	xferTime     time.Duration // cumulative PCIe swap time charged to callers
 }
 
@@ -84,6 +92,12 @@ func NewController(clock *sim.Clock, backend *infer.Backend, models []*infer.Mod
 // Scheduler exposes the batch scheduler (for tests and stats).
 func (ctl *Controller) Scheduler() *Scheduler { return ctl.sched }
 
+// SetLatencyObserver installs the per-forward completion observer feeding
+// the cluster's per-class TTFT/ITL attainment tracker. Pass nil to remove.
+func (ctl *Controller) SetLatencyObserver(fn func(class string, ttft bool, d time.Duration)) {
+	ctl.latencyFn = fn
+}
+
 // chargeControl prices a control-layer-handled API call in the caller's
 // process and bumps instrumentation.
 func (ctl *Controller) chargeControl(inst *Instance) {
@@ -106,6 +120,7 @@ func (ctl *Controller) RegisterInstance(name string, proc *sim.Proc, onKill func
 		vPages:     make(map[api.KvPage]resRef),
 		queues:     make(map[api.Queue]*cmdQueue),
 		onKill:     onKill,
+		launchedAt: ctl.clock.Now(),
 	}
 	ctl.instances[inst.ID] = inst
 	return inst
@@ -1006,6 +1021,7 @@ func (ctl *Controller) admitCall(c *infer.Call) {
 	}
 	ctl.outstandingCalls++
 	ctl.outstandingTokens += callTokenWeight(c)
+	ctl.outstandingPrefill += prefillWeight(c)
 }
 
 func (ctl *Controller) retireCall(c *infer.Call) {
@@ -1014,6 +1030,21 @@ func (ctl *Controller) retireCall(c *infer.Call) {
 	}
 	ctl.outstandingCalls--
 	ctl.outstandingTokens -= callTokenWeight(c)
+	ctl.outstandingPrefill -= prefillWeight(c)
+}
+
+// prefillWeight counts the fresh tokens of a bulk-prefill forward (more
+// than one new token); single-token decode steps weigh zero. The scaler's
+// saturation signal reads the aggregate: a replica deep in prefill work
+// has long first-token queues ahead of any new launch.
+func prefillWeight(c *infer.Call) int {
+	if c.Op != infer.OpForward {
+		return 0
+	}
+	if n := c.NewTokens(); n > 1 {
+		return n
+	}
+	return 0
 }
 
 // OutstandingCalls reports inference-layer calls admitted but not yet
@@ -1023,6 +1054,45 @@ func (ctl *Controller) OutstandingCalls() int { return ctl.outstandingCalls }
 // OutstandingTokens reports the token-weighted outstanding work — the
 // cluster's least-outstanding-tokens placement signal.
 func (ctl *Controller) OutstandingTokens() int { return ctl.outstandingTokens }
+
+// OutstandingPrefillTokens reports the fresh tokens of admitted
+// bulk-prefill forwards not yet completed — a scaler saturation signal.
+func (ctl *Controller) OutstandingPrefillTokens() int { return ctl.outstandingPrefill }
+
+// CheaperModel returns the cheapest installed model that is strictly
+// cheaper (by weight bytes) than name and whose trait closure covers every
+// trait name declares — so anything a program negotiated against the
+// original model still negotiates against the substitute. Empty when no
+// such model exists. Graceful degradation uses it to downgrade Degradable
+// launches near saturation.
+func (ctl *Controller) CheaperModel(name string) string {
+	cur, ok := ctl.models[name]
+	if !ok {
+		return ""
+	}
+	best := ""
+	var bestBytes int64
+	for _, cand := range ctl.order {
+		rt := ctl.models[cand]
+		if rt.Spec.WeightBytes >= cur.Spec.WeightBytes {
+			continue
+		}
+		covered := true
+		for _, t := range cur.Info.Traits {
+			if !rt.Info.HasTraitClosure(t) {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		if best == "" || rt.Spec.WeightBytes < bestBytes {
+			best, bestBytes = cand, rt.Spec.WeightBytes
+		}
+	}
+	return best
+}
 
 // HasExportNamed reports whether a KV export is registered under name,
 // without charging any instance: the cluster router probes replicas with
@@ -1048,6 +1118,26 @@ func (ctl *Controller) onBatchComplete(b *infer.Batch) {
 		q := ctl.sched.queueOf(c)
 		if q != nil {
 			q.inflight--
+		}
+	}
+	if ctl.latencyFn != nil && b.Op == infer.OpForward {
+		// Feed the SLO tracker: an instance's first completed forward is
+		// its TTFT (launch → first token); each later forward samples the
+		// gap since the previous one (ITL). Same-batch forwards of one
+		// instance read as zero-gap — they genuinely completed together.
+		now := ctl.clock.Now()
+		for _, c := range b.Calls {
+			inst := ctl.instances[c.Inst]
+			if inst == nil {
+				continue
+			}
+			if !inst.sawFirstTok {
+				inst.sawFirstTok = true
+				ctl.latencyFn(inst.Class, true, now-inst.launchedAt)
+			} else {
+				ctl.latencyFn(inst.Class, false, now-inst.lastTokenAt)
+			}
+			inst.lastTokenAt = now
 		}
 	}
 	seen := map[*cmdQueue]bool{}

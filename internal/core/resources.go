@@ -108,6 +108,20 @@ type Instance struct {
 	// DefaultPriority seeds the batch-scheduler priority of every queue
 	// the instance opens (LaunchSpec.Priority).
 	DefaultPriority int
+	// Class is the launch's resolved service class name (empty when
+	// unclassed); the latency observer attributes TTFT/ITL samples to it.
+	Class string
+	// Degraded marks a launch admitted under graceful degradation: its
+	// output was capped by the admission layer and Session.Open substitutes
+	// the cheapest trait-compatible model variant.
+	Degraded bool
+
+	// Latency-observer bookkeeping: launch registration time, whether the
+	// first forward pass has completed (TTFT sample taken), and the
+	// completion time of the most recent forward pass (ITL reference).
+	launchedAt  time.Duration
+	sawFirstTok bool
+	lastTokenAt time.Duration
 
 	// Instrumentation (Fig. 10/11).
 	ControlCalls int

@@ -23,6 +23,7 @@
 package ilm
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
@@ -61,10 +62,13 @@ type Placer interface {
 
 // Admission is the optional saturation gate a Placer may implement (the
 // cluster's load shedder does): consulted once per launch, before the
-// dispatch pipeline, with the launch's priority. A typed error
+// dispatch pipeline, with the launch's resolved service class and
+// effective priority. A zero outputCap admits at full quality; a positive
+// outputCap admits degraded — the ILM caps the launch's output tokens and
+// marks the instance for cheaper-model substitution. A typed error
 // (api.ErrOverloaded) rejects the launch without admitting it to die.
 type Admission interface {
-	AdmitLaunch(priority int) error
+	AdmitLaunch(class string, priority int) (outputCap int, err error)
 }
 
 // FaultSource is the optional transient-fault hook a Placer may implement
@@ -82,8 +86,14 @@ type LaunchSpec struct {
 	Program string
 	// Args are the launch arguments (GetArg inside the inferlet).
 	Args []string
+	// Class names the service class the launch runs under (SLO targets,
+	// scheduler priority, degradation eligibility). Empty takes the
+	// program manifest's Class; a name unknown to the engine's registry
+	// fails the launch typed api.ErrNoSuchClass.
+	Class string
 	// Priority seeds the batch-scheduler priority of every command queue
-	// the instance opens.
+	// the instance opens. Zero inherits the service class's Priority when
+	// the launch resolves to a registered class.
 	Priority int
 	// Deadline bounds the instance's virtual runtime from launch; on
 	// expiry it is aborted with api.ErrDeadlineExceeded. Combined with a
@@ -124,8 +134,9 @@ type ILM struct {
 	live     int
 	handleID uint64
 
-	defaultRetry RetryPolicy // applied when a LaunchSpec's Retry is zero
-	retrySeq     uint64      // seeds per-handle jitter streams
+	defaultRetry RetryPolicy                 // applied when a LaunchSpec's Retry is zero
+	retrySeq     uint64                      // seeds per-handle jitter streams
+	classes      map[string]api.ServiceClass // service-class registry (nil = unchecked)
 
 	// Stats.
 	Launches     int
@@ -138,6 +149,20 @@ type ILM struct {
 // SetDefaultRetry installs the retry policy applied to launches whose
 // spec leaves Retry zero. Call before launching.
 func (m *ILM) SetDefaultRetry(p RetryPolicy) { m.defaultRetry = p }
+
+// SetClasses installs the service-class registry. Once set, launch specs
+// and program manifests naming an unknown class fail typed
+// api.ErrNoSuchClass; with no registry, class names pass through
+// unchecked (they still tag instances for attribution).
+func (m *ILM) SetClasses(classes []api.ServiceClass) {
+	if len(classes) == 0 {
+		return
+	}
+	m.classes = make(map[string]api.ServiceClass, len(classes))
+	for _, cl := range classes {
+		m.classes[cl.Name] = cl
+	}
+}
 
 // entry is one registered artifact.
 type entry struct {
@@ -192,6 +217,11 @@ func (m *ILM) Register(p inferlet.Program) error {
 	version = canonicalVersion(parsed) // "1.0" and "1.0.0" are one artifact
 	if err := validateManifest(p.Name, p.Manifest, m.models); err != nil {
 		return err
+	}
+	if p.Manifest.Class != "" && m.classes != nil {
+		if _, ok := m.classes[p.Manifest.Class]; !ok {
+			return fmt.Errorf("%w: program %q manifest names %q", api.ErrNoSuchClass, p.Name, p.Manifest.Class)
+		}
 	}
 	if _, dup := m.programs[p.Name][version]; dup {
 		return fmt.Errorf("ilm: program %q already registered", inferlet.Ref(p.Name, version))
@@ -304,6 +334,11 @@ type Handle struct {
 	killErr   error
 	logs      []string
 
+	// Service class resolved at launch (spec overrides manifest) and the
+	// degradation verdict from the admission gate.
+	class    string
+	degraded bool
+
 	// Retry machinery.
 	spec         LaunchSpec
 	entry        *entry
@@ -319,6 +354,14 @@ type Handle struct {
 // Attempts reports how many launch attempts the handle has started
 // (1 = no retries happened).
 func (h *Handle) Attempts() int { return h.attempts }
+
+// Class reports the service class the launch resolved to ("" = unclassed).
+func (h *Handle) Class() string { return h.class }
+
+// Degraded reports whether the admission gate admitted this launch
+// degraded (output cap + cheaper-model substitution) instead of shedding
+// it near saturation.
+func (h *Handle) Degraded() bool { return h.degraded }
 
 // Send delivers a message to the inferlet (the client side of
 // send/receive).
@@ -396,9 +439,32 @@ func (m *ILM) Launch(spec LaunchSpec) (*Handle, error) {
 	if err := validateManifest(p.Name, p.Manifest, m.models); err != nil {
 		return nil, err
 	}
+	className := spec.Class
+	if className == "" {
+		className = p.Manifest.Class
+	}
+	if className != "" && m.classes != nil {
+		cls, ok := m.classes[className]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", api.ErrNoSuchClass, className)
+		}
+		if spec.Priority == 0 {
+			// The class contract carries the scheduler priority; an
+			// explicit spec priority still wins.
+			spec.Priority = cls.Priority
+		}
+	}
+	degraded := false
 	if gate, ok := m.place.(Admission); ok {
-		if err := gate.AdmitLaunch(spec.Priority); err != nil {
+		outputCap, err := gate.AdmitLaunch(className, spec.Priority)
+		if err != nil {
 			return nil, err
+		}
+		if outputCap > 0 {
+			// Graceful degradation: the gate admitted the launch with a
+			// shorter output budget instead of shedding it.
+			degraded = true
+			spec.Args = degradeArgs(spec.Args, outputCap)
 		}
 	}
 	m.retrySeq++
@@ -406,6 +472,8 @@ func (m *ILM) Launch(spec LaunchSpec) (*Handle, error) {
 		Program:   p.Name,
 		Version:   e.version,
 		ClientTag: spec.ClientTag,
+		class:     className,
+		degraded:  degraded,
 		ilm:       m,
 		spec:      spec,
 		entry:     e,
@@ -488,6 +556,8 @@ func (m *ILM) attempt(h *Handle) error {
 	h.inst.MaxQueues = p.Manifest.Limits.MaxQueues
 	h.inst.MaxKvPages = p.Manifest.Limits.MaxKvPages
 	h.inst.DefaultPriority = h.spec.Priority
+	h.inst.Class = h.class
+	h.inst.Degraded = h.degraded
 
 	cold := !ctl.HasArtifact(e.ref())
 	if cold {
@@ -611,6 +681,32 @@ func (m *ILM) requeue(h *Handle) {
 		m.Retries++
 		m.clock.Sleep(d)
 	}
+}
+
+// degradeArgs applies a degraded launch's output cap to its arguments:
+// when args[0] is a JSON object (the apps-layer parameter convention),
+// max_tokens is lowered to cap (or set if absent). Launches with
+// non-JSON arguments pass through unchanged — the cheaper-model
+// substitution in session.Open still applies. json.Marshal sorts object
+// keys, so the rewrite is deterministic.
+func degradeArgs(args []string, cap int) []string {
+	if len(args) == 0 {
+		return args
+	}
+	var params map[string]any
+	if err := json.Unmarshal([]byte(args[0]), &params); err != nil || params == nil {
+		return args
+	}
+	if mt, ok := params["max_tokens"].(float64); !ok || int(mt) > cap {
+		params["max_tokens"] = cap
+	}
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return args
+	}
+	out := append([]string(nil), args...)
+	out[0] = string(raw)
+	return out
 }
 
 // effectiveDeadline combines a launch-spec deadline with a manifest

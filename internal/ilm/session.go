@@ -126,6 +126,16 @@ func (s *session) AvailableTraits(m api.ModelID) ([]api.Trait, error) {
 // ModelInfo (free of control-layer charges — the trait set is immutable
 // data the inferlet already holds from discovery).
 func (s *session) Open(m api.ModelID, opts ...inferlet.QueueOption) (*inferlet.Queue, error) {
+	if s.inst.Degraded {
+		// Graceful degradation: substitute the cheapest model whose trait
+		// closure still covers the requested model's declared traits. The
+		// inferlet keeps its negotiated capabilities; it just runs them on
+		// fewer weight bytes.
+		if alt := s.ctl.CheaperModel(string(m)); alt != "" {
+			m = api.ModelID(alt)
+			s.ctl.Downgrades++
+		}
+	}
 	qid, err := s.ctl.CreateQueue(s.inst, m)
 	if err != nil {
 		return nil, err

@@ -172,6 +172,15 @@ type ReplicaStats struct {
 	// (the launches handed back for requeue).
 	Health   string `json:"health"`
 	Requeues int    `json:"requeues"`
+
+	// SLO-aware serving: the replica's hardware variant, its accumulated
+	// cost (cost rate x active seconds), whether it is inside the
+	// cold-start window, and queues it served on a downgraded model.
+	Variant    string  `json:"variant"`
+	CostRate   float64 `json:"cost_rate"`
+	CostUnits  float64 `json:"cost_units"`
+	Warming    bool    `json:"warming"`
+	Downgrades int     `json:"model_downgrades"`
 }
 
 // ReplicaTable renders per-replica stats in paper style.

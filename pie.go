@@ -50,11 +50,14 @@ type (
 	Queue    = inferlet.Queue
 
 	// LaunchSpec describes one inferlet launch: program reference
-	// ("name" or "name@version"), args, default queue priority, virtual
-	// deadline, and an opaque client tag.
+	// ("name" or "name@version"), args, service class, default queue
+	// priority, virtual deadline, and an opaque client tag.
 	LaunchSpec = ilm.LaunchSpec
 	// ProgramInfo describes one registered artifact (Engine.Programs).
 	ProgramInfo = ilm.ProgramInfo
+	// ServiceClass is an SLO contract launches run under: latency targets,
+	// scheduler priority, and degradation eligibility (Config.Classes).
+	ServiceClass = api.ServiceClass
 )
 
 // Spec builds the common LaunchSpec: a program reference plus positional
@@ -75,6 +78,7 @@ var (
 	ErrDeadlineExceeded    = api.ErrDeadlineExceeded
 	ErrLimitExceeded       = api.ErrLimitExceeded
 	ErrTerminated          = api.ErrTerminated
+	ErrNoSuchClass         = api.ErrNoSuchClass
 
 	// Fault-tolerance errors: replica death surfaced to waiters, launches
 	// shed at admission, injected transient faults, and retry exhaustion.
@@ -120,6 +124,34 @@ const (
 
 // AutoscaleConfig tunes the cluster's queue-depth autoscaler.
 type AutoscaleConfig = cluster.AutoscaleConfig
+
+// SLO-aware serving (internal/cluster): the saturation-guarded, cost-aware
+// scaler, heterogeneous replica pools, and per-class attainment stats.
+type (
+	// ScalerConfig tunes the SLO scaler that replaces the queue-depth
+	// autoscaler: saturation-guarded scale-up with a cold-start hold,
+	// cheapest-variant-meeting-SLO selection, and scale-to-zero.
+	ScalerConfig = cluster.ScalerConfig
+	// ReplicaVariant describes one hardware class in a heterogeneous
+	// replica pool: a name, a cost rate, and a kernel slowdown.
+	ReplicaVariant = cluster.ReplicaVariant
+	// ClassStat snapshots one service class's cumulative SLO attainment
+	// and degradation counters (Stats.Classes).
+	ClassStat = cluster.ClassStat
+)
+
+// ParseServiceClasses parses a compact class-registry spec, e.g.
+// "interactive:ttft=250ms,itl=50ms,prio=10;batch:tps=40,degradable"
+// (CLI flags).
+func ParseServiceClasses(spec string) ([]ServiceClass, error) {
+	return cluster.ParseServiceClasses(spec)
+}
+
+// ParseReplicaVariants parses a compact heterogeneous-pool spec, e.g.
+// "l4:cost=1,count=4;l4e:cost=0.6,slow=1.4" (CLI flags).
+func ParseReplicaVariants(spec string) ([]ReplicaVariant, error) {
+	return cluster.ParseReplicaVariants(spec)
+}
 
 // Fault-tolerance configuration (internal/cluster, internal/ilm): replica
 // health checking, saturation load shedding, deterministic fault
@@ -211,8 +243,20 @@ type Config struct {
 	Placement PlacementPolicy
 	// Autoscale enables and bounds the queue-depth replica autoscaler;
 	// when Autoscale.Max exceeds Replicas, the extra replicas are built
-	// cold and activated on demand.
+	// cold and activated on demand. Ignored when Scaler is enabled.
 	Autoscale AutoscaleConfig
+	// Classes registers the service-class contracts launches may run
+	// under: latency targets, scheduler priority, and degradation
+	// eligibility. Launches naming an unknown class fail ErrNoSuchClass.
+	Classes []ServiceClass
+	// Variants assigns hardware classes across the replica pool in ID
+	// order (heterogeneous serving: cost rate + kernel slowdown per
+	// variant). Empty keeps the homogeneous default pool.
+	Variants []ReplicaVariant
+	// Scaler enables the SLO scaler: saturation-guarded, cost-aware
+	// scale-up/down driven by per-class attainment. Supersedes Autoscale;
+	// when Scaler.Max exceeds Replicas, the extra replicas are built cold.
+	Scaler ScalerConfig
 	// HostKVRatio sizes each replica's host-memory KV tier as a multiple
 	// of the device page capacity (e.g. 1.0 doubles effective KV
 	// capacity; cold pages spill over PCIe and fault back on use).
@@ -316,15 +360,29 @@ func New(cfg Config) *Engine {
 	if cfg.NoDistReturnOverhead {
 		sched.DistReturnOverhead = 0
 	}
-	total := cfg.Replicas
-	if cfg.Autoscale.Enabled && cfg.Autoscale.Max > total {
-		total = cfg.Autoscale.Max
+	autoscale := cfg.Autoscale
+	if cfg.Scaler.Enabled {
+		// The SLO scaler supersedes the queue-depth autoscaler: one owner
+		// for the scaling decision, or the two fight over the fleet.
+		autoscale = AutoscaleConfig{}
 	}
+	total := cfg.Replicas
+	if autoscale.Enabled && autoscale.Max > total {
+		total = autoscale.Max
+	}
+	if cfg.Scaler.Enabled && cfg.Scaler.Max > total {
+		total = cfg.Scaler.Max
+	}
+	variants := cluster.ExpandVariants(cfg.Variants, total)
 	offload := core.OffloadConfig{HostRatio: cfg.HostKVRatio, Eviction: cfg.KVEviction}
 	artifacts := core.ArtifactConfig{CapacityBytes: cfg.ArtifactCacheBytes}
 	replicas := make([]*cluster.Replica, 0, total)
 	for i := 0; i < total; i++ {
-		backend := infer.NewBackend(clock, fmt.Sprintf("l4-%d", i))
+		v := variants[i]
+		backend := infer.NewBackend(clock, fmt.Sprintf("%s-%d", v.Name, i))
+		if v.Slowdown > 1 {
+			backend.Device.SetSlowdown(v.Slowdown)
+		}
 		rts := make([]*infer.ModelRuntime, 0, len(models))
 		for _, m := range models {
 			rt := infer.NewModelRuntime(m, mode)
@@ -334,12 +392,21 @@ func New(cfg Config) *Engine {
 			rts = append(rts, rt)
 		}
 		replicas = append(replicas, &cluster.Replica{
-			ID:      i,
-			Backend: backend,
-			Ctl:     core.NewController(clock, backend, rts, sched, offload, artifacts),
+			ID:          i,
+			Backend:     backend,
+			Ctl:         core.NewController(clock, backend, rts, sched, offload, artifacts),
+			Variant:     v.Name,
+			CostRate:    v.CostRate,
+			SpeedFactor: v.Slowdown,
 		})
 	}
-	cl := cluster.New(clock, cfg.Placement, cfg.Autoscale, replicas, cfg.Replicas)
+	cl := cluster.New(clock, cfg.Placement, autoscale, replicas, cfg.Replicas)
+	if len(cfg.Classes) > 0 {
+		cl.RegisterClasses(cfg.Classes)
+	}
+	if cfg.Scaler.Enabled {
+		cl.EnableScaler(cfg.Scaler)
+	}
 	if cfg.Health.Enabled {
 		cl.EnableHealth(cfg.Health)
 	}
@@ -357,6 +424,7 @@ func New(cfg Config) *Engine {
 	if cfg.DefaultRetry.Enabled() {
 		lifecycle.SetDefaultRetry(cfg.DefaultRetry)
 	}
+	lifecycle.SetClasses(cfg.Classes)
 	return &Engine{
 		cfg: cfg, clock: clock, catalog: cat,
 		cluster: cl, ilm: lifecycle, world: world,
@@ -432,6 +500,13 @@ func (h *Handle) ClientTag() string { return h.h.ClientTag }
 // the happy path, more when the retry policy requeued it after a replica
 // loss or transient fault.
 func (h *Handle) Attempts() int { return h.h.Attempts() }
+
+// Class reports the service class the launch resolved to ("" = unclassed).
+func (h *Handle) Class() string { return h.h.Class() }
+
+// Degraded reports whether admission degraded this launch (output cap +
+// cheaper-model substitution) instead of shedding it near saturation.
+func (h *Handle) Degraded() bool { return h.h.Degraded() }
 
 // Launch starts an inferlet described by a LaunchSpec over the client
 // link (one half RTT out; the full acknowledgement round trip is visible
@@ -521,6 +596,13 @@ type Stats struct {
 	Requeues        int           // launches re-placed after replica death
 	Retries         int           // launch attempts retried before placement stuck
 	DetectTime      time.Duration // cumulative failure-onset -> declared-dead latency
+
+	// SLO-aware serving (zero without Classes/Scaler config).
+	Degradations      int         // launches admitted degraded instead of shed
+	ModelDowngrades   int         // queues opened on a cheaper substituted model
+	ScaleToZeroEvents int         // idle-fleet drains to zero
+	CostUnits         float64     // Σ replica cost-rate x active seconds
+	Classes           []ClassStat // per-class SLO attainment, sorted by name
 }
 
 // Stats snapshots engine counters. Per-device counters (busy time,
@@ -542,9 +624,15 @@ func (e *Engine) Stats() Stats {
 		Requeues:        e.ilm.Requeues,
 		Retries:         e.ilm.Retries,
 		DetectTime:      e.cluster.DetectTime,
+
+		Degradations:      e.cluster.Degradations,
+		ScaleToZeroEvents: e.cluster.ScaleToZeroEvents,
+		CostUnits:         e.cluster.CostUnits(e.clock.Now()),
+		Classes:           e.cluster.ClassStats(),
 	}
 	for _, r := range e.cluster.Replicas() {
 		s := r.Ctl.Scheduler()
+		out.ModelDowngrades += r.Ctl.Downgrades
 		out.GPUBusy += r.Backend.Device.BusyTime()
 		out.Kernels += r.Backend.Device.Kernels()
 		out.Batches += s.Batches
