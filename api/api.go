@@ -261,4 +261,10 @@ var (
 	// ErrNoSuchClass reports a launch or manifest referencing a service
 	// class absent from the engine's registry (Config.Classes).
 	ErrNoSuchClass = errors.New("pie: no such service class")
+
+	// ErrNoDecodeCapacity reports a prefill/decode handoff that found no
+	// decode-eligible replica to receive the session's KV pages: the
+	// session keeps decoding on its prefill replica and the denial is
+	// counted (disaggregated pools, internal/cluster).
+	ErrNoDecodeCapacity = errors.New("pie: no decode-eligible replica for KV handoff")
 )

@@ -35,12 +35,13 @@ const defaultJSONPath = "BENCH_sim.json"
 func main() {
 	quick := flag.Bool("quick", false, "run CI-sized workloads")
 	seed := flag.Uint64("seed", 42, "deterministic seed for every experiment")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster,offload,coldstart,faults,slo)")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster,offload,coldstart,faults,slo,pd)")
 	clusterExp := flag.Bool("cluster", false, "also run the replica-scaling cluster sweep (experiment id: cluster)")
 	offloadExp := flag.Bool("offload", false, "also run the tiered-KV host-offload oversubscription sweep (experiment id: offload)")
 	coldstartExp := flag.Bool("coldstart", false, "also run the deployable-artifact cold/warm launch sweep (experiment id: coldstart)")
 	faultsExp := flag.Bool("faults", false, "also run the fault-tolerance chaos experiment (experiment id: faults)")
 	sloExp := flag.Bool("slo", false, "also run the SLO-aware service-class scaling experiment (experiment id: slo)")
+	pdExp := flag.Bool("pd", false, "also run the prefill/decode disaggregation sweep (experiment id: pd)")
 	jsonOut := flag.Bool("json", false, "write BENCH_sim.json with wall time and events/sec per experiment")
 	jsonPath := flag.String("json-out", defaultJSONPath, "path for the -json report (implies -json)")
 	flag.Parse()
@@ -71,6 +72,9 @@ func main() {
 	}
 	if *sloExp {
 		want["slo"] = true
+	}
+	if *pdExp {
+		want["pd"] = true
 	}
 	all := want["all"]
 
@@ -215,6 +219,9 @@ func main() {
 	if want["slo"] {
 		run("slo", sloRun(o))
 	}
+	if want["pd"] {
+		run("pd", pdRun(o))
+	}
 
 	if len(rep.Experiments) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected")
@@ -322,6 +329,30 @@ func sloRun(o eval.Options) func() (string, map[string]float64) {
 			"slo-be-done":             float64(high.SLO.BEDone),
 			"scale-ups":               float64(high.SLO.ScaleUps),
 			"low-slo-cost-units":      low.SLO.CostUnits,
+		}
+	}
+}
+
+// pdRun adapts the prefill/decode disaggregation sweep to the harness.
+// Headline metrics come from the best mix: the one with the largest
+// interactive TTFT advantage that gives up no SLO goodput.
+func pdRun(o eval.Options) func() (string, map[string]float64) {
+	return func() (string, map[string]float64) {
+		r := eval.PDSweep(o)
+		best := r.BestMix()
+		return r.Table(), map[string]float64{
+			"disagg-ttft-p95-ms":  float64(best.Disagg.IntTTFTP95) / float64(time.Millisecond),
+			"unified-ttft-p95-ms": float64(best.Unified.IntTTFTP95) / float64(time.Millisecond),
+			"ttft-speedup-x":      best.TTFTSpeedup(),
+			"disagg-goodput":      best.Disagg.Goodput,
+			"unified-goodput":     best.Unified.Goodput,
+			"disagg-thru":         best.Disagg.Throughput,
+			"unified-thru":        best.Unified.Throughput,
+			"handoffs":            float64(best.Disagg.Handoffs),
+			"handoff-pages":       float64(best.Disagg.HandoffPages),
+			"handoff-queued":      float64(best.Disagg.HandoffQueued),
+			"handoff-denied":      float64(best.Disagg.HandoffDenied),
+			"leaked-pages":        float64(best.Disagg.LeakedPages),
 		}
 	}
 }

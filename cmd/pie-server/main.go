@@ -118,6 +118,8 @@ func buildConfig(fs *flag.FlagSet, args []string) (addr string, cfg pie.Config, 
 	autoMin := fs.Int("autoscale-min", 1, "autoscaler min replica bound")
 	classes := fs.String("classes", "", "service-class registry, e.g. 'interactive:ttft=250ms,itl=50ms,prio=10;batch:degradable' (empty: no classes)")
 	variants := fs.String("variants", "", "heterogeneous replica pool, e.g. 'l4:cost=1,count=4;l4e:cost=0.6,slow=1.4' (empty: homogeneous)")
+	roles := fs.String("roles", "", "prefill/decode disaggregated pool, e.g. 'prefill:count=2;decode' (empty: unified)")
+	handoffBudget := fs.Int("handoff-budget", 0, "max concurrent prefill->decode KV transfers (0: default)")
 	scalerMax := fs.Int("scaler-max", 0, "enable the SLO scaler with this max replica bound (0 disables; supersedes -autoscale-max)")
 	scalerMin := fs.Int("scaler-min", 1, "SLO scaler min replica bound")
 	scaleToZero := fs.Bool("scale-to-zero", false, "let the SLO scaler drain an idle fleet to zero replicas")
@@ -161,6 +163,13 @@ func buildConfig(fs *flag.FlagSet, args []string) (addr string, cfg pie.Config, 
 		if err != nil {
 			return "", pie.Config{}, err
 		}
+	}
+	if *roles != "" {
+		cfg.Roles, err = pie.ParseRoles(*roles)
+		if err != nil {
+			return "", pie.Config{}, err
+		}
+		cfg.HandoffBudget = *handoffBudget
 	}
 	if *scalerMax > 0 {
 		cfg.Scaler = pie.ScalerConfig{Enabled: true, Min: *scalerMin, Max: *scalerMax, ScaleToZero: *scaleToZero}
@@ -220,6 +229,8 @@ func errCode(err error) string {
 		return "unsatisfied_manifest"
 	case errors.Is(err, pie.ErrNoSuchClass):
 		return "no_such_class"
+	case errors.Is(err, pie.ErrNoDecodeCapacity):
+		return "no_decode_capacity"
 	case errors.Is(err, pie.ErrOverloaded):
 		return "overloaded"
 	case errors.Is(err, pie.ErrRetryBudgetExhausted):

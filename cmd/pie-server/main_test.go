@@ -772,6 +772,58 @@ func TestServiceClassLaunchAndStats(t *testing.T) {
 	}
 }
 
+// TestDisaggregatedStatsReportRoles serves a prefill/decode pool and
+// checks the /stats wire form: every replica row names its role, and the
+// handoff traffic a session generates shows up as handoffs_out on the
+// prefill replica and handoffs_in on a decode one.
+func TestDisaggregatedStatsReportRoles(t *testing.T) {
+	roles, err := pie.ParseRoles("prefill:count=1;decode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startTestServer(t, pie.Config{
+		Seed: 7, Replicas: 3, Placement: pie.PlaceLeastLoaded, Roles: roles,
+	})
+
+	resp, err := http.Post(ts.URL+"/launch?program=text_completion", "application/json",
+		strings.NewReader(`{"prompt":"Hi","max_tokens":12}`))
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	getJSON(t, ts.URL+"/wait?id=1", nil)
+
+	var st struct {
+		Engine struct {
+			Handoffs     int
+			HandoffPages int
+		} `json:"engine"`
+		Replicas []struct {
+			ID          int    `json:"id"`
+			Role        string `json:"role"`
+			HandoffsIn  int    `json:"handoffs_in"`
+			HandoffsOut int    `json:"handoffs_out"`
+		} `json:"replicas"`
+	}
+	getJSON(t, ts.URL+"/stats", &st)
+	if len(st.Replicas) != 3 {
+		t.Fatalf("stats: %d replica entries, want 3", len(st.Replicas))
+	}
+	if st.Replicas[0].Role != "prefill" || st.Replicas[1].Role != "decode" || st.Replicas[2].Role != "decode" {
+		t.Fatalf("replica roles = %+v, want [prefill decode decode]", st.Replicas)
+	}
+	if st.Engine.Handoffs != 1 || st.Engine.HandoffPages == 0 {
+		t.Fatalf("engine handoff stats = %+v, want one migration with pages", st.Engine)
+	}
+	if st.Replicas[0].HandoffsOut != 1 {
+		t.Fatalf("prefill handoffs_out = %d, want 1", st.Replicas[0].HandoffsOut)
+	}
+	if st.Replicas[1].HandoffsIn+st.Replicas[2].HandoffsIn != 1 {
+		t.Fatalf("decode handoffs_in = %+v, want 1 total", st.Replicas)
+	}
+}
+
 // TestBuildConfig drives the CLI wiring main uses: defaults, the fault-
 // tolerance knobs, and rejection of malformed flag values.
 func TestBuildConfig(t *testing.T) {
@@ -838,12 +890,27 @@ func TestBuildConfig(t *testing.T) {
 		t.Fatalf("scaler wiring: %+v", cfg.Scaler)
 	}
 
+	// Disaggregation surface: the roles spec piggybacks the -variants
+	// syntax, and the transfer budget rides along with it.
+	_, cfg, err = buildConfig(fs(), []string{
+		"-replicas", "4", "-roles", "prefill:count=1;decode", "-handoff-budget", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Roles) != 2 || cfg.Roles[0].Role != pie.RolePrefill || cfg.Roles[0].Count != 1 ||
+		cfg.Roles[1].Role != pie.RoleDecode || cfg.HandoffBudget != 3 {
+		t.Fatalf("roles wiring: %+v budget=%d", cfg.Roles, cfg.HandoffBudget)
+	}
+
 	for _, bad := range [][]string{
 		{"-placement", "bogus"},
 		{"-kv-evict", "bogus"},
 		{"-fault-plan", "explode:1@5ms"},
 		{"-classes", "interactive:ttft=soon"},
 		{"-variants", "l4:price=1"},
+		{"-roles", "frontend"},
+		{"-roles", "prefill:shards=2"},
 	} {
 		if _, _, err := buildConfig(fs(), bad); err == nil {
 			t.Errorf("buildConfig(%v) accepted malformed flags", bad)

@@ -57,6 +57,66 @@ func schedulerFingerprint(t *testing.T, seed uint64) string {
 	return fmt.Sprintf("now=%v stats=%+v events=%d", e.Now(), st, events)
 }
 
+// handoffFingerprint runs a disaggregated-pool workload whose sessions
+// all migrate prefill -> decode mid-run and returns every observable
+// statistic — engine stats (handoff counters included), per-replica
+// stats, and the cluster decision log — as one comparable string. It also
+// enforces the conservation contract: after every session finishes, zero
+// KV pages remain live on any replica, source or destination.
+func handoffFingerprint(t *testing.T, seed uint64) string {
+	t.Helper()
+	e := pie.New(pie.Config{
+		Seed: seed, Mode: pie.ModeTiming, Replicas: 4,
+		Placement: pie.PlaceLeastLoaded, HandoffBudget: 1,
+		Roles: []pie.RoleSpec{{Role: pie.RolePrefill, Count: 1}, {Role: pie.RoleDecode}},
+	})
+	e.MustRegister(apps.All()...)
+	e.Go("driver", func() {
+		var hs []*pie.Handle
+		for i := 0; i < 12; i++ {
+			params := fmt.Sprintf(`{"prompt":"handoff probe %d","max_tokens":%d}`, i%3, 8+4*(i%4))
+			h, err := e.Launch(pie.Spec("text_completion", params))
+			if err != nil {
+				t.Errorf("launch %d: %v", i, err)
+				return
+			}
+			hs = append(hs, h)
+		}
+		for _, h := range hs {
+			h.Wait()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st := e.Stats()
+	if st.Handoffs == 0 {
+		t.Fatal("disaggregated workload produced no handoffs")
+	}
+	leaked := 0
+	for _, r := range e.Cluster().Replicas() {
+		inUse, _ := r.Ctl.KVLoad()
+		leaked += inUse
+	}
+	if leaked != 0 {
+		t.Fatalf("leaked %d KV pages after all sessions finished", leaked)
+	}
+	_, _, _, events := e.Clock().Stats()
+	return fmt.Sprintf("now=%v stats=%+v replicas=%+v decisions=%v events=%d",
+		e.Now(), st, e.ReplicaStats(), e.Cluster().Decisions, events)
+}
+
+// TestHandoffDeterministic pins the prefill/decode handoff path to the
+// determinism contract: a mid-workload KV migration — budget waits, page
+// copies, session rebinding — must replay byte-identically same-seed.
+func TestHandoffDeterministic(t *testing.T) {
+	a := handoffFingerprint(t, 42)
+	b := handoffFingerprint(t, 42)
+	if a != b {
+		t.Fatalf("identical-seed handoff runs diverged:\n run1: %s\n run2: %s", a, b)
+	}
+}
+
 func TestSchedulerStatsDeterministic(t *testing.T) {
 	a := schedulerFingerprint(t, 42)
 	b := schedulerFingerprint(t, 42)

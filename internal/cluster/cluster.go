@@ -141,6 +141,15 @@ type Replica struct {
 	CostRate    float64
 	SpeedFactor float64
 
+	// Role assigns the replica's serving phase (roles.go): unified (the
+	// zero value — both phases), prefill, or decode.
+	Role Role
+
+	// Prefill/decode handoff counters (handoff.go): sessions received
+	// from prefill replicas and sessions handed off to decode replicas.
+	HandoffsIn  int
+	HandoffsOut int
+
 	active   bool
 	draining bool
 	// Cost and cold-start bookkeeping (scaler.go): activation epoch,
@@ -211,6 +220,25 @@ type Cluster struct {
 	lastBusyAt  time.Duration
 	lowSatTicks int // consecutive scaler ticks below SatLow (hysteresis)
 
+	// Prefill/decode disaggregation (roles.go, handoff.go): whether any
+	// replica carries a non-unified role, the handoff config, the
+	// controller -> replica index sessions resolve their host through, and
+	// the bounded in-flight transfer budget (FIFO waiters).
+	hasRoles       bool
+	handoff        HandoffConfig
+	ctlIndex       map[*core.Controller]*Replica
+	handoffActive  int
+	handoffWaiters []*sim.Signal
+
+	// Handoff stats.
+	Handoffs        int           // sessions migrated prefill -> decode
+	HandoffPages    int           // distinct physical pages copied across
+	HandoffTime     time.Duration // cumulative modeled interconnect time
+	HandoffDenied   int           // handoffs denied (no decode capacity or refused alloc)
+	HandoffQueued   int           // handoffs that waited on the transfer budget
+	HandoffRequests int           // quiescent first-token sessions that sought a target
+	HandoffSkipped  int           // sessions kept in place below the min-pages floor
+
 	// Decisions is the bounded scale/degrade/shed decision log: one line
 	// per scaling action, degradation, or shed, byte-identical across
 	// same-seed runs (the determinism test contract).
@@ -255,6 +283,12 @@ func New(clock *sim.Clock, policy PlacementPolicy, auto AutoscaleConfig, replica
 		}
 	}
 	c := &Cluster{clock: clock, policy: policy, auto: auto, replicas: replicas}
+	for _, r := range replicas {
+		if r.Role != RoleUnified {
+			c.hasRoles = true
+			break
+		}
+	}
 	for i := 0; i < active; i++ {
 		c.markActive(replicas[i])
 	}
@@ -281,13 +315,29 @@ func (c *Cluster) ActiveReplicas() int {
 	return n
 }
 
-// placeable returns replicas eligible for new work, in ID order: healthy,
-// active, not draining. Suspect replicas are avoided but serve as a last
-// resort; dead ones never return. May be empty when every replica is dead.
+// placeable returns replicas eligible for new work, in ID order. With
+// roles assigned, new launches (which begin with prefill) prefer
+// prefill-eligible replicas and spill onto the decode pool only when no
+// prefill capacity survives — better to colocate than to refuse service.
 func (c *Cluster) placeable() []*Replica {
+	if c.hasRoles {
+		if out := c.placeableFor((*Replica).prefillEligible); len(out) > 0 {
+			return out
+		}
+	}
+	return c.placeableFor(nil)
+}
+
+// placeableFor runs the placement eligibility ladder over replicas
+// matching the role predicate (nil admits every role), in ID order:
+// healthy, active, not draining. Suspect replicas are avoided but serve
+// as a last resort; dead ones never return. May be empty when every
+// matching replica is dead.
+func (c *Cluster) placeableFor(eligible func(*Replica) bool) []*Replica {
+	ok := func(r *Replica) bool { return eligible == nil || eligible(r) }
 	out := make([]*Replica, 0, len(c.replicas))
 	for _, r := range c.replicas {
-		if r.active && !r.draining && r.health == HealthHealthy {
+		if r.active && !r.draining && r.health == HealthHealthy && ok(r) {
 			out = append(out, r)
 		}
 	}
@@ -295,7 +345,7 @@ func (c *Cluster) placeable() []*Replica {
 		// No healthy serving replica. Fall back to suspects (they may be
 		// merely stalled) before giving up.
 		for _, r := range c.replicas {
-			if r.active && !r.draining && r.health == HealthSuspect {
+			if r.active && !r.draining && r.health == HealthSuspect && ok(r) {
 				out = append(out, r)
 			}
 		}
@@ -304,7 +354,7 @@ func (c *Cluster) placeable() []*Replica {
 		// Every active replica is draining (or none is active): revive the
 		// lowest-ID live replica so placement still succeeds.
 		for _, r := range c.replicas {
-			if r.health == HealthHealthy && !r.crashed {
+			if r.health == HealthHealthy && !r.crashed && ok(r) {
 				c.markActive(r)
 				out = append(out, r)
 				break
@@ -372,14 +422,16 @@ func (c *Cluster) pickProgramAffinity(artifact string, cands []*Replica) *Replic
 
 // hashStick maps a key onto the full (stable) replica set and walks to
 // the nearest placeable replica. Hashing the placeable set directly would
-// move every key whenever the autoscaler resizes it.
+// move every key whenever the autoscaler resizes it. With roles assigned
+// the walk also skips decode-only replicas: a launch stuck to one would
+// land where new sessions cannot run.
 func (c *Cluster) hashStick(key string, cands []*Replica) *Replica {
 	h := fnv.New64a()
 	h.Write([]byte(key))
 	start := int(h.Sum64() % uint64(len(c.replicas)))
 	for i := 0; i < len(c.replicas); i++ {
 		r := c.replicas[(start+i)%len(c.replicas)]
-		if r.active && !r.draining && r.health == HealthHealthy {
+		if r.active && !r.draining && r.health == HealthHealthy && (!c.hasRoles || r.prefillEligible()) {
 			return r
 		}
 	}
@@ -525,8 +577,17 @@ func (c *Cluster) evaluate() {
 
 // migrationTarget picks the replica that inherits a drained replica's KV
 // exports: the lowest-ID healthy serving replica other than the drained
-// one.
+// one. With roles assigned, decode-eligible replicas are preferred —
+// exports hold decoded context, and parking them on a prefill-only
+// replica would strand them where sessions cannot stay.
 func (c *Cluster) migrationTarget(drained *Replica) *Replica {
+	if c.hasRoles {
+		for _, r := range c.replicas {
+			if r != drained && r.active && !r.draining && r.health == HealthHealthy && r.decodeEligible() {
+				return r
+			}
+		}
+	}
 	for _, r := range c.replicas {
 		if r != drained && r.active && !r.draining && r.health == HealthHealthy {
 			return r
@@ -614,6 +675,10 @@ func (c *Cluster) ReplicaStats() []metrics.ReplicaStats {
 			CostUnits:  r.costRate() * r.activeFor(c.now()).Seconds(),
 			Warming:    c.now() < r.warmUntil,
 			Downgrades: r.Ctl.Downgrades,
+
+			Role:        r.Role.String(),
+			HandoffsIn:  r.HandoffsIn,
+			HandoffsOut: r.HandoffsOut,
 		})
 	}
 	return out

@@ -151,6 +151,8 @@ func (c *Cluster) scalerTick() {
 	now := c.clock.Now()
 	serving, warming := 0, 0
 	var satSum float64
+	var satByRole [3]float64
+	var cntByRole [3]int
 	busy := false
 	for _, r := range c.replicas {
 		// Busyness counts work anywhere — including draining replicas still
@@ -163,7 +165,10 @@ func (c *Cluster) scalerTick() {
 			continue
 		}
 		serving++
-		satSum += c.replicaSaturation(r)
+		rsat := c.replicaSaturation(r)
+		satSum += rsat
+		satByRole[r.Role] += rsat
+		cntByRole[r.Role]++
 		if now < r.warmUntil {
 			warming++
 		}
@@ -175,6 +180,21 @@ func (c *Cluster) scalerTick() {
 		return
 	}
 	sat := satSum / float64(serving)
+	starved := RoleUnified
+	if c.hasRoles {
+		// Disaggregated pools: the fleet mean hides a starving phase (two
+		// idle decode replicas average away a saturated prefill pool), so
+		// scale on the hungriest role's mean and grow that role.
+		sat = 0
+		for i, cnt := range cntByRole {
+			if cnt == 0 {
+				continue
+			}
+			if m := satByRole[i] / float64(cnt); m > sat {
+				sat, starved = m, Role(i)
+			}
+		}
+	}
 	missClass, missAtt := "", 1.0
 	if busy && sat > c.scaler.SatLow {
 		// Attainment only drives scaling when the fleet is actually
@@ -193,14 +213,17 @@ func (c *Cluster) scalerTick() {
 	switch {
 	case (sat >= c.scaler.SatHigh || missClass != "") && serving < c.scaler.Max:
 		reason := fmt.Sprintf("sat=%.2f", sat)
+		if c.hasRoles {
+			reason = fmt.Sprintf("sat=%.2f role=%s", sat, starved)
+		}
 		if missClass != "" {
-			reason = fmt.Sprintf("sat=%.2f class=%s att=%.2f", sat, missClass, missAtt)
+			reason = fmt.Sprintf("%s class=%s att=%.2f", reason, missClass, missAtt)
 		}
 		if warming > 0 {
 			c.logDecision("hold scale-up: %d replica(s) inside cold-start window (%s)", warming, reason)
 			return
 		}
-		c.scaleUpCostAware(reason)
+		c.scaleUpCostAware(reason, starved)
 	case c.scaler.ScaleToZero && !busy && now-c.lastBusyAt >= c.scaler.IdleAfter:
 		drained := 0
 		for _, r := range c.replicas {
@@ -224,8 +247,10 @@ func (c *Cluster) scalerTick() {
 // ascending, ID ascending) among variants whose projected latency meets
 // the strictest class target; when no variant qualifies, the fastest one
 // is taken — an SLO miss wants the best hardware available, whatever it
-// costs.
-func (c *Cluster) scaleUpCostAware(reason string) {
+// costs. With roles assigned, spares matching the starved role are
+// preferred (growing decode when prefill starves just moves the queue),
+// falling back to any spare when that role has none left.
+func (c *Cluster) scaleUpCostAware(reason string, prefer Role) {
 	pick := func(eligible func(*Replica) bool) *Replica {
 		var best *Replica
 		bestQualifies := false
@@ -245,7 +270,15 @@ func (c *Cluster) scaleUpCostAware(reason string) {
 		}
 		return best
 	}
-	if r := pick(func(r *Replica) bool {
+	pickRoleAware := func(eligible func(*Replica) bool) *Replica {
+		if c.hasRoles {
+			if r := pick(func(r *Replica) bool { return eligible(r) && r.Role == prefer }); r != nil {
+				return r
+			}
+		}
+		return pick(eligible)
+	}
+	if r := pickRoleAware(func(r *Replica) bool {
 		return r.active && r.draining && r.health == HealthHealthy
 	}); r != nil {
 		c.markActive(r)
@@ -253,7 +286,7 @@ func (c *Cluster) scaleUpCostAware(reason string) {
 		c.logDecision("scale-up: un-drain replica=%d variant=%s (%s)", r.ID, r.variantName(), reason)
 		return
 	}
-	if r := pick(func(r *Replica) bool {
+	if r := pickRoleAware(func(r *Replica) bool {
 		return !r.active && r.health == HealthHealthy && !r.crashed
 	}); r != nil {
 		c.markActive(r)
@@ -299,17 +332,34 @@ func (c *Cluster) variantMeetsTargets(r *Replica) bool {
 }
 
 // scaleDownCostAware drains the most expensive healthy serving replica
-// (ties break by highest ID — mirror of activation order).
+// (ties break by highest ID — mirror of activation order). With roles
+// assigned, the victim comes from the slackest role that still has more
+// than one serving replica — draining a role's last replica would strand
+// its phase (prefill: no placements; decode: every handoff denied).
 func (c *Cluster) scaleDownCostAware(sat float64) {
-	var victim *Replica
-	for _, r := range c.replicas {
-		if !r.active || r.draining || r.health != HealthHealthy {
-			continue
+	victim := c.scaleDownVictim(nil)
+	if c.hasRoles {
+		var satByRole [3]float64
+		var cntByRole [3]int
+		for _, r := range c.replicas {
+			if r.active && !r.draining && r.health == HealthHealthy {
+				satByRole[r.Role] += c.replicaSaturation(r)
+				cntByRole[r.Role]++
+			}
 		}
-		if victim == nil || r.costRate() > victim.costRate() ||
-			(r.costRate() == victim.costRate() && r.ID > victim.ID) {
-			victim = r
+		slack, slackSat, found := RoleUnified, 0.0, false
+		for i, cnt := range cntByRole {
+			if cnt <= 1 {
+				continue
+			}
+			if m := satByRole[i] / float64(cnt); !found || m < slackSat {
+				slack, slackSat, found = Role(i), m, true
+			}
 		}
+		if !found {
+			return // every role is down to its last serving replica
+		}
+		victim = c.scaleDownVictim(func(r *Replica) bool { return r.Role == slack })
 	}
 	if victim == nil {
 		return
@@ -317,6 +367,25 @@ func (c *Cluster) scaleDownCostAware(sat float64) {
 	victim.draining = true
 	c.DrainStart++
 	c.logDecision("scale-down: drain replica=%d variant=%s cost=%.2f sat=%.2f", victim.ID, victim.variantName(), victim.costRate(), sat)
+}
+
+// scaleDownVictim picks the most expensive healthy serving replica
+// matching the predicate (nil admits all), ties by highest ID.
+func (c *Cluster) scaleDownVictim(eligible func(*Replica) bool) *Replica {
+	var victim *Replica
+	for _, r := range c.replicas {
+		if !r.active || r.draining || r.health != HealthHealthy {
+			continue
+		}
+		if eligible != nil && !eligible(r) {
+			continue
+		}
+		if victim == nil || r.costRate() > victim.costRate() ||
+			(r.costRate() == victim.costRate() && r.ID > victim.ID) {
+			victim = r
+		}
+	}
+	return victim
 }
 
 // --- Heterogeneous variants ---------------------------------------------

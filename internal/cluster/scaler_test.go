@@ -59,7 +59,7 @@ func TestScaleUpPicksCheapest(t *testing.T) {
 		{ID: 1, Variant: "l4e", CostRate: 0.6, health: HealthHealthy},
 		{ID: 2, Variant: "l4e", CostRate: 0.6, health: HealthHealthy},
 	}}
-	c.scaleUpCostAware("test")
+	c.scaleUpCostAware("test", RoleUnified)
 	if !c.replicas[1].active || c.ScaleUps != 1 {
 		t.Fatalf("picked %+v, want replica 1 active", c.replicas)
 	}
@@ -75,7 +75,7 @@ func TestScaleUpPrefersUnDrain(t *testing.T) {
 		{ID: 0, CostRate: 1.0, active: true, draining: true, health: HealthHealthy},
 		{ID: 1, CostRate: 0.5, health: HealthHealthy},
 	}}
-	c.scaleUpCostAware("test")
+	c.scaleUpCostAware("test", RoleUnified)
 	if c.replicas[0].draining || !c.replicas[0].active {
 		t.Fatalf("draining replica not reclaimed: %+v", c.replicas[0])
 	}
@@ -97,7 +97,7 @@ func TestScaleUpPrefersQualifyingVariant(t *testing.T) {
 		{ID: 0, Variant: "l4e", CostRate: 0.5, SpeedFactor: 4, health: HealthHealthy},
 		{ID: 1, Variant: "l4", CostRate: 1.0, health: HealthHealthy},
 	}}
-	c.scaleUpCostAware("test")
+	c.scaleUpCostAware("test", RoleUnified)
 	if !c.replicas[1].active || c.replicas[0].active {
 		t.Fatalf("qualifying variant lost to cheaper non-qualifying: %+v", c.replicas)
 	}
@@ -113,7 +113,7 @@ func TestScaleUpPrefersQualifyingVariant(t *testing.T) {
 		{ID: 0, Variant: "l4e", CostRate: 0.5, SpeedFactor: 4, health: HealthHealthy},
 		{ID: 1, Variant: "l4", CostRate: 1.0, health: HealthHealthy},
 	}}
-	c2.scaleUpCostAware("test")
+	c2.scaleUpCostAware("test", RoleUnified)
 	if !c2.replicas[1].active {
 		t.Fatalf("fastest variant not chosen when nothing qualifies: %+v", c2.replicas)
 	}

@@ -46,6 +46,11 @@ type Controller struct {
 	// measured duration. The cluster's SLO tracker installs it.
 	latencyFn func(class string, ttft bool, d time.Duration)
 
+	// firstTokFn, when set, observes each instance's first completed
+	// forward pass. The cluster installs it on prefill-role replicas to
+	// mark sessions ready for KV handoff to decode capacity.
+	firstTokFn func(inst *Instance)
+
 	// Stats.
 	Terminations int
 	Aborts       int           // instances cancelled via their launch handle
@@ -96,6 +101,14 @@ func (ctl *Controller) Scheduler() *Scheduler { return ctl.sched }
 // the cluster's per-class TTFT/ITL attainment tracker. Pass nil to remove.
 func (ctl *Controller) SetLatencyObserver(fn func(class string, ttft bool, d time.Duration)) {
 	ctl.latencyFn = fn
+}
+
+// SetFirstTokenObserver installs the per-instance first-forward observer:
+// fn runs once per instance, when its first forward pass completes. The
+// cluster's prefill/decode handoff layer installs it on prefill-role
+// replicas. Pass nil to remove.
+func (ctl *Controller) SetFirstTokenObserver(fn func(inst *Instance)) {
+	ctl.firstTokFn = fn
 }
 
 // chargeControl prices a control-layer-handled API call in the caller's
@@ -1120,11 +1133,13 @@ func (ctl *Controller) onBatchComplete(b *infer.Batch) {
 			q.inflight--
 		}
 	}
-	if ctl.latencyFn != nil && b.Op == infer.OpForward {
+	if (ctl.latencyFn != nil || ctl.firstTokFn != nil) && b.Op == infer.OpForward {
 		// Feed the SLO tracker: an instance's first completed forward is
 		// its TTFT (launch → first token); each later forward samples the
 		// gap since the previous one (ITL). Same-batch forwards of one
 		// instance read as zero-gap — they genuinely completed together.
+		// The first-token observer fires on the same boundary, marking
+		// prefill-replica sessions ready for KV handoff.
 		now := ctl.clock.Now()
 		for _, c := range b.Calls {
 			inst := ctl.instances[c.Inst]
@@ -1133,8 +1148,13 @@ func (ctl *Controller) onBatchComplete(b *infer.Batch) {
 			}
 			if !inst.sawFirstTok {
 				inst.sawFirstTok = true
-				ctl.latencyFn(inst.Class, true, now-inst.launchedAt)
-			} else {
+				if ctl.latencyFn != nil {
+					ctl.latencyFn(inst.Class, true, now-inst.launchedAt)
+				}
+				if ctl.firstTokFn != nil {
+					ctl.firstTokFn(inst)
+				}
+			} else if ctl.latencyFn != nil {
 				ctl.latencyFn(inst.Class, false, now-inst.lastTokenAt)
 			}
 			inst.lastTokenAt = now
@@ -1289,6 +1309,232 @@ func (ctl *Controller) MigrateExportsTo(dst *Controller) (pages int, cost time.D
 	return pages, cost
 }
 
+// InstanceKVFootprint counts the distinct physical KV pages a session
+// holds — what a handoff would copy across the interconnect. Import
+// sharing maps one physical page under several virtual handles, so the
+// count dedupes by physical reference.
+func (ctl *Controller) InstanceKVFootprint(inst *Instance) int {
+	seen := make(map[resRef]bool, len(inst.vPages))
+	n := 0
+	for _, ref := range inst.vPages {
+		if !seen[ref] {
+			seen[ref] = true
+			n++
+		}
+	}
+	return n
+}
+
+// InstanceQuiescent reports whether the instance has no queued or
+// in-flight inference work on any of its command queues — the pin-safe
+// window in which a session handoff may run (no call holds page pins, no
+// completion is racing the move).
+func (ctl *Controller) InstanceQuiescent(inst *Instance) bool {
+	for _, q := range inst.queues {
+		if len(q.pending) > 0 || q.inflight > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// HandoffSession migrates a quiescent instance's session state — KV
+// pages, embedding slots, and command queues — from this controller to
+// dst, returning the replacement instance registered there, the number of
+// distinct physical pages copied, and the modeled interconnect cost
+// (charged by the caller, which holds the cluster's transfer budget).
+// The prefill/decode handoff layer calls it at a forward boundary after
+// the instance's first token completed on a prefill replica.
+//
+// Mechanics mirror MigrateExportsTo: pages allocate in dst's pools and
+// copy with two PCIe crossings when device-resident at the source
+// (device -> host -> peer device), one when already offloaded to the host
+// tier, plus dst-side offload cost for pages its pool spilled to make
+// room. Virtual handle ids are preserved — the session's queue bindings
+// keep working unmodified — and queues are re-created empty under their
+// original ids (quiescence guarantees nothing was pending). KV exports
+// the instance published stay registered on the source: the registry
+// holds its own page references, so cached context remains where affinity
+// routing expects it. On success the source instance is released; on
+// failure nothing moves and the session keeps running here.
+func (ctl *Controller) HandoffSession(inst *Instance, dst *Controller) (*Instance, int, time.Duration, error) {
+	if dst == nil || dst == ctl {
+		return nil, 0, 0, fmt.Errorf("%w: handoff needs a distinct destination", api.ErrBadArgument)
+	}
+	if inst == nil || inst.dead {
+		return nil, 0, 0, api.ErrTerminated
+	}
+	if !ctl.InstanceQuiescent(inst) {
+		return nil, 0, 0, fmt.Errorf("%w: instance has queued or in-flight work", api.ErrBadArgument)
+	}
+
+	// Sorted handle views: same-seed runs must copy in identical order.
+	pageIDs := make([]api.KvPage, 0, len(inst.vPages))
+	for id := range inst.vPages {
+		pageIDs = append(pageIDs, id)
+	}
+	sort.Slice(pageIDs, func(i, j int) bool { return pageIDs[i] < pageIDs[j] })
+	embedIDs := make([]api.Embed, 0, len(inst.vEmbeds))
+	for id := range inst.vEmbeds {
+		embedIDs = append(embedIDs, id)
+	}
+	sort.Slice(embedIDs, func(i, j int) bool { return embedIDs[i] < embedIDs[j] })
+	queueIDs := make([]api.Queue, 0, len(inst.queues))
+	for id := range inst.queues {
+		queueIDs = append(queueIDs, id)
+	}
+	sort.Slice(queueIDs, func(i, j int) bool { return queueIDs[i] < queueIDs[j] })
+
+	// Every model the session touches must exist on dst; count distinct
+	// physical pages (import sharing maps one page under several handles)
+	// and embeds per model.
+	freshPages := make(map[string]int)
+	pageSeen := make(map[resRef]bool, len(pageIDs))
+	for _, id := range pageIDs {
+		ref := inst.vPages[id]
+		if dst.pagePool[ref.model] == nil {
+			return nil, 0, 0, fmt.Errorf("%w: handoff destination lacks %q", api.ErrNoSuchModel, ref.model)
+		}
+		if !pageSeen[ref] {
+			pageSeen[ref] = true
+			freshPages[ref.model]++
+		}
+	}
+	embedCount := make(map[string]int)
+	for _, id := range embedIDs {
+		ref := inst.vEmbeds[id]
+		if dst.embPool[ref.model] == nil {
+			return nil, 0, 0, fmt.Errorf("%w: handoff destination lacks %q", api.ErrNoSuchModel, ref.model)
+		}
+		embedCount[ref.model]++
+	}
+	for _, qid := range queueIDs {
+		if dst.models[inst.queues[qid].model] == nil {
+			return nil, 0, 0, fmt.Errorf("%w: handoff destination lacks %q", api.ErrNoSuchModel, inst.queues[qid].model)
+		}
+	}
+
+	// Allocate everything on dst up front, in model registration order,
+	// rolling back on failure so a refused handoff leaves both replicas
+	// untouched.
+	type pageGrant struct {
+		ids     []int32
+		swapped int
+	}
+	pageGrants := make(map[string]*pageGrant)
+	embedGrants := make(map[string][]int32)
+	rollback := func() {
+		for _, m := range dst.order {
+			if g := pageGrants[m]; g != nil {
+				for _, id := range g.ids {
+					dst.pagePool[m].release(id)
+				}
+			}
+			for _, id := range embedGrants[m] {
+				dst.embPool[m].release(id)
+			}
+		}
+	}
+	for _, m := range dst.order {
+		if n := freshPages[m]; n > 0 {
+			ids, swapped, ok := dst.pagePool[m].alloc(n, 0)
+			if !ok {
+				rollback()
+				return nil, 0, 0, fmt.Errorf("%w: destination cannot host %d KV pages of %s", api.ErrOutOfResources, n, m)
+			}
+			pageGrants[m] = &pageGrant{ids: ids, swapped: swapped}
+		}
+		if n := embedCount[m]; n > 0 {
+			ids, ok := dst.embPool[m].alloc(n)
+			if !ok {
+				rollback()
+				return nil, 0, 0, fmt.Errorf("%w: destination cannot host %d embeds of %s", api.ErrOutOfResources, n, m)
+			}
+			embedGrants[m] = ids
+		}
+	}
+
+	dst.instSeq++
+	ni := &Instance{
+		ID:         dst.instSeq,
+		Name:       inst.Name,
+		CreatedSeq: dst.instSeq,
+		Proc:       inst.Proc,
+		vEmbeds:    make(map[api.Embed]resRef, len(inst.vEmbeds)),
+		vPages:     make(map[api.KvPage]resRef, len(inst.vPages)),
+		nextEmbed:  inst.nextEmbed,
+		nextPage:   inst.nextPage,
+		queues:     make(map[api.Queue]*cmdQueue, len(inst.queues)),
+		onKill:     inst.onKill,
+
+		MaxQueues:       inst.MaxQueues,
+		MaxKvPages:      inst.MaxKvPages,
+		DefaultPriority: inst.DefaultPriority,
+		Class:           inst.Class,
+		Degraded:        inst.Degraded,
+
+		launchedAt:  inst.launchedAt,
+		sawFirstTok: inst.sawFirstTok,
+		lastTokenAt: inst.lastTokenAt,
+
+		ControlCalls: inst.ControlCalls,
+		InferCalls:   inst.InferCalls,
+		OutputTokens: inst.OutputTokens,
+	}
+	dst.instances[ni.ID] = ni
+
+	var pages int
+	var cost time.Duration
+	movedTo := make(map[resRef]int32, len(pageSeen))
+	nextPage := make(map[string]int)
+	for _, vid := range pageIDs {
+		ref := inst.vPages[vid]
+		dstPhys, done := movedTo[ref]
+		if done {
+			dst.pagePool[ref.model].retain(dstPhys) // shared within the session: share on dst too
+		} else {
+			g := pageGrants[ref.model]
+			dstPhys = g.ids[nextPage[ref.model]]
+			nextPage[ref.model]++
+			movedTo[ref] = dstPhys
+			srcRT, dstRT := ctl.models[ref.model], dst.models[ref.model]
+			copyPage(srcRT.Page(ref.phys), dstRT.Page(dstPhys))
+			pages++
+			crossings := 2
+			if tier, ok := ctl.pagePool[ref.model].resident(ref.phys); ok && tier == tierHost {
+				crossings = 1 // already offloaded: only the host -> peer leg remains
+			}
+			cost += time.Duration(crossings) * srcRT.Spec.SwapCost(1, srcRT.Info.PageSize)
+		}
+		ni.vPages[vid] = resRef{model: ref.model, phys: dstPhys}
+	}
+	for _, m := range dst.order {
+		if g := pageGrants[m]; g != nil && g.swapped > 0 {
+			rt := dst.models[m]
+			cost += rt.Spec.SwapCost(g.swapped, rt.Info.PageSize)
+		}
+	}
+	nextEmb := make(map[string]int)
+	for _, vid := range embedIDs {
+		ref := inst.vEmbeds[vid]
+		dstPhys := embedGrants[ref.model][nextEmb[ref.model]]
+		nextEmb[ref.model]++
+		copyEmbed(ctl.models[ref.model].Embed(ref.phys), dst.models[ref.model].Embed(dstPhys))
+		ni.vEmbeds[vid] = resRef{model: ref.model, phys: dstPhys}
+	}
+	for _, qid := range queueIDs {
+		q := inst.queues[qid]
+		ni.queues[qid] = &cmdQueue{id: qid, inst: ni, model: q.model, rt: dst.models[q.model], priority: q.priority}
+		if uint64(qid) > dst.queueSeq {
+			// Future CreateQueue calls on dst must not reuse a mirrored id.
+			dst.queueSeq = uint64(qid)
+		}
+	}
+
+	ctl.ReleaseInstance(inst)
+	return ni, pages, cost, nil
+}
+
 // copyPage deep-copies one physical page's occupancy metadata and (in
 // full mode) its KV vectors.
 func copyPage(src, dst *model.KvPage) {
@@ -1301,6 +1547,13 @@ func copyPage(src, dst *model.KvPage) {
 			dst.V[s] = append(dst.V[s][:0], src.V[s]...)
 		}
 	}
+}
+
+// copyEmbed deep-copies one embedding slot's vector and metadata.
+func copyEmbed(src, dst *model.EmbedSlot) {
+	dst.Vec = append(dst.Vec[:0], src.Vec...)
+	dst.Pos = src.Pos
+	dst.Valid = src.Valid
 }
 
 // ModelRuntime returns the runtime for a model id.

@@ -1,0 +1,63 @@
+// Unit tests for the handoff-facing instance inspectors: the quiescence
+// predicate the migration gate relies on, and the distinct-physical-page
+// footprint behind the min-pages floor.
+package core
+
+import (
+	"testing"
+
+	"pie/api"
+	"pie/internal/infer"
+)
+
+func TestInstanceKVFootprintDedupes(t *testing.T) {
+	ctl := &Controller{}
+	// Import sharing maps several virtual handles onto one physical page:
+	// the footprint counts physical pages, not handles.
+	inst := &Instance{vPages: map[api.KvPage]resRef{
+		1: {model: "m", phys: 7},
+		2: {model: "m", phys: 7},
+		3: {model: "m", phys: 9},
+	}}
+	if got := ctl.InstanceKVFootprint(inst); got != 2 {
+		t.Fatalf("footprint = %d, want 2 distinct physical pages", got)
+	}
+	if got := ctl.InstanceKVFootprint(&Instance{}); got != 0 {
+		t.Fatalf("empty instance footprint = %d", got)
+	}
+}
+
+func TestInstanceQuiescent(t *testing.T) {
+	ctl := &Controller{}
+	inst := &Instance{}
+	if !ctl.InstanceQuiescent(inst) {
+		t.Fatal("instance with no queues reported busy")
+	}
+	q := &cmdQueue{inflight: 1}
+	inst.queues = map[api.Queue]*cmdQueue{1: q}
+	if ctl.InstanceQuiescent(inst) {
+		t.Fatal("in-flight call reported quiescent")
+	}
+	q.inflight = 0
+	q.pending = []*infer.Call{nil}
+	if ctl.InstanceQuiescent(inst) {
+		t.Fatal("pending call reported quiescent")
+	}
+	q.pending = nil
+	if !ctl.InstanceQuiescent(inst) {
+		t.Fatal("drained queue reported busy")
+	}
+}
+
+func TestSetFirstTokenObserver(t *testing.T) {
+	ctl := &Controller{}
+	fired := 0
+	ctl.SetFirstTokenObserver(func(*Instance) { fired++ })
+	if ctl.firstTokFn == nil {
+		t.Fatal("observer not installed")
+	}
+	ctl.firstTokFn(nil)
+	if fired != 1 {
+		t.Fatal("installed observer is not the one provided")
+	}
+}

@@ -123,6 +123,12 @@ type Instance struct {
 	sawFirstTok bool
 	lastTokenAt time.Duration
 
+	// HandoffPending marks a session whose prefill completed on a
+	// prefill-role replica: the first-token observer sets it, and the
+	// session's next forward boundary consults the cluster's handoff
+	// coordinator to migrate the KV state to a decode replica.
+	HandoffPending bool
+
 	// Instrumentation (Fig. 10/11).
 	ControlCalls int
 	InferCalls   int

@@ -79,6 +79,17 @@ type FaultSource interface {
 	LaunchFault() error
 }
 
+// HandoffCoordinator is the optional prefill/decode hook a Placer may
+// implement (the cluster's handoff layer does): consulted at a session's
+// forward boundaries once its instance is marked HandoffPending. A true
+// return means the session's KV state migrated — the returned controller
+// and instance replace the session's bindings; the old instance is
+// already released. It runs synchronously in the session's process, so
+// transfer time is charged to the session.
+type HandoffCoordinator interface {
+	MaybeHandoff(ctl *core.Controller, inst *core.Instance) (*core.Controller, *core.Instance, bool)
+}
+
 // LaunchSpec describes one inferlet launch (deployment API v2).
 type LaunchSpec struct {
 	// Program references a registered artifact: "name" (latest version)
@@ -137,6 +148,7 @@ type ILM struct {
 	defaultRetry RetryPolicy                 // applied when a LaunchSpec's Retry is zero
 	retrySeq     uint64                      // seeds per-handle jitter streams
 	classes      map[string]api.ServiceClass // service-class registry (nil = unchecked)
+	handoff      HandoffCoordinator          // prefill/decode migration (nil = disabled)
 
 	// Stats.
 	Launches     int
@@ -190,6 +202,9 @@ func New(clock *sim.Clock, place Placer, world *netsim.World, models []api.Model
 		latest:   make(map[string]string),
 		launchQ:  sim.NewMailbox[*launchReq](clock),
 		topics:   make(map[string]map[*subscription]struct{}),
+	}
+	if h, ok := place.(HandoffCoordinator); ok {
+		m.handoff = h
 	}
 	clock.GoDaemon("ilm:dispatcher", m.dispatcherLoop)
 	return m
@@ -592,7 +607,6 @@ func (m *ILM) attempt(h *Handle) error {
 	sess := &session{ilm: m, handle: h, ctl: h.ctl, args: append([]string(nil), h.spec.Args...)}
 	sess.rng = sim.NewRNG(0x5EED ^ uint64(h.ID))
 	sess.inst = h.inst
-	inst := h.inst
 
 	h.proc = m.clock.Go("inferlet:"+p.Name, func() {
 		var err error
@@ -611,7 +625,7 @@ func (m *ILM) attempt(h *Handle) error {
 			}()
 			err = p.Run(sess)
 		}()
-		m.finishAttempt(h, sess, inst, err)
+		m.finishAttempt(h, sess, err)
 	})
 	h.inst.Proc = h.proc
 	return nil
@@ -622,10 +636,12 @@ func (m *ILM) attempt(h *Handle) error {
 // death. Retryable failures with retry headroom hand the handle to a
 // requeue daemon (backoff, then re-place on a survivor) and keep the
 // client's done future and mailboxes open; everything else resolves the
-// handle for good.
-func (m *ILM) finishAttempt(h *Handle, sess *session, inst *core.Instance, err error) {
+// handle for good. The handle's ctl/inst — not launch-time captures —
+// identify the instance to release: a prefill/decode handoff may have
+// rebound the attempt to a different replica mid-run.
+func (m *ILM) finishAttempt(h *Handle, sess *session, err error) {
 	sess.cancelSubscriptions()
-	h.ctl.ReleaseInstance(inst)
+	h.ctl.ReleaseInstance(h.inst)
 	m.live--
 	if err != nil {
 		d, final := h.nextRetryDelay(err)

@@ -31,6 +31,22 @@ func (s *session) cancelSubscriptions() {
 	}
 }
 
+// checkHandoff runs at forward boundaries: once the instance is marked
+// HandoffPending (its first token completed on a prefill-role replica),
+// it asks the cluster's handoff coordinator to migrate the session's KV
+// state to a decode replica. On success every binding — session, handle —
+// repoints at the new controller and instance; queue ids are preserved by
+// the migration, so open inferlet.Queue objects keep working untouched.
+func (s *session) checkHandoff() {
+	if s.ilm.handoff == nil || s.inst == nil || !s.inst.HandoffPending {
+		return
+	}
+	if ctl, inst, ok := s.ilm.handoff.MaybeHandoff(s.ctl, s.inst); ok {
+		s.ctl, s.inst = ctl, inst
+		s.handle.ctl, s.handle.inst = ctl, inst
+	}
+}
+
 // --- Core runtime -----------------------------------------------------
 
 func (s *session) GetArg() []string { return append([]string(nil), s.args...) }
@@ -211,10 +227,12 @@ func (b *queueBinding) CopyKvPage(src, dst api.KvPage, srcOff, dstOff, n int) (a
 }
 
 func (b *queueBinding) Forward(args api.ForwardArgs) (api.Future[struct{}], error) {
+	b.s.checkHandoff()
 	return b.s.ctl.Forward(b.s.inst, b.qid, args)
 }
 
 func (b *queueBinding) ForwardSampled(args api.ForwardArgs, inlineTokens, inlinePos []int, spec api.SampleSpec) (api.Future[[]int], error) {
+	b.s.checkHandoff()
 	return b.s.ctl.ForwardSampled(b.s.inst, b.qid, args, inlineTokens, inlinePos, infer.SampleSpec{
 		TopK: spec.TopK, Temperature: spec.Temperature, Seed: spec.Seed,
 	})
@@ -225,10 +243,12 @@ func (b *queueBinding) MaskKvPage(page api.KvPage, bits []bool) (api.Future[stru
 }
 
 func (b *queueBinding) EmbedText(tokens, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
+	b.s.checkHandoff()
 	return b.s.ctl.EmbedText(b.s.inst, b.qid, tokens, positions, dst)
 }
 
 func (b *queueBinding) EmbedImage(blob []byte, positions []int, dst []api.Embed) (api.Future[struct{}], error) {
+	b.s.checkHandoff()
 	return b.s.ctl.EmbedImage(b.s.inst, b.qid, blob, positions, dst)
 }
 

@@ -181,6 +181,12 @@ type ReplicaStats struct {
 	CostUnits  float64 `json:"cost_units"`
 	Warming    bool    `json:"warming"`
 	Downgrades int     `json:"model_downgrades"`
+
+	// Prefill/decode disaggregation: the replica's role ("unified",
+	// "prefill", "decode") and sessions handed off from / to it.
+	Role        string `json:"role"`
+	HandoffsIn  int    `json:"handoffs_in"`
+	HandoffsOut int    `json:"handoffs_out"`
 }
 
 // ReplicaTable renders per-replica stats in paper style.

@@ -79,6 +79,7 @@ var (
 	ErrLimitExceeded       = api.ErrLimitExceeded
 	ErrTerminated          = api.ErrTerminated
 	ErrNoSuchClass         = api.ErrNoSuchClass
+	ErrNoDecodeCapacity    = api.ErrNoDecodeCapacity
 
 	// Fault-tolerance errors: replica death surfaced to waiters, launches
 	// shed at admission, injected transient faults, and retry exhaustion.
@@ -139,6 +140,29 @@ type (
 	// and degradation counters (Stats.Classes).
 	ClassStat = cluster.ClassStat
 )
+
+// Prefill/decode disaggregation (internal/cluster): role-aware replica
+// pools with KV handoff over the modeled interconnect.
+type (
+	// Role is a replica's serving phase assignment: unified (both
+	// phases, the default), prefill, or decode.
+	Role = cluster.Role
+	// RoleSpec assigns a role to a run of replicas in ID order
+	// (Config.Roles).
+	RoleSpec = cluster.RoleSpec
+)
+
+// Re-exported replica roles.
+const (
+	RoleUnified = cluster.RoleUnified
+	RolePrefill = cluster.RolePrefill
+	RoleDecode  = cluster.RoleDecode
+)
+
+// ParseRoles parses a compact role-pool spec, e.g.
+// "prefill:count=2;decode" (CLI flags); it piggybacks on the -variants
+// syntax.
+func ParseRoles(spec string) ([]RoleSpec, error) { return cluster.ParseRoles(spec) }
 
 // ParseServiceClasses parses a compact class-registry spec, e.g.
 // "interactive:ttft=250ms,itl=50ms,prio=10;batch:tps=40,degradable"
@@ -253,6 +277,19 @@ type Config struct {
 	// order (heterogeneous serving: cost rate + kernel slowdown per
 	// variant). Empty keeps the homogeneous default pool.
 	Variants []ReplicaVariant
+	// Roles assigns serving phases (prefill/decode/unified) across the
+	// replica pool in ID order. With any non-unified role present, new
+	// launches route to prefill capacity and sessions hand their KV state
+	// off to a decode replica after the first token. Empty keeps every
+	// replica unified — the classic colocated configuration.
+	Roles []RoleSpec
+	// HandoffBudget bounds concurrent in-flight prefill->decode KV
+	// transfers (default 2); excess handoffs queue FIFO.
+	HandoffBudget int
+	// HandoffMinPages keeps sessions whose KV footprint is below this many
+	// physical pages decoding on their prefill replica instead of
+	// migrating (0 migrates everything).
+	HandoffMinPages int
 	// Scaler enables the SLO scaler: saturation-guarded, cost-aware
 	// scale-up/down driven by per-class attainment. Supersedes Autoscale;
 	// when Scaler.Max exceeds Replicas, the extra replicas are built cold.
@@ -374,6 +411,7 @@ func New(cfg Config) *Engine {
 		total = cfg.Scaler.Max
 	}
 	variants := cluster.ExpandVariants(cfg.Variants, total)
+	roles := cluster.ExpandRoles(cfg.Roles, total)
 	offload := core.OffloadConfig{HostRatio: cfg.HostKVRatio, Eviction: cfg.KVEviction}
 	artifacts := core.ArtifactConfig{CapacityBytes: cfg.ArtifactCacheBytes}
 	replicas := make([]*cluster.Replica, 0, total)
@@ -398,11 +436,18 @@ func New(cfg Config) *Engine {
 			Variant:     v.Name,
 			CostRate:    v.CostRate,
 			SpeedFactor: v.Slowdown,
+			Role:        roles[i],
 		})
 	}
 	cl := cluster.New(clock, cfg.Placement, autoscale, replicas, cfg.Replicas)
 	if len(cfg.Classes) > 0 {
 		cl.RegisterClasses(cfg.Classes)
+	}
+	for _, r := range replicas {
+		if r.Role != cluster.RoleUnified {
+			cl.EnableHandoff(cluster.HandoffConfig{Budget: cfg.HandoffBudget, MinPages: cfg.HandoffMinPages})
+			break
+		}
 	}
 	if cfg.Scaler.Enabled {
 		cl.EnableScaler(cfg.Scaler)
@@ -603,6 +648,14 @@ type Stats struct {
 	ScaleToZeroEvents int         // idle-fleet drains to zero
 	CostUnits         float64     // Σ replica cost-rate x active seconds
 	Classes           []ClassStat // per-class SLO attainment, sorted by name
+
+	// Prefill/decode disaggregation (zero without Config.Roles).
+	Handoffs       int           // sessions migrated prefill -> decode
+	HandoffPages   int           // distinct physical KV pages copied across
+	HandoffTime    time.Duration // cumulative modeled interconnect time
+	HandoffDenied  int           // handoffs denied (no decode capacity)
+	HandoffQueued  int           // handoffs that waited on the transfer budget
+	HandoffSkipped int           // sessions kept in place below HandoffMinPages
 }
 
 // Stats snapshots engine counters. Per-device counters (busy time,
@@ -629,6 +682,13 @@ func (e *Engine) Stats() Stats {
 		ScaleToZeroEvents: e.cluster.ScaleToZeroEvents,
 		CostUnits:         e.cluster.CostUnits(e.clock.Now()),
 		Classes:           e.cluster.ClassStats(),
+
+		Handoffs:       e.cluster.Handoffs,
+		HandoffPages:   e.cluster.HandoffPages,
+		HandoffTime:    e.cluster.HandoffTime,
+		HandoffDenied:  e.cluster.HandoffDenied,
+		HandoffQueued:  e.cluster.HandoffQueued,
+		HandoffSkipped: e.cluster.HandoffSkipped,
 	}
 	for _, r := range e.cluster.Replicas() {
 		s := r.Ctl.Scheduler()
