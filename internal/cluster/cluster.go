@@ -228,7 +228,7 @@ type Cluster struct {
 	handoff        HandoffConfig
 	ctlIndex       map[*core.Controller]*Replica
 	handoffActive  int
-	handoffWaiters []*sim.Signal
+	handoffWaiters []*handoffWaiter
 
 	// Handoff stats.
 	Handoffs        int           // sessions migrated prefill -> decode

@@ -89,26 +89,28 @@ func (c *Cluster) MaybeHandoff(ctl *core.Controller, inst *core.Instance) (*core
 	if dst == nil {
 		return c.denyHandoff(inst, src, api.ErrNoDecodeCapacity)
 	}
-	c.acquireTransferSlot()
+	// The slot is released by the deferred closure on every exit — including
+	// the session's process dying mid-transfer (replica death aborts it with
+	// a Killed unwind inside HandoffSession or the Sleep below). Before the
+	// defer, a killed holder leaked its slot and every later handoff on a
+	// saturated budget parked forever.
+	release := c.acquireTransferSlot()
+	defer release()
 	// The wait may have been long: revalidate the session and re-pick the
 	// destination under current load before touching any pages.
 	if inst.Dead() || !ctl.InstanceQuiescent(inst) {
-		c.releaseTransferSlot()
 		return nil, nil, false
 	}
 	if dst = c.handoffTarget(src); dst == nil {
-		c.releaseTransferSlot()
 		return c.denyHandoff(inst, src, api.ErrNoDecodeCapacity)
 	}
 	ni, pages, cost, err := ctl.HandoffSession(inst, dst.Ctl)
 	if err != nil {
-		c.releaseTransferSlot()
 		return c.denyHandoff(inst, src, err)
 	}
 	// Hold the transfer slot for the modeled interconnect time: the budget
 	// bounds concurrent wire occupancy, not merely concurrent setup.
 	c.clock.Sleep(cost)
-	c.releaseTransferSlot()
 	c.Handoffs++
 	c.HandoffPages += pages
 	c.HandoffTime += cost
@@ -144,25 +146,82 @@ func (c *Cluster) handoffTarget(src *Replica) *Replica {
 	return pickLeastLoaded(cands)
 }
 
-// acquireTransferSlot blocks until a transfer-budget slot frees, FIFO.
-func (c *Cluster) acquireTransferSlot() {
-	if c.handoffActive < c.handoff.Budget {
-		c.handoffActive++
-		return
-	}
-	s := sim.NewSignal(c.clock)
-	c.handoffWaiters = append(c.handoffWaiters, s)
-	c.HandoffQueued++
-	_ = sim.Await(s)
+// handoffWaiter is one FIFO entry for a session queued on the transfer
+// budget. The flags cover the two ways a waiter can die instead of
+// transferring: abandoned marks a waiter killed while parked (its replica
+// died), so release skips the ghost instead of handing it the slot; granted
+// marks the hand-over instant, so a waiter killed between the grant and its
+// wake-up knows it owns a slot it must pass on.
+type handoffWaiter struct {
+	s         *sim.Signal
+	granted   bool
+	abandoned bool
 }
 
-// releaseTransferSlot hands the slot to the head waiter if any (the slot
-// transfers: handoffActive stays constant), else frees it.
+// acquireTransferSlot blocks until a transfer-budget slot frees, FIFO, and
+// returns an idempotent release. Callers defer it so the slot survives no
+// code path — including a Killed unwind while the session holds it.
+func (c *Cluster) acquireTransferSlot() (release func()) {
+	released := false
+	release = func() {
+		if released {
+			return
+		}
+		released = true
+		c.releaseTransferSlot()
+	}
+	if c.handoffActive < c.handoff.Budget {
+		c.handoffActive++
+		return release
+	}
+	w := &handoffWaiter{s: sim.NewSignal(c.clock)}
+	c.handoffWaiters = append(c.handoffWaiters, w)
+	c.HandoffQueued++
+	acquired := false
+	defer func() {
+		if acquired {
+			return
+		}
+		// Killed while queued: either the slot was never handed over (mark
+		// the entry so release skips it) or it was granted in the instant
+		// between hand-over and wake-up — then this waiter owns it and must
+		// pass it on, or the budget shrinks by one forever.
+		if w.granted {
+			c.releaseTransferSlot()
+		} else {
+			w.abandoned = true
+		}
+	}()
+	_ = sim.Await(w.s)
+	acquired = true
+	return release
+}
+
+// TransferBudgetState reports the transfer budget's occupancy: slots held
+// plus waiters still eligible for a grant (abandoned entries — waiters
+// that died while queued — are excluded). After every session resolves,
+// both must be zero; tests use this as the no-leak invariant.
+func (c *Cluster) TransferBudgetState() (active, liveWaiters int) {
+	for _, w := range c.handoffWaiters {
+		if !w.abandoned {
+			liveWaiters++
+		}
+	}
+	return c.handoffActive, liveWaiters
+}
+
+// releaseTransferSlot hands the slot to the first live waiter if any (the
+// slot transfers: handoffActive stays constant), else frees it. Waiters
+// that died while queued are dropped, not granted.
 func (c *Cluster) releaseTransferSlot() {
-	if len(c.handoffWaiters) > 0 {
-		s := c.handoffWaiters[0]
+	for len(c.handoffWaiters) > 0 {
+		w := c.handoffWaiters[0]
 		c.handoffWaiters = c.handoffWaiters[1:]
-		sim.Fire(s)
+		if w.abandoned {
+			continue
+		}
+		w.granted = true
+		sim.Fire(w.s)
 		return
 	}
 	c.handoffActive--

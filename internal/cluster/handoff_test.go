@@ -210,6 +210,62 @@ func TestHandoffDeniedWithoutDecodeCapacity(t *testing.T) {
 	}
 }
 
+// TestHandoffBudgetSurvivesReplicaCrash is the regression test for the
+// transfer-slot leak: a crash-stopped prefill replica kills sessions that
+// hold or queue on the saturated (Budget=1) transfer budget. Every launch
+// must still resolve — success or a typed error — and the budget must
+// drain back to zero; before the deferred-release fix the killed holder
+// leaked its slot and every later handoff parked forever (the run
+// deadlocked).
+func TestHandoffBudgetSurvivesReplicaCrash(t *testing.T) {
+	e := newEngine(t, pie.Config{
+		Seed: 11, Replicas: 4, Placement: pie.PlaceLeastLoaded, HandoffBudget: 1,
+		Roles: []pie.RoleSpec{{Role: pie.RolePrefill, Count: 2}, {Role: pie.RoleDecode}},
+		Health: pie.HealthConfig{
+			Enabled: true, Interval: 2 * time.Millisecond,
+			SuspectAfter: 4 * time.Millisecond, DeadAfter: 8 * time.Millisecond,
+		},
+		Faults: pie.FaultPlan{Events: []pie.FaultEvent{
+			{At: 30 * time.Millisecond, Replica: 0, Kind: pie.FaultCrash},
+		}},
+		DefaultRetry: pie.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond},
+	})
+	resolved, failed := 0, 0
+	err := e.RunClient(func() {
+		var hs []*pie.Handle
+		for i := 0; i < 12; i++ {
+			h, err := e.Launch(pie.Spec("text_completion", completionParams(24, "")))
+			if err != nil {
+				failed++
+				continue
+			}
+			hs = append(hs, h)
+		}
+		for _, h := range hs {
+			if err := h.Wait(); err != nil {
+				failed++
+			}
+			resolved++
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v (a leaked transfer slot deadlocks the run)", err)
+	}
+	st := e.Stats()
+	if st.ReplicasLost != 1 {
+		t.Fatalf("ReplicasLost = %d, want 1 (the crash must land)", st.ReplicasLost)
+	}
+	if st.HandoffQueued == 0 {
+		t.Fatal("budget=1 under 12 concurrent sessions queued no transfers; the test no longer exercises the saturated budget")
+	}
+	if resolved+failed < 12 {
+		t.Fatalf("only %d launches resolved (+%d failed early), want all 12 accounted for", resolved, failed)
+	}
+	if active, waiting := e.Cluster().TransferBudgetState(); active != 0 || waiting != 0 {
+		t.Fatalf("transfer budget leaked: %d active, %d live waiters after drain", active, waiting)
+	}
+}
+
 func TestScalerGrowsStarvedRoleTier(t *testing.T) {
 	// A disaggregated pool under the SLO scaler: the fleet mean would
 	// average the saturated prefill replica away against idle decode

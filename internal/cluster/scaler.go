@@ -153,8 +153,10 @@ func (c *Cluster) scalerTick() {
 	var satSum float64
 	var satByRole [3]float64
 	var cntByRole [3]int
+	var totByRole [3]int
 	busy := false
 	for _, r := range c.replicas {
+		totByRole[r.Role]++
 		// Busyness counts work anywhere — including draining replicas still
 		// finishing instances — so scale-to-zero never fires on a fleet
 		// whose remaining work happens to sit on a drain.
@@ -177,6 +179,15 @@ func (c *Cluster) scalerTick() {
 		c.lastBusyAt = now
 	}
 	if serving == 0 {
+		// No healthy serving replica anywhere — the fleet-mean denominator
+		// is empty. With work still owed this is an outage, not idleness:
+		// attempt recovery scale-up instead of silently returning until the
+		// load drains into timeouts. (Spares are usually activated by the
+		// death protocol; this covers crashes outrunning it, e.g. every
+		// serving replica draining or dead within one tick.)
+		if busy && c.scaler.Max > 0 {
+			c.scaleUpCostAware("sat=n/a fleet has no serving replica", RoleUnified)
+		}
 		return
 	}
 	sat := satSum / float64(serving)
@@ -185,15 +196,7 @@ func (c *Cluster) scalerTick() {
 		// Disaggregated pools: the fleet mean hides a starving phase (two
 		// idle decode replicas average away a saturated prefill pool), so
 		// scale on the hungriest role's mean and grow that role.
-		sat = 0
-		for i, cnt := range cntByRole {
-			if cnt == 0 {
-				continue
-			}
-			if m := satByRole[i] / float64(cnt); m > sat {
-				sat, starved = m, Role(i)
-			}
-		}
+		sat, starved = starvedRoleSat(busy, satByRole, cntByRole, totByRole)
 	}
 	missClass, missAtt := "", 1.0
 	if busy && sat > c.scaler.SatLow {
@@ -240,6 +243,30 @@ func (c *Cluster) scalerTick() {
 	case c.lowSatTicks >= scaleDownPatience && serving > c.scaler.Min:
 		c.scaleDownCostAware(sat)
 	}
+}
+
+// starvedRoleSat folds per-role saturation into the scaling signal for a
+// disaggregated fleet: the hungriest role's mean governs. A role with
+// replicas assigned (totByRole > 0) but none healthy-and-serving
+// (cntByRole == 0) while the fleet is busy counts as fully saturated, not
+// absent — its phase's demand cannot shift to the other pool, so the mean
+// over zero replicas must read as starvation, never as zero. (Before this
+// guard, an all-dead prefill pool averaged away against idle decode
+// replicas and the scaler never replaced it.) An empty role on an idle
+// fleet stays invisible: scale-to-zero drains must not re-trigger growth.
+func starvedRoleSat(busy bool, satByRole [3]float64, cntByRole, totByRole [3]int) (sat float64, starved Role) {
+	starved = RoleUnified
+	for i, cnt := range cntByRole {
+		switch {
+		case cnt > 0:
+			if m := satByRole[i] / float64(cnt); m > sat {
+				sat, starved = m, Role(i)
+			}
+		case busy && totByRole[i] > 0 && sat < 1:
+			sat, starved = 1, Role(i)
+		}
+	}
+	return sat, starved
 }
 
 // scaleUpCostAware adds one replica: first un-drain a still-warm draining

@@ -119,6 +119,68 @@ func TestScaleUpPrefersQualifyingVariant(t *testing.T) {
 	}
 }
 
+func TestStarvedRoleSat(t *testing.T) {
+	// Normal fold: the hungriest role's mean governs and names the role.
+	sat, starved := starvedRoleSat(true,
+		[3]float64{0, 1.2, 0.4}, [3]int{0, 2, 2}, [3]int{0, 2, 2})
+	if sat != 0.6 || starved != RolePrefill {
+		t.Fatalf("fold = %v/%v, want 0.6/prefill", sat, starved)
+	}
+	// The all-dead-role path: prefill has replicas assigned but none
+	// healthy-and-serving. Under load that reads as full saturation — the
+	// empty denominator must not average the dead pool away to zero.
+	sat, starved = starvedRoleSat(true,
+		[3]float64{0, 0, 0.1}, [3]int{0, 0, 2}, [3]int{0, 2, 2})
+	if sat != 1 || starved != RolePrefill {
+		t.Fatalf("all-dead prefill = %v/%v, want 1/prefill", sat, starved)
+	}
+	// Same fleet, idle: a drained role is not starvation; nothing fires.
+	sat, starved = starvedRoleSat(false,
+		[3]float64{0, 0, 0}, [3]int{0, 0, 2}, [3]int{0, 2, 2})
+	if sat != 0 || starved != RoleUnified {
+		t.Fatalf("idle dead role = %v/%v, want 0/unified", sat, starved)
+	}
+	// A live role even hungrier than a dead one wins (queue refs make
+	// means exceed 1), whichever order the roles appear in.
+	sat, starved = starvedRoleSat(true,
+		[3]float64{0, 0, 2.6}, [3]int{0, 0, 2}, [3]int{0, 2, 2})
+	if sat != 1.3 || starved != RoleDecode {
+		t.Fatalf("live role above 1 = %v/%v, want 1.3/decode", sat, starved)
+	}
+	sat, starved = starvedRoleSat(true,
+		[3]float64{0, 2.6, 0}, [3]int{0, 2, 0}, [3]int{0, 2, 2})
+	if sat != 1.3 || starved != RolePrefill {
+		t.Fatalf("dead role after live = %v/%v, want 1.3/prefill", sat, starved)
+	}
+	// A role with no replicas assigned at all stays invisible either way.
+	sat, starved = starvedRoleSat(true,
+		[3]float64{0, 0, 0.4}, [3]int{0, 0, 2}, [3]int{0, 0, 2})
+	if sat != 0.2 || starved != RoleDecode {
+		t.Fatalf("unassigned role = %v/%v, want 0.2/decode", sat, starved)
+	}
+}
+
+func TestScaleUpRecoversAllDeadFleet(t *testing.T) {
+	// Every serving replica is gone but spares exist: the recovery path
+	// must activate one (the scalerTick serving==0 branch feeds this with
+	// RoleUnified — any capacity beats none).
+	c := &Cluster{replicas: []*Replica{
+		{ID: 0, active: false, health: HealthDead},
+		{ID: 1, active: false, health: HealthDead},
+		{ID: 2, health: HealthHealthy},
+	}}
+	c.scaleUpCostAware("sat=n/a fleet has no serving replica", RoleUnified)
+	if !c.replicas[2].active || c.ScaleUps != 1 {
+		t.Fatalf("dead fleet did not recover onto the spare: %+v", c.replicas)
+	}
+	// With no healthy spare either, the attempt is a deterministic no-op.
+	c2 := &Cluster{replicas: []*Replica{{ID: 0, health: HealthDead}}}
+	c2.scaleUpCostAware("sat=n/a fleet has no serving replica", RoleUnified)
+	if c2.ScaleUps != 0 || c2.replicas[0].active {
+		t.Fatalf("no-spare recovery mutated the fleet: %+v", c2.replicas[0])
+	}
+}
+
 func TestScaleDownDrainsMostExpensive(t *testing.T) {
 	c := &Cluster{replicas: []*Replica{
 		{ID: 0, CostRate: 0.6, active: true, health: HealthHealthy},

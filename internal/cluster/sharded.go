@@ -1,0 +1,831 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"pie/api"
+	"pie/inferlet"
+	"pie/internal/core"
+	"pie/internal/ilm"
+	"pie/internal/infer"
+	"pie/internal/model"
+	"pie/internal/netsim"
+	"pie/internal/sim"
+)
+
+// Sharded cluster serving: one event loop per replica.
+//
+// The shared-clock Cluster serializes the whole fleet through a single
+// event heap, which caps experiments at single-digit replica counts. A
+// ShardedCluster instead gives every replica its own sim.Clock on its own
+// shard — a full serving stack (catalog, backend, controller, ILM) that
+// never shares mutable state with any other shard — and runs a router on
+// shard 0. All cross-replica interactions are timestamped messages over
+// the conservative time-window barrier (sim.ShardGroup):
+//
+//   - placement: the router picks the least-loaded serving replica and
+//     sends the launch; the replica runs it locally and sends the
+//     completion back;
+//   - health: replicas heartbeat the router (daemon messages, so an idle
+//     fleet still terminates); silence past DeadAfter declares the replica
+//     dead, requeues its in-flight launches onto survivors, and activates
+//     a cold spare;
+//   - KV handoff (prefill/decode roles): a prefill completion returns to
+//     the router, which charges the modeled interconnect transfer under a
+//     FIFO budget and forwards a decode continuation to a decode replica;
+//   - export migration: a drain asks the replica to surrender its KV
+//     exports; the counts travel back as a message and the replica
+//     returns to the spare pool.
+//
+// Replicas within a window run in parallel (bounded by GOMAXPROCS); the
+// barrier injects messages in (time, source shard, sequence) order, so
+// same-seed runs are byte-identical at any parallelism.
+//
+// Modeling simplifications, chosen so the protocol stays message-pure:
+// message latencies round up to the window edge; a decode continuation
+// replays the prompt on the decode replica with the remaining token
+// budget (the KV transfer is charged explicitly at the router, not
+// replayed page-by-page); transfer size is synthesized from the prompt
+// length. Replicas execute in timing mode (infer.ExecTiming).
+
+// ShardedConfig parameterizes a sharded fleet.
+type ShardedConfig struct {
+	// Seed drives every per-replica random stream. Same seed, same run.
+	Seed uint64
+	// Replicas is the number of replica shards (each its own event loop).
+	Replicas int
+	// Active is how many replicas serve initially; the rest are cold
+	// spares the router activates on failure or load. 0 = all serve.
+	Active int
+	// Window is the barrier width (default 250µs). Cross-shard latencies
+	// shorter than the window round up to the next edge.
+	Window time.Duration
+	// NetLatency is the router<->replica message latency (default Window).
+	NetLatency time.Duration
+	// Roles assigns serving phases across replicas in ID order, exactly as
+	// Config.Roles. Any non-unified role arms prefill->decode handoff.
+	Roles []RoleSpec
+	// TransferBudget bounds concurrent prefill->decode KV transfers at the
+	// router (default 2); excess transfers queue FIFO.
+	TransferBudget int
+	// Heartbeat is the replica beat period (default 1ms).
+	Heartbeat time.Duration
+	// DeadAfter is beat silence before the router declares a replica dead
+	// (default 5x Heartbeat; must exceed Heartbeat + 2x NetLatency).
+	DeadAfter time.Duration
+	// ScaleEvery enables the router's load scaler at this period (0 =
+	// disabled): mean outstanding per serving replica above ScaleUpAt
+	// activates a spare; below ScaleDownAt it drains an idle replica,
+	// migrating its exports.
+	ScaleEvery  time.Duration
+	ScaleUpAt   float64
+	ScaleDownAt float64
+	// Faults replays a deterministic failure schedule against the
+	// replicas. Crash stops the replica silently (work lost, health layer
+	// recovers); hang silences it without stopping local work; slow
+	// degrades its kernels. CallFailRate injects transient launch faults
+	// replica-side.
+	Faults FaultPlan
+}
+
+func (c ShardedConfig) withDefaults() ShardedConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Active <= 0 || c.Active > c.Replicas {
+		c.Active = c.Replicas
+	}
+	if c.Window <= 0 {
+		c.Window = 250 * time.Microsecond
+	}
+	if c.NetLatency <= 0 {
+		c.NetLatency = c.Window
+	}
+	if c.TransferBudget <= 0 {
+		c.TransferBudget = 2
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = time.Millisecond
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 5 * c.Heartbeat
+	}
+	if min := c.Heartbeat + 2*c.NetLatency + c.Window; c.DeadAfter < min {
+		c.DeadAfter = min
+	}
+	return c
+}
+
+// ShardedResult is the client-visible outcome of one sharded launch.
+type ShardedResult struct {
+	Err          error
+	Replica      int // replica that finished the session (decode side in PD)
+	OutputTokens int
+	TTFT         time.Duration // prefill completion in PD mode, else latency
+	Latency      time.Duration
+	Requeued     bool // survived at least one replica death
+}
+
+// launch phases for pending work.
+const (
+	phaseUnified = iota // single launch end to end
+	phasePrefill        // PD: first-token pass, max_tokens=1
+	phaseDecode         // PD: continuation after the KV transfer
+)
+
+// inflight is the router's record of one submitted session. Only router
+// processes touch it.
+type inflight struct {
+	id       uint64
+	program  string
+	args     []string       // original launch args
+	params   map[string]any // decoded params (PD rewriting); nil otherwise
+	maxTok   int
+	prompt   string
+	phase    int
+	replica  int
+	submitAt time.Duration
+	ttft     time.Duration
+	requeued bool
+	fut      *sim.Future[ShardedResult]
+}
+
+// shardedReplica is one replica shard's serving stack. Only processes on
+// its own clock touch its fields; the router reaches it exclusively
+// through messages.
+type shardedReplica struct {
+	idx     int // replica index; shard index is idx+1
+	shard   *sim.Shard
+	clock   *sim.Clock
+	backend *infer.Backend
+	ctl     *core.Controller
+	ilm     *ilm.ILM
+	silent  bool // crash/hang: every outbound message is dropped
+	netLat  time.Duration
+	sc      *ShardedCluster
+
+	faultRNG *sim.RNG // transient launch faults (CallFailRate)
+	failRate float64
+
+	// Replica-owned counters, summed by Stats after Run.
+	FaultsInjected  int
+	TransientFaults int
+}
+
+// Place implements ilm.Placer: every launch lands on the local controller.
+func (r *shardedReplica) Place(program, artifact string, args []string) (*core.Controller, error) {
+	if r.silent {
+		return nil, api.ErrReplicaLost
+	}
+	return r.ctl, nil
+}
+
+// LaunchFault implements ilm.FaultSource for replica-local transient
+// faults, drawn from a per-replica deterministic stream.
+func (r *shardedReplica) LaunchFault() error {
+	if r.failRate <= 0 {
+		return nil
+	}
+	if r.faultRNG.Float64() < r.failRate {
+		r.TransientFaults++
+		return api.ErrTransientFault
+	}
+	return nil
+}
+
+// replicaView is the router's belief about one replica.
+type replicaView struct {
+	role        Role
+	serving     bool
+	dead        bool
+	lastBeat    time.Duration
+	outstanding int // launches routed there and not yet answered
+}
+
+// ShardedCluster is a router plus N replica shards on a conservative
+// time-window barrier. Build with NewSharded, Register programs, spawn
+// clients with Go (Submit from inside them), then Run.
+type ShardedCluster struct {
+	cfg    ShardedConfig
+	group  *sim.ShardGroup
+	router *sim.Shard
+	rclock *sim.Clock
+	reps   []*shardedReplica
+	pd     bool
+
+	// Router-owned state (shard 0 processes only).
+	views   []replicaView
+	pending map[uint64]*inflight
+	nextID  uint64
+
+	xferActive  int
+	xferWaiters []*handoffWaiter
+
+	// Router-owned counters, read via Stats after Run.
+	Launches        int
+	Completions     int
+	Failures        int
+	OutputTokens    int
+	Requeues        int
+	ReplicasLost    int
+	Replacements    int
+	Handoffs        int
+	HandoffQueued   int
+	HandoffDenied   int
+	TransferTime    time.Duration
+	ExportsMigrated int
+	PagesMigrated   int
+	ScaleUps        int
+	ScaleDowns      int
+	ttftSum         time.Duration
+	latSum          time.Duration
+}
+
+// NewSharded assembles a sharded fleet: shard 0 is the router, shards
+// 1..Replicas each hold a full serving stack built from a private model
+// catalog, so no mutable state crosses a shard boundary.
+func NewSharded(cfg ShardedConfig) *ShardedCluster {
+	cfg = cfg.withDefaults()
+	g := sim.NewShardGroup(cfg.Window, cfg.Replicas+1)
+	sc := &ShardedCluster{
+		cfg:     cfg,
+		group:   g,
+		router:  g.Shard(0),
+		rclock:  g.Shard(0).Clock(),
+		pending: make(map[uint64]*inflight),
+	}
+	roles := ExpandRoles(cfg.Roles, cfg.Replicas)
+	for _, ro := range roles {
+		if ro != RoleUnified {
+			sc.pd = true
+			break
+		}
+	}
+	sc.views = make([]replicaView, cfg.Replicas)
+	sc.reps = make([]*shardedReplica, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		shard := g.Shard(i + 1)
+		clock := shard.Clock()
+		cat := model.StandardCatalog(cfg.Seed)
+		var rts []*infer.ModelRuntime
+		for _, name := range cat.Names() {
+			m, _ := cat.Get(name)
+			rts = append(rts, infer.NewModelRuntime(m, infer.ExecTiming))
+		}
+		backend := infer.NewBackend(clock, fmt.Sprintf("shard-%d", i))
+		ctl := core.NewController(clock, backend, rts, core.DefaultSchedConfig(),
+			core.OffloadConfig{}, core.ArtifactConfig{})
+		r := &shardedReplica{
+			idx: i, shard: shard, clock: clock,
+			backend: backend, ctl: ctl,
+			netLat: cfg.NetLatency, sc: sc,
+			faultRNG: sim.NewRNG(cfg.Faults.Seed ^ (uint64(i+1) * 0x9E3779B97F4A7C15)),
+			failRate: cfg.Faults.CallFailRate,
+		}
+		r.ilm = ilm.New(clock, r, netsim.NewWorld(clock), ctl.ModelInfos())
+		sc.reps[i] = r
+		sc.views[i] = replicaView{role: roles[i], serving: i < cfg.Active}
+		sc.startReplicaDaemons(r)
+	}
+	sc.rclock.GoDaemon("router:health", sc.healthLoop)
+	if cfg.ScaleEvery > 0 {
+		sc.rclock.GoDaemon("router:scaler", sc.scalerLoop)
+	}
+	return sc
+}
+
+// startReplicaDaemons installs the heartbeat and fault-schedule daemons on
+// a replica's clock.
+func (sc *ShardedCluster) startReplicaDaemons(r *shardedReplica) {
+	hb := sc.cfg.Heartbeat
+	r.clock.GoDaemon("beat", func() {
+		for {
+			if !r.silent {
+				i := r.idx
+				r.shard.SendDaemon(0, "beat", r.netLat, func() {
+					// Same-source messages deliver in send order, so
+					// arrival time is monotone per replica.
+					sc.views[i].lastBeat = sc.rclock.Now()
+				})
+			}
+			r.clock.Sleep(hb)
+		}
+	})
+	var evs []FaultEvent
+	for _, ev := range sc.cfg.Faults.Events {
+		if ev.Replica == r.idx {
+			evs = append(evs, ev)
+		}
+	}
+	if len(evs) == 0 {
+		return
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	r.clock.GoDaemon("faults", func() {
+		for _, ev := range evs {
+			if d := ev.At - r.clock.Now(); d > 0 {
+				r.clock.Sleep(d)
+			}
+			r.FaultsInjected++
+			switch ev.Kind {
+			case FaultCrash:
+				// Crash-stop: the device dies, in-flight sessions abort
+				// typed, and the replica goes permanently silent. The
+				// router's health scan recovers the lost work.
+				r.silent = true
+				r.backend.Device.Fail()
+				r.ctl.AbortAllInstances(api.ErrReplicaLost)
+				return
+			case FaultHang:
+				// Gray failure: local work keeps running but no message —
+				// beat or completion — ever leaves again.
+				r.silent = true
+				return
+			case FaultSlow:
+				f := ev.Factor
+				if f <= 1 {
+					f = 4
+				}
+				r.backend.Device.SetSlowdown(f)
+			}
+		}
+	})
+}
+
+// Register deploys programs into every replica's lifecycle manager. Call
+// before Run.
+func (sc *ShardedCluster) Register(progs ...inferlet.Program) error {
+	for _, p := range progs {
+		for _, r := range sc.reps {
+			if err := r.ilm.Register(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Go spawns a client process on the router shard's clock.
+func (sc *ShardedCluster) Go(name string, fn func()) { sc.rclock.Go(name, fn) }
+
+// Run drives every shard to completion (see sim.ShardGroup.Run).
+func (sc *ShardedCluster) Run() error { return sc.group.Run() }
+
+// Now returns the router's virtual time.
+func (sc *ShardedCluster) Now() time.Duration { return sc.rclock.Now() }
+
+// Sleep suspends the calling router process.
+func (sc *ShardedCluster) Sleep(d time.Duration) { sc.rclock.Sleep(d) }
+
+// Submit launches a session onto the fleet and returns its result future.
+// Must be called from a process on the router shard (Go). In a role-split
+// fleet, completion-style launches (JSON params with max_tokens > 1) run
+// as a prefill pass plus a decode continuation joined by a KV transfer;
+// anything else routes to a decode-eligible replica whole.
+func (sc *ShardedCluster) Submit(program string, args ...string) *sim.Future[ShardedResult] {
+	fut := sim.NewFuture[ShardedResult](sc.rclock)
+	sc.nextID++
+	inf := &inflight{
+		id: sc.nextID, program: program, args: args,
+		phase: phaseUnified, submitAt: sc.rclock.Now(), fut: fut,
+	}
+	if sc.pd && len(args) == 1 {
+		if params, ok := decodeParams(args[0]); ok {
+			if mt, ok := params["max_tokens"].(float64); ok && mt > 1 {
+				inf.params = params
+				inf.maxTok = int(mt)
+				inf.prompt, _ = params["prompt"].(string)
+				inf.phase = phasePrefill
+			}
+		}
+	}
+	sc.Launches++
+	dst := sc.pickReplica(inf.phase)
+	if dst < 0 {
+		sc.Failures++
+		fut.Resolve(ShardedResult{Err: api.ErrReplicaLost})
+		return fut
+	}
+	sc.route(inf, dst)
+	return fut
+}
+
+// route binds inf to a replica and sends the launch for its current
+// phase. Runs on the router.
+func (sc *ShardedCluster) route(inf *inflight, dst int) {
+	inf.replica = dst
+	sc.pending[inf.id] = inf
+	sc.views[dst].outstanding++
+	args := inf.args
+	switch inf.phase {
+	case phasePrefill:
+		args = []string{encodeParams(inf.params, 1)}
+	case phaseDecode:
+		rem := inf.maxTok - 1
+		if rem < 1 {
+			rem = 1
+		}
+		args = []string{encodeParams(inf.params, rem)}
+	}
+	spec := ilm.LaunchSpec{Program: inf.program, Args: args}
+	id := inf.id
+	r := sc.reps[dst]
+	sc.router.Send(dst+1, "launch", sc.cfg.NetLatency, func() {
+		r.handleLaunch(id, spec)
+	})
+}
+
+// handleLaunch runs one launch attempt on the replica shard and reports
+// the outcome to the router. A silent (crashed or hung) replica drops
+// everything: the router's health layer requeues at-least-once.
+func (r *shardedReplica) handleLaunch(id uint64, spec ilm.LaunchSpec) {
+	if r.silent {
+		return
+	}
+	tokens := 0
+	h, err := r.ilm.Launch(spec)
+	if err == nil {
+		err = h.Wait()
+		_, _, tokens = h.Stats()
+	}
+	if r.silent {
+		return
+	}
+	rep, e, n := r.idx, err, tokens
+	r.shard.Send(0, "done", r.netLat, func() {
+		r.sc.handleDone(id, rep, e, n)
+	})
+}
+
+// handleDone processes a completion message on the router: resolve the
+// session, or — for a prefill completion in a role-split fleet — charge
+// the KV transfer under the FIFO budget and forward the decode
+// continuation. Runs as its own router process, so holding a transfer
+// slot across the modeled wire time blocks only this session.
+func (sc *ShardedCluster) handleDone(id uint64, rep int, err error, tokens int) {
+	inf := sc.pending[id]
+	if inf == nil || inf.replica != rep {
+		// Stale: the session was requeued to another replica (or already
+		// resolved) while this completion was in flight. At-least-once
+		// delivery makes duplicates harmless — first resolution wins.
+		return
+	}
+	delete(sc.pending, id)
+	sc.views[rep].outstanding--
+	now := sc.rclock.Now()
+	if err != nil {
+		sc.Failures++
+		inf.fut.Resolve(ShardedResult{Err: err, Replica: rep, Requeued: inf.requeued})
+		return
+	}
+	if inf.phase == phasePrefill {
+		// First token is out: record TTFT, move the KV state to a decode
+		// replica under the transfer budget, then continue decoding there.
+		inf.ttft = now - inf.submitAt
+		sc.Handoffs++
+		release := sc.acquireXfer()
+		cost := xferCost(syntheticPages(inf.prompt))
+		sc.rclock.Sleep(cost)
+		sc.TransferTime += cost
+		release()
+		inf.phase = phaseDecode
+		dst := sc.pickReplica(phaseDecode)
+		if dst < 0 {
+			sc.HandoffDenied++
+			sc.Failures++
+			inf.fut.Resolve(ShardedResult{Err: api.ErrNoDecodeCapacity, Requeued: inf.requeued})
+			return
+		}
+		sc.route(inf, dst)
+		return
+	}
+	sc.Completions++
+	sc.OutputTokens += tokens
+	res := ShardedResult{
+		Replica: rep, OutputTokens: tokens,
+		TTFT: now - inf.submitAt, Latency: now - inf.submitAt,
+		Requeued: inf.requeued,
+	}
+	if inf.ttft > 0 {
+		res.TTFT = inf.ttft
+		res.OutputTokens++ // the prefill pass produced the first token
+	}
+	sc.ttftSum += res.TTFT
+	sc.latSum += res.Latency
+	inf.fut.Resolve(res)
+}
+
+// pickReplica returns the serving replica eligible for phase with the
+// least outstanding work (lowest index breaks ties), or -1.
+func (sc *ShardedCluster) pickReplica(phase int) int {
+	best := -1
+	for i := range sc.views {
+		v := &sc.views[i]
+		if !v.serving || v.dead || !roleEligible(v.role, phase, sc.pd) {
+			continue
+		}
+		if best < 0 || v.outstanding < sc.views[best].outstanding {
+			best = i
+		}
+	}
+	return best
+}
+
+func roleEligible(role Role, phase int, pd bool) bool {
+	switch phase {
+	case phasePrefill:
+		return role == RolePrefill || role == RoleUnified
+	case phaseDecode:
+		return role == RoleDecode || role == RoleUnified
+	default:
+		// Whole-session launches in a split fleet need a replica that can
+		// decode; in a uniform fleet anyone serves.
+		return !pd || role == RoleDecode || role == RoleUnified
+	}
+}
+
+// healthLoop is the router's failure detector: a replica silent past
+// DeadAfter is declared dead, its in-flight launches requeue onto
+// survivors, and a cold spare takes its place.
+func (sc *ShardedCluster) healthLoop() {
+	for {
+		sc.rclock.Sleep(sc.cfg.Heartbeat)
+		now := sc.rclock.Now()
+		for i := range sc.views {
+			v := &sc.views[i]
+			if v.dead || now-v.lastBeat <= sc.cfg.DeadAfter {
+				continue
+			}
+			sc.declareDead(i)
+		}
+	}
+}
+
+func (sc *ShardedCluster) declareDead(i int) {
+	v := &sc.views[i]
+	wasServing := v.serving
+	v.dead = true
+	v.serving = false
+	sc.ReplicasLost++
+	// Requeue the dead replica's sessions in submission order so recovery
+	// is deterministic.
+	var ids []uint64
+	for id, inf := range sc.pending {
+		if inf.replica == i {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		inf := sc.pending[id]
+		delete(sc.pending, id)
+		v.outstanding--
+		dst := sc.pickReplica(inf.phase)
+		if dst < 0 {
+			sc.Failures++
+			inf.fut.Resolve(ShardedResult{Err: api.ErrReplicaLost, Requeued: inf.requeued})
+			continue
+		}
+		sc.Requeues++
+		inf.requeued = true
+		sc.route(inf, dst)
+	}
+	if !wasServing {
+		return
+	}
+	// Activate a spare, preferring the dead replica's role.
+	spare := -1
+	for j := range sc.views {
+		s := &sc.views[j]
+		if s.serving || s.dead {
+			continue
+		}
+		if s.role == v.role {
+			spare = j
+			break
+		}
+		if spare < 0 {
+			spare = j
+		}
+	}
+	if spare >= 0 {
+		sc.views[spare].serving = true
+		sc.Replacements++
+	}
+}
+
+// scalerLoop is the router's load scaler: mean outstanding per serving
+// replica above ScaleUpAt activates a spare; below ScaleDownAt an idle
+// replica drains, migrating its KV exports before rejoining the spares.
+func (sc *ShardedCluster) scalerLoop() {
+	for {
+		sc.rclock.Sleep(sc.cfg.ScaleEvery)
+		serving, tot := 0, 0
+		for i := range sc.views {
+			if sc.views[i].serving && !sc.views[i].dead {
+				serving++
+				tot += sc.views[i].outstanding
+			}
+		}
+		if serving == 0 {
+			if len(sc.pending) > 0 {
+				sc.activateSpare()
+			}
+			continue
+		}
+		mean := float64(tot) / float64(serving)
+		switch {
+		case mean > sc.cfg.ScaleUpAt:
+			sc.activateSpare()
+		case mean < sc.cfg.ScaleDownAt && serving > 1:
+			sc.drainOne()
+		}
+	}
+}
+
+func (sc *ShardedCluster) activateSpare() {
+	for j := range sc.views {
+		s := &sc.views[j]
+		if !s.serving && !s.dead {
+			s.serving = true
+			sc.ScaleUps++
+			return
+		}
+	}
+}
+
+// drainOne retires the highest-index idle serving replica: it leaves the
+// routing set immediately, surrenders its KV exports (the counts travel
+// back as a message and are charged as a transfer), and becomes a spare.
+func (sc *ShardedCluster) drainOne() {
+	for j := len(sc.views) - 1; j >= 0; j-- {
+		v := &sc.views[j]
+		if !v.serving || v.dead || v.outstanding != 0 {
+			continue
+		}
+		v.serving = false
+		sc.ScaleDowns++
+		r := sc.reps[j]
+		sc.router.Send(j+1, "drain", sc.cfg.NetLatency, func() {
+			if r.silent {
+				return
+			}
+			ex, pg := r.ctl.DropExports()
+			r.shard.Send(0, "drained", r.netLat, func() {
+				sc.ExportsMigrated += ex
+				sc.PagesMigrated += pg
+				if pg > 0 {
+					sc.TransferTime += xferCost(pg)
+				}
+			})
+		})
+		return
+	}
+}
+
+// Transfer cost model for cross-replica KV movement: a fixed interconnect
+// setup charge plus a per-page wire charge.
+const (
+	xferBase    = 200 * time.Microsecond
+	xferPerPage = 20 * time.Microsecond
+)
+
+func xferCost(pages int) time.Duration {
+	return xferBase + time.Duration(pages)*xferPerPage
+}
+
+// syntheticPages sizes a PD transfer from the prompt (the prefill
+// instance is already released when its completion reaches the router, so
+// the footprint is synthesized: ~4 chars/token, 16 tokens/page).
+func syntheticPages(prompt string) int {
+	return 1 + len(prompt)/64
+}
+
+// acquireXfer blocks until a transfer-budget slot frees (FIFO) and
+// returns an idempotent release, mirroring the shared-clock coordinator.
+func (sc *ShardedCluster) acquireXfer() (release func()) {
+	released := false
+	release = func() {
+		if released {
+			return
+		}
+		released = true
+		sc.releaseXfer()
+	}
+	if sc.xferActive < sc.cfg.TransferBudget {
+		sc.xferActive++
+		return release
+	}
+	w := &handoffWaiter{s: sim.NewSignal(sc.rclock)}
+	sc.xferWaiters = append(sc.xferWaiters, w)
+	sc.HandoffQueued++
+	_ = sim.Await(w.s)
+	w.granted = true
+	return release
+}
+
+func (sc *ShardedCluster) releaseXfer() {
+	if len(sc.xferWaiters) > 0 {
+		w := sc.xferWaiters[0]
+		sc.xferWaiters = sc.xferWaiters[1:]
+		w.granted = true
+		sim.Fire(w.s)
+		return
+	}
+	sc.xferActive--
+}
+
+// decodeParams parses a JSON params object.
+func decodeParams(s string) (map[string]any, bool) {
+	var m map[string]any
+	if json.Unmarshal([]byte(s), &m) != nil {
+		return nil, false
+	}
+	return m, true
+}
+
+// encodeParams re-marshals params with max_tokens overridden. Map
+// marshaling sorts keys, so the encoding is deterministic.
+func encodeParams(m map[string]any, maxTokens int) string {
+	m["max_tokens"] = maxTokens
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: params re-encode: %v", err))
+	}
+	return string(b)
+}
+
+// ShardedStats aggregates fleet activity after Run.
+type ShardedStats struct {
+	Launches     int
+	Completions  int
+	Failures     int
+	Requeues     int
+	ReplicasLost int
+	Replacements int
+
+	Handoffs      int
+	HandoffQueued int
+	HandoffDenied int
+	TransferTime  time.Duration
+
+	ExportsMigrated int
+	PagesMigrated   int
+	ScaleUps        int
+	ScaleDowns      int
+
+	FaultsInjected  int
+	TransientFaults int
+
+	OutputTokens int
+	AvgTTFT      time.Duration
+	AvgLatency   time.Duration
+
+	GPUBusy      time.Duration
+	Kernels      int
+	Batches      int
+	BatchedCalls int
+	Events       uint64
+}
+
+// Stats snapshots fleet counters. Call after Run (it reads every shard).
+func (sc *ShardedCluster) Stats() ShardedStats {
+	out := ShardedStats{
+		Launches:     sc.Launches,
+		Completions:  sc.Completions,
+		Failures:     sc.Failures,
+		Requeues:     sc.Requeues,
+		ReplicasLost: sc.ReplicasLost,
+		Replacements: sc.Replacements,
+
+		Handoffs:      sc.Handoffs,
+		HandoffQueued: sc.HandoffQueued,
+		HandoffDenied: sc.HandoffDenied,
+		TransferTime:  sc.TransferTime,
+
+		ExportsMigrated: sc.ExportsMigrated,
+		PagesMigrated:   sc.PagesMigrated,
+		ScaleUps:        sc.ScaleUps,
+		ScaleDowns:      sc.ScaleDowns,
+
+		OutputTokens: sc.OutputTokens,
+		Events:       sc.group.TotalEvents(),
+	}
+	if sc.Completions > 0 {
+		out.AvgTTFT = sc.ttftSum / time.Duration(sc.Completions)
+		out.AvgLatency = sc.latSum / time.Duration(sc.Completions)
+	}
+	for _, r := range sc.reps {
+		out.FaultsInjected += r.FaultsInjected
+		out.TransientFaults += r.TransientFaults
+		out.GPUBusy += r.backend.Device.BusyTime()
+		out.Kernels += r.backend.Device.Kernels()
+		s := r.ctl.Scheduler()
+		out.Batches += s.Batches
+		out.BatchedCalls += s.BatchedCalls
+	}
+	return out
+}

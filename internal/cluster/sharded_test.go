@@ -1,0 +1,268 @@
+// Sharded-fleet tests: the per-replica event loops behind the
+// time-window barrier must complete real inferlet workloads, survive
+// crash/hang/slow faults through the message-based health layer, run
+// prefill->decode sessions across shards, and stay byte-identical at any
+// GOMAXPROCS.
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pie/api"
+	"pie/apps"
+	"pie/internal/cluster"
+	"pie/internal/sim"
+)
+
+// runShardedTrace drives a seeded multi-client completion workload on a
+// sharded fleet and returns a full transcript (every per-session result
+// plus the final stats) and the stats. The transcript is the determinism
+// witness: two runs match iff they made identical decisions everywhere.
+func runShardedTrace(t *testing.T, cfg cluster.ShardedConfig, clients, perClient int) (string, cluster.ShardedStats) {
+	t.Helper()
+	sc := cluster.NewSharded(cfg)
+	if err := sc.Register(apps.All()...); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	var lines []string
+	for c := 0; c < clients; c++ {
+		c := c
+		sc.Go(fmt.Sprintf("client-%d", c), func() {
+			rng := sim.NewRNG(cfg.Seed ^ (uint64(c+1) * 0x5851F42D4C957F2D))
+			for i := 0; i < perClient; i++ {
+				sc.Sleep(time.Duration(rng.Intn(4000)) * time.Microsecond)
+				params := fmt.Sprintf(`{"prompt":%q,"max_tokens":%d}`,
+					strings.Repeat("shard probe ", 1+rng.Intn(6)), 4+rng.Intn(12))
+				res, _ := sc.Submit("text_completion", params).Get()
+				lines = append(lines, fmt.Sprintf(
+					"c%d#%d err=%v rep=%d tok=%d ttft=%v lat=%v rq=%v",
+					c, i, res.Err, res.Replica, res.OutputTokens,
+					res.TTFT, res.Latency, res.Requeued))
+			}
+		})
+	}
+	if err := sc.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := sc.Stats()
+	return strings.Join(lines, "\n") + fmt.Sprintf("\nstats=%+v", st), st
+}
+
+func TestShardedBasic(t *testing.T) {
+	_, st := runShardedTrace(t, cluster.ShardedConfig{Seed: 1, Replicas: 4}, 4, 3)
+	if st.Launches != 12 || st.Completions != 12 || st.Failures != 0 {
+		t.Fatalf("launches/completions/failures = %d/%d/%d, want 12/12/0",
+			st.Launches, st.Completions, st.Failures)
+	}
+	if st.OutputTokens == 0 || st.Kernels == 0 || st.Events == 0 {
+		t.Fatalf("no work recorded: %+v", st)
+	}
+	if st.AvgLatency <= 0 {
+		t.Fatalf("AvgLatency = %v", st.AvgLatency)
+	}
+}
+
+func TestShardedDeterminism(t *testing.T) {
+	cfg := cluster.ShardedConfig{Seed: 7, Replicas: 6}
+	a, _ := runShardedTrace(t, cfg, 5, 2)
+	b, _ := runShardedTrace(t, cfg, 5, 2)
+	if a != b {
+		t.Fatalf("same-seed reruns differ:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial, _ := runShardedTrace(t, cfg, 5, 2)
+	runtime.GOMAXPROCS(prev)
+	if serial != a {
+		t.Fatalf("GOMAXPROCS=1 vs %d runs differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			prev, serial, a)
+	}
+	cfg.Seed = 8
+	c, _ := runShardedTrace(t, cfg, 5, 2)
+	if c == a {
+		t.Fatal("different seeds produced identical transcripts (seed not plumbed through)")
+	}
+}
+
+func TestShardedCrashRequeue(t *testing.T) {
+	cfg := cluster.ShardedConfig{
+		Seed: 3, Replicas: 5, Active: 4,
+		Faults: cluster.FaultPlan{Events: []cluster.FaultEvent{
+			{At: 25 * time.Millisecond, Replica: 0, Kind: cluster.FaultCrash},
+		}},
+	}
+	trace, st := runShardedTrace(t, cfg, 8, 2)
+	if st.ReplicasLost != 1 || st.FaultsInjected != 1 {
+		t.Fatalf("ReplicasLost=%d FaultsInjected=%d, want 1/1", st.ReplicasLost, st.FaultsInjected)
+	}
+	if st.Requeues == 0 {
+		t.Fatalf("crash at 25ms under load requeued nothing:\n%s", trace)
+	}
+	if st.Replacements != 1 {
+		t.Fatalf("Replacements = %d, want the cold spare activated", st.Replacements)
+	}
+	// Every session must resolve — completed on a survivor or failed
+	// typed. None may vanish.
+	if st.Completions+st.Failures != st.Launches {
+		t.Fatalf("%d launches but %d completions + %d failures:\n%s",
+			st.Launches, st.Completions, st.Failures, trace)
+	}
+}
+
+func TestShardedHangAndSlow(t *testing.T) {
+	cfg := cluster.ShardedConfig{
+		Seed: 5, Replicas: 4,
+		Faults: cluster.FaultPlan{Events: []cluster.FaultEvent{
+			{At: 20 * time.Millisecond, Replica: 1, Kind: cluster.FaultHang},
+			{At: 10 * time.Millisecond, Replica: 2, Kind: cluster.FaultSlow, Factor: 8},
+		}},
+	}
+	trace, st := runShardedTrace(t, cfg, 6, 2)
+	if st.ReplicasLost != 1 {
+		t.Fatalf("hung replica not declared dead: %+v\n%s", st, trace)
+	}
+	if st.Completions+st.Failures != st.Launches {
+		t.Fatalf("sessions lost under hang+slow: %+v\n%s", st, trace)
+	}
+	if st.Completions == 0 {
+		t.Fatalf("nothing completed: %+v", st)
+	}
+}
+
+func TestShardedTransientFaults(t *testing.T) {
+	cfg := cluster.ShardedConfig{
+		Seed: 9, Replicas: 3,
+		Faults: cluster.FaultPlan{CallFailRate: 0.4, Seed: 42},
+	}
+	trace, st := runShardedTrace(t, cfg, 6, 3)
+	if st.TransientFaults == 0 {
+		t.Fatalf("40%% CallFailRate injected nothing: %+v", st)
+	}
+	if !strings.Contains(trace, api.ErrTransientFault.Error()) {
+		t.Fatalf("transient faults not surfaced typed:\n%s", trace)
+	}
+	if st.Completions+st.Failures != st.Launches {
+		t.Fatalf("sessions unaccounted: %+v", st)
+	}
+}
+
+func TestShardedPrefillDecode(t *testing.T) {
+	cfg := cluster.ShardedConfig{
+		Seed: 11, Replicas: 4,
+		Roles:          []cluster.RoleSpec{{Role: cluster.RolePrefill, Count: 2}, {Role: cluster.RoleDecode}},
+		TransferBudget: 1,
+	}
+	trace, st := runShardedTrace(t, cfg, 6, 2)
+	if st.Handoffs != st.Launches {
+		t.Fatalf("Handoffs = %d, want every one of %d launches migrated:\n%s",
+			st.Handoffs, st.Launches, trace)
+	}
+	if st.Completions != st.Launches || st.Failures != 0 {
+		t.Fatalf("PD sessions lost: %+v\n%s", st, trace)
+	}
+	if st.HandoffQueued == 0 {
+		t.Fatalf("TransferBudget=1 under 6 clients never queued: %+v", st)
+	}
+	if st.TransferTime == 0 {
+		t.Fatalf("no interconnect time charged: %+v", st)
+	}
+	if st.AvgTTFT >= st.AvgLatency {
+		t.Fatalf("TTFT %v not ahead of full latency %v", st.AvgTTFT, st.AvgLatency)
+	}
+	// Decode must land on the decode tier (replicas 2,3).
+	for _, line := range strings.Split(trace, "\n") {
+		if strings.Contains(line, "err=<nil>") &&
+			(strings.Contains(line, "rep=0 ") || strings.Contains(line, "rep=1 ")) {
+			t.Fatalf("session finished on a prefill replica: %s", line)
+		}
+	}
+}
+
+func TestShardedPDDeterminism(t *testing.T) {
+	cfg := cluster.ShardedConfig{
+		Seed: 13, Replicas: 6,
+		Roles:          []cluster.RoleSpec{{Role: cluster.RolePrefill, Count: 3}, {Role: cluster.RoleDecode}},
+		TransferBudget: 2,
+		Faults: cluster.FaultPlan{Events: []cluster.FaultEvent{
+			{At: 30 * time.Millisecond, Replica: 4, Kind: cluster.FaultCrash},
+		}},
+	}
+	a, _ := runShardedTrace(t, cfg, 6, 2)
+	prev := runtime.GOMAXPROCS(1)
+	b, _ := runShardedTrace(t, cfg, 6, 2)
+	runtime.GOMAXPROCS(prev)
+	if a != b {
+		t.Fatalf("PD+crash transcript differs across GOMAXPROCS:\n--- parallel ---\n%s\n--- serial ---\n%s", a, b)
+	}
+}
+
+func TestShardedScaler(t *testing.T) {
+	cfg := cluster.ShardedConfig{
+		Seed: 17, Replicas: 6, Active: 2,
+		ScaleEvery: 2 * time.Millisecond, ScaleUpAt: 2, ScaleDownAt: 0.25,
+	}
+	sc := cluster.NewSharded(cfg)
+	if err := sc.Register(apps.All()...); err != nil {
+		t.Fatal(err)
+	}
+	// A burst of 12 concurrent sessions against 2 serving replicas forces
+	// scale-up; the drain to idle afterwards forces scale-down.
+	var futs []*sim.Future[cluster.ShardedResult]
+	sc.Go("burst", func() {
+		for i := 0; i < 12; i++ {
+			futs = append(futs, sc.Submit("text_completion",
+				`{"prompt":"scale burst probe","max_tokens":12}`))
+		}
+		for _, f := range futs {
+			if res, _ := f.Get(); res.Err != nil {
+				t.Errorf("burst session failed: %v", res.Err)
+			}
+		}
+		// Idle long enough for the scaler to drain back down.
+		sc.Sleep(30 * time.Millisecond)
+	})
+	if err := sc.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := sc.Stats()
+	if st.ScaleUps == 0 {
+		t.Fatalf("burst never scaled up: %+v", st)
+	}
+	if st.ScaleDowns == 0 {
+		t.Fatalf("idle fleet never drained: %+v", st)
+	}
+}
+
+// TestShardedNoCapacity exercises the typed-failure path: a fleet whose
+// only decode-eligible replica is dead must fail launches with
+// ErrReplicaLost instead of hanging.
+func TestShardedNoCapacity(t *testing.T) {
+	cfg := cluster.ShardedConfig{
+		Seed: 19, Replicas: 2,
+		Faults: cluster.FaultPlan{Events: []cluster.FaultEvent{
+			{At: time.Millisecond, Replica: 0, Kind: cluster.FaultCrash},
+			{At: time.Millisecond, Replica: 1, Kind: cluster.FaultCrash},
+		}},
+	}
+	sc := cluster.NewSharded(cfg)
+	if err := sc.Register(apps.All()...); err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	sc.Go("late-client", func() {
+		// Wait out the crashes and the detector before submitting.
+		sc.Sleep(50 * time.Millisecond)
+		res, _ := sc.Submit("text_completion", `{"prompt":"x","max_tokens":4}`).Get()
+		got = res.Err
+	})
+	if err := sc.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(got, api.ErrReplicaLost) {
+		t.Fatalf("launch into a dead fleet returned %v, want ErrReplicaLost", got)
+	}
+}

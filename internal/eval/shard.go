@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"pie/apps"
+	"pie/internal/cluster"
+	"pie/internal/sim"
+)
+
+// Sharded-core scaling sweep (beyond the paper): the same closed-loop
+// completion workload replayed on sharded fleets of growing size — one
+// event loop per replica behind the conservative time-window barrier —
+// up to 128 replicas, far past what the shared-clock cluster can turn
+// around. Two claims under test:
+//
+//   - capability: a 100+ replica fleet simulates to completion with every
+//     session accounted for;
+//   - parallel determinism: the largest leg replayed at GOMAXPROCS=1
+//     produces a byte-identical transcript to the parallel run, while the
+//     parallel run's events/sec scales with cores (wall-clock only —
+//     never part of the gated headline).
+
+// ShardPoint is one fleet size's outcome.
+type ShardPoint struct {
+	Replicas    int
+	Sessions    int
+	Completions int
+	Failures    int
+	Requeues    int
+	AvgTTFT     time.Duration
+	AvgLatency  time.Duration
+	Makespan    time.Duration // virtual
+	Events      uint64
+	WallMS      float64
+	EventsPS    float64
+}
+
+// ShardResult is the sweep outcome plus the parallelism probe at the
+// largest leg.
+type ShardResult struct {
+	Sweep []ShardPoint
+
+	// Parallelism probe at the largest leg: the serial rerun must match
+	// the parallel transcript byte for byte.
+	MaxReplicas   int
+	Deterministic bool
+	SerialEPS     float64 // events/sec at GOMAXPROCS=1 (wall-clock)
+	ParallelEPS   float64 // events/sec at default GOMAXPROCS (wall-clock)
+	SpeedupX      float64
+	GoMaxProcs    int
+
+	transcripts []string // per-leg, deterministic (no wall-clock content)
+}
+
+// Summary concatenates every leg's deterministic transcript — the
+// byte-identity witness used by the GOMAXPROCS determinism tests.
+func (r *ShardResult) Summary() string { return strings.Join(r.transcripts, "\n====\n") }
+
+// runShardLeg replays the workload on a fleet of `replicas` replicas and
+// returns the deterministic transcript plus the measured point.
+func runShardLeg(seed uint64, replicas, clients, perClient int) (string, ShardPoint) {
+	sc := cluster.NewSharded(cluster.ShardedConfig{Seed: seed, Replicas: replicas})
+	if err := sc.Register(apps.All()...); err != nil {
+		panic(fmt.Sprintf("eval: shard sweep register: %v", err))
+	}
+	var lines []string
+	for c := 0; c < clients; c++ {
+		c := c
+		sc.Go(fmt.Sprintf("client-%d", c), func() {
+			rng := sim.NewRNG(seed ^ (uint64(c+1) * 0x5851F42D4C957F2D))
+			for i := 0; i < perClient; i++ {
+				sc.Sleep(time.Duration(rng.Intn(3000)) * time.Microsecond)
+				params := fmt.Sprintf(`{"prompt":%q,"max_tokens":%d}`,
+					strings.Repeat("fleet scaling probe ", 1+rng.Intn(4)), 4+rng.Intn(8))
+				res, _ := sc.Submit("text_completion", params).Get()
+				lines = append(lines, fmt.Sprintf("c%d#%d err=%v rep=%d tok=%d lat=%v",
+					c, i, res.Err, res.Replica, res.OutputTokens, res.Latency))
+			}
+		})
+	}
+	start := time.Now()
+	if err := sc.Run(); err != nil {
+		panic(fmt.Sprintf("eval: shard sweep run (%d replicas): %v", replicas, err))
+	}
+	wall := time.Since(start)
+	st := sc.Stats()
+	p := ShardPoint{
+		Replicas:    replicas,
+		Sessions:    st.Launches,
+		Completions: st.Completions,
+		Failures:    st.Failures,
+		Requeues:    st.Requeues,
+		AvgTTFT:     st.AvgTTFT,
+		AvgLatency:  st.AvgLatency,
+		Makespan:    sc.Now(),
+		Events:      st.Events,
+		WallMS:      float64(wall) / float64(time.Millisecond),
+		EventsPS:    float64(st.Events) / wall.Seconds(),
+	}
+	transcript := strings.Join(lines, "\n") +
+		fmt.Sprintf("\nreplicas=%d sessions=%d done=%d fail=%d rq=%d events=%d makespan=%v",
+			p.Replicas, p.Sessions, p.Completions, p.Failures, p.Requeues, p.Events, p.Makespan)
+	return transcript, p
+}
+
+// ShardSweep runs the fleet-size legs, then replays the largest leg at
+// GOMAXPROCS=1 for the determinism + speedup probe.
+func ShardSweep(o Options) *ShardResult {
+	legs := []int{1, 4, 16, 64, 128}
+	if o.Quick {
+		legs = []int{1, 8, 32, 128}
+	}
+	return shardSweep(o, legs)
+}
+
+func shardSweep(o Options, legs []int) *ShardResult {
+	perClient := o.scale(4, 2)
+	r := &ShardResult{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	var lastTranscript string
+	for _, n := range legs {
+		tr, p := runShardLeg(o.seed(), n, n, perClient)
+		r.Sweep = append(r.Sweep, p)
+		r.transcripts = append(r.transcripts, tr)
+		lastTranscript = tr
+	}
+	last := r.Sweep[len(r.Sweep)-1]
+	r.MaxReplicas = last.Replicas
+	r.ParallelEPS = last.EventsPS
+
+	prev := runtime.GOMAXPROCS(1)
+	serialTr, serialP := runShardLeg(o.seed(), last.Replicas, last.Replicas, perClient)
+	runtime.GOMAXPROCS(prev)
+	r.SerialEPS = serialP.EventsPS
+	r.Deterministic = serialTr == lastTranscript
+	if r.SerialEPS > 0 {
+		r.SpeedupX = r.ParallelEPS / r.SerialEPS
+	}
+	return r
+}
+
+// Table renders the sweep in pie-bench style.
+func (r *ShardResult) Table() string {
+	var b strings.Builder
+	b.WriteString("Sharded core scaling (one event loop per replica, conservative window barrier)\n")
+	fmt.Fprintf(&b, "%-9s %9s %6s %5s %4s %11s %11s %11s %13s\n",
+		"replicas", "sessions", "done", "fail", "rq", "avg-ttft", "avg-lat", "events", "events/sec")
+	for _, p := range r.Sweep {
+		fmt.Fprintf(&b, "%-9d %9d %6d %5d %4d %11v %11v %11d %13.0f\n",
+			p.Replicas, p.Sessions, p.Completions, p.Failures, p.Requeues,
+			p.AvgTTFT.Round(time.Microsecond), p.AvgLatency.Round(time.Microsecond),
+			p.Events, p.EventsPS)
+	}
+	det := "BYTE-IDENTICAL"
+	if !r.Deterministic {
+		det = "DIVERGED (bug!)"
+	}
+	fmt.Fprintf(&b, "parallel probe @%d replicas: gomaxprocs=%d %.0f ev/s vs serial %.0f ev/s (%.2fx) — transcripts %s\n",
+		r.MaxReplicas, r.GoMaxProcs, r.ParallelEPS, r.SerialEPS, r.SpeedupX, det)
+	return b.String()
+}

@@ -102,13 +102,25 @@ type Clock struct {
 	current  *Proc
 	live     int // spawned and not yet finished
 	parked   int // processes in stateParked
-	events   uint64
 	finished bool
 	err      error
 	doneCh   chan struct{}
 
+	// events is atomic (not mu-guarded) so cross-shard aggregation —
+	// ShardGroup progress probes, eval harness stats — can read counters
+	// while shard loops are mid-window on other goroutines.
+	events atomic.Uint64
+
 	external bool // keep running while idle, waiting for Inject
 	shutdown bool
+
+	// Windowed (sharded) mode: RunWindow drives the clock only up to
+	// horizon, then parks the loop at the barrier instead of finishing.
+	// Cross-shard coordination (ShardGroup) injects messages between
+	// windows and decides global termination/deadlock.
+	windowed bool
+	horizon  time.Duration
+	pauseCh  chan struct{} // buffered(1); signalled when a window completes
 }
 
 // NewClock returns a fresh virtual clock at time zero.
@@ -241,16 +253,21 @@ func (c *Clock) dispatchNextLocked() (next *Proc, killed bool) {
 	if c.finished {
 		return nil, false
 	}
-	if c.live == 0 && !c.external {
+	if c.live == 0 && !c.external && !c.windowed {
 		c.finishClockLocked()
 		return nil, false
 	}
 	for c.heap.len() > 0 {
-		ev := c.heap.pop()
-		if ev.cancelled {
-			c.recycleLocked(ev)
+		if c.heap.min().ev.cancelled {
+			c.recycleLocked(c.heap.pop())
 			continue
 		}
+		if c.windowed && c.heap.min().t >= c.horizon {
+			// Earliest pending work lies beyond the current window: stop
+			// here and hand control back to the barrier.
+			break
+		}
+		ev := c.heap.pop()
 		if ev.t > c.now {
 			c.now = ev.t
 		}
@@ -259,10 +276,17 @@ func (c *Clock) dispatchNextLocked() (next *Proc, killed bool) {
 		c.recycleLocked(ev)
 		p.state = stateRunning
 		c.current = p
-		c.events++
+		c.events.Add(1)
 		return p, p.killed
 	}
 	c.current = nil
+	if c.windowed {
+		// A windowed clock never finishes or deadlocks on its own — shards
+		// with no local work may still receive cross-shard messages. Park
+		// at the barrier; the ShardGroup decides termination.
+		c.pauseWindowLocked()
+		return nil, false
+	}
 	if c.external && !c.shutdown {
 		// Server mode: stay alive waiting for injected work — even with no
 		// live processes yet. (Requiring live > 0 here used to finish the
@@ -286,8 +310,131 @@ func (c *Clock) finishClockLocked() {
 		return
 	}
 	c.finished = true
-	totalEvents.Add(c.events)
+	totalEvents.Add(c.events.Load())
 	close(c.doneCh)
+}
+
+// pauseWindowLocked signals RunWindow that the current window is complete.
+// The channel is buffered so the signal never blocks the scheduler.
+func (c *Clock) pauseWindowLocked() {
+	select {
+	case c.pauseCh <- struct{}{}:
+	default:
+	}
+}
+
+// RunWindow drives the simulation until every pending event before horizon
+// has run (a conservative time-window step), then returns. Processes that
+// block past the horizon stay queued for later windows. Unlike Run, an
+// empty heap or zero live processes does not end the simulation — global
+// termination is the ShardGroup's call, made across all shards at the
+// barrier. Must be called from outside the simulation.
+func (c *Clock) RunWindow(horizon time.Duration) error {
+	c.mu.Lock()
+	if c.current != nil {
+		c.mu.Unlock()
+		panic("sim: RunWindow called re-entrantly")
+	}
+	if c.finished {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	if c.pauseCh == nil {
+		c.pauseCh = make(chan struct{}, 1)
+	}
+	c.windowed = true
+	c.horizon = horizon
+	next, killed := c.dispatchNextLocked()
+	c.mu.Unlock()
+	if next != nil {
+		next.wake <- killed
+	}
+	<-c.pauseCh
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// InjectAt schedules fn as a new process with its first dispatch at virtual
+// time t (clamped to now). It is the cross-shard delivery primitive: the
+// ShardGroup calls it between windows, in deterministic merge order, so it
+// never kicks the scheduler itself — the next RunWindow runs the event.
+func (c *Clock) InjectAt(t time.Duration, name string, fn func()) *Proc {
+	return c.injectAt(t, name, fn, false)
+}
+
+// InjectDaemonAt is InjectAt for service messages (heartbeats, monitoring
+// probes): the delivered process runs normally but does not keep the
+// simulation alive, so a periodic cross-shard beat stream never blocks
+// group termination.
+func (c *Clock) InjectDaemonAt(t time.Duration, name string, fn func()) *Proc {
+	return c.injectAt(t, name, fn, true)
+}
+
+func (c *Clock) injectAt(t time.Duration, name string, fn func(), daemon bool) *Proc {
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		panic("sim: InjectAt after clock finished")
+	}
+	if t < c.now {
+		t = c.now
+	}
+	c.seq++
+	p := &Proc{id: c.seq, name: name, wake: make(chan bool, 1), state: stateReady, daemon: daemon}
+	if !daemon {
+		c.live++
+	}
+	c.pushLocked(t, p)
+	c.mu.Unlock()
+
+	go func() {
+		<-p.wake
+		defer c.finish(p)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(Killed); ok {
+					return
+				}
+				panic(r)
+			}
+		}()
+		fn()
+	}()
+	return p
+}
+
+// pendingMin reports the earliest non-cancelled pending event, if any.
+// Safe to call between windows (no process running).
+func (c *Clock) pendingMin() (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.heap.len() > 0 && c.heap.min().ev.cancelled {
+		c.recycleLocked(c.heap.pop())
+	}
+	if c.heap.len() == 0 {
+		return 0, false
+	}
+	return c.heap.min().t, true
+}
+
+// liveProcs reports the number of non-daemon processes not yet finished.
+func (c *Clock) liveProcs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.live
+}
+
+// finishWindowed ends a windowed clock from the barrier (all shards done,
+// or a cross-shard deadlock was detected), publishing its event count.
+func (c *Clock) finishWindowed(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.finishClockLocked()
+	c.mu.Unlock()
 }
 
 // Run drives the simulation until every process has finished (or, in
@@ -322,7 +469,7 @@ func (c *Clock) Inject(name string, fn func()) *Proc {
 	p := &Proc{id: c.seq, name: name, wake: make(chan bool, 1), state: stateReady}
 	c.live++
 	c.pushLocked(c.now, p)
-	idle := c.current == nil
+	idle := c.current == nil && !c.windowed
 	c.mu.Unlock()
 
 	go func() {
@@ -402,7 +549,7 @@ func (c *Clock) Sleep(d time.Duration) {
 // replaces the heap minimum in one sift instead of a push followed by a
 // pop.
 func (c *Clock) sleepDispatchLocked(p *Proc, t time.Duration) (next *Proc, killed bool) {
-	if c.finished || (c.live == 0 && !c.external) {
+	if c.finished || (c.live == 0 && !c.external && !c.windowed) {
 		// Clock teardown (only daemons remain): take the generic path,
 		// which finishes the simulation and abandons p in place.
 		c.pushLocked(t, p)
@@ -411,15 +558,23 @@ func (c *Clock) sleepDispatchLocked(p *Proc, t time.Duration) (next *Proc, kille
 	for c.heap.len() > 0 && c.heap.min().ev.cancelled {
 		c.recycleLocked(c.heap.pop())
 	}
+	if c.windowed && t >= c.horizon {
+		// The wake lands beyond the current window: queue it and let the
+		// generic path run an earlier event or park at the barrier.
+		c.pushLocked(t, p)
+		return c.dispatchNextLocked()
+	}
 	if c.heap.len() == 0 || t < c.heap.min().t {
 		c.seq++ // the skipped event still consumes its sequence number
 		if t > c.now {
 			c.now = t
 		}
 		p.state = stateRunning
-		c.events++
+		c.events.Add(1)
 		return p, p.killed
 	}
+	// Here heap.min().t <= t, so in windowed mode the dispatched event is
+	// inside the window (t < horizon was established above).
 	ev := c.heap.replaceMin(c.allocEventLocked(t, p))
 	if ev.t > c.now {
 		c.now = ev.t
@@ -429,7 +584,7 @@ func (c *Clock) sleepDispatchLocked(p *Proc, t time.Duration) (next *Proc, kille
 	c.recycleLocked(ev)
 	nextP.state = stateRunning
 	c.current = nextP
-	c.events++
+	c.events.Add(1)
 	return nextP, nextP.killed
 }
 
@@ -484,9 +639,11 @@ func (c *Clock) unpark(p *Proc, token uint64) {
 	c.pushLocked(c.now, p)
 	var next *Proc
 	var killed bool
-	if c.current == nil && !c.finished {
+	if c.current == nil && !c.finished && !c.windowed {
 		// Possible in external mode when an injected goroutine resolves
-		// a future while the scheduler is idle.
+		// a future while the scheduler is idle. A windowed clock is only
+		// ever dispatched by RunWindow, so the barrier can mutate shard
+		// state between windows without racing a stray dispatch.
 		next, killed = c.dispatchNextLocked()
 	}
 	c.mu.Unlock()
@@ -532,12 +689,12 @@ func (c *Clock) Kill(p *Proc) {
 func (c *Clock) Stats() (live, parked, pending int, events uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.live, c.parked, c.heap.live(), c.events
+	return c.live, c.parked, c.heap.live(), c.events.Load()
 }
 
-// Events returns the number of events this clock has processed so far.
+// Events returns the number of events this clock has processed so far. The
+// counter is atomic, so reading it from outside the shard loop is safe even
+// while the clock is mid-window.
 func (c *Clock) Events() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.events
+	return c.events.Load()
 }

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Conservative time-window parallel simulation.
+//
+// A ShardGroup partitions one experiment across n Clocks ("shards"), each
+// running its own event loop on its own goroutine. Shards never share
+// simulated state; every cross-shard interaction is a timestamped message
+// (Shard.Send) buffered in the sender's outbox. The group advances all
+// shards in lockstep windows of fixed width: within a window each shard
+// runs independently (in parallel, bounded by GOMAXPROCS), and at the
+// window edge the barrier drains every outbox and injects the messages
+// into their destination clocks in a deterministic merge order —
+// (deliver time, source shard, per-shard sequence) — before opening the
+// next window.
+//
+// This is the classic conservative PDES recipe: it is exact whenever the
+// window width is at most the minimum cross-shard latency, because a
+// message sent during window k can then never be due before window k+1.
+// Messages whose latency is shorter than the window are rounded up to the
+// window edge (deliverAt = max(sendTime+latency, edge)); choose the window
+// accordingly. Because shards are isolated within a window and injection
+// order is deterministic, same-seed runs are byte-identical at any
+// GOMAXPROCS — parallelism changes wall-clock time only.
+type ShardGroup struct {
+	window time.Duration
+	shards []*Shard
+}
+
+// Shard is one partition of a sharded simulation: a private Clock plus an
+// outbox of cross-shard messages accumulated during the current window.
+// All simulated processes of a shard run on its clock; Send is only legal
+// from such a process (one process runs at a time per shard, so the outbox
+// needs no lock).
+type Shard struct {
+	id     int
+	group  *ShardGroup
+	clock  *Clock
+	outSeq uint64
+	outbox []xmsg
+
+	cmd  chan time.Duration // horizon for the next window
+	done chan error
+}
+
+// xmsg is a cross-shard message: a closure to run on the destination
+// shard's clock at a virtual delivery time.
+type xmsg struct {
+	at     time.Duration // sendTime + latency; rounded up to the window edge
+	src    int
+	dst    int
+	seq    uint64 // per-source-shard send order
+	name   string
+	daemon bool // delivered as a daemon process (does not block termination)
+	fn     func()
+}
+
+// NewShardGroup creates n shards synchronized on windows of width window.
+func NewShardGroup(window time.Duration, n int) *ShardGroup {
+	if window <= 0 {
+		panic("sim: ShardGroup window must be positive")
+	}
+	if n <= 0 {
+		panic("sim: ShardGroup needs at least one shard")
+	}
+	g := &ShardGroup{window: window}
+	g.shards = make([]*Shard, n)
+	for i := range g.shards {
+		g.shards[i] = &Shard{
+			id:    i,
+			group: g,
+			clock: NewClock(),
+			cmd:   make(chan time.Duration),
+			done:  make(chan error, 1),
+		}
+	}
+	return g
+}
+
+// Window returns the barrier window width.
+func (g *ShardGroup) Window() time.Duration { return g.window }
+
+// Shards returns the number of shards.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Shard returns shard i.
+func (g *ShardGroup) Shard(i int) *Shard { return g.shards[i] }
+
+// ID returns the shard's index within its group.
+func (s *Shard) ID() int { return s.id }
+
+// Clock returns the shard's private clock. Spawn the shard's processes on
+// it before ShardGroup.Run, exactly as with a standalone Clock.
+func (s *Shard) Clock() *Clock { return s.clock }
+
+// Send schedules fn to run as a fresh process on shard dst after latency
+// of virtual time (clamped up to the next window edge). It must be called
+// from a process currently running on s; the message is buffered locally
+// and handed over at the barrier, so delivery never touches another
+// shard's state mid-window.
+func (s *Shard) Send(dst int, name string, latency time.Duration, fn func()) {
+	s.send(dst, name, latency, fn, false)
+}
+
+// SendDaemon is Send for service traffic (heartbeats, load reports): the
+// message is delivered as a daemon process on the destination shard, so an
+// endless beat stream never keeps the group alive once real work drains.
+func (s *Shard) SendDaemon(dst int, name string, latency time.Duration, fn func()) {
+	s.send(dst, name, latency, fn, true)
+}
+
+func (s *Shard) send(dst int, name string, latency time.Duration, fn func(), daemon bool) {
+	if dst < 0 || dst >= len(s.group.shards) {
+		panic(fmt.Sprintf("sim: Send to unknown shard %d (have %d)", dst, len(s.group.shards)))
+	}
+	if latency < 0 {
+		latency = 0
+	}
+	s.outSeq++
+	s.outbox = append(s.outbox, xmsg{
+		at:     s.clock.Now() + latency,
+		src:    s.id,
+		dst:    dst,
+		seq:    s.outSeq,
+		name:   name,
+		daemon: daemon,
+		fn:     fn,
+	})
+}
+
+// TotalEvents sums the events processed by all shards. Safe to call at any
+// time (the per-clock counters are atomic).
+func (g *ShardGroup) TotalEvents() uint64 {
+	var n uint64
+	for _, s := range g.shards {
+		n += s.clock.Events()
+	}
+	return n
+}
+
+// Run drives all shards until every non-daemon process on every shard has
+// finished. It returns a deadlock error if live processes remain but no
+// shard has pending events and no messages are in flight. Run must be
+// called once, from outside the simulation.
+func (g *ShardGroup) Run() error {
+	// One persistent runner goroutine per shard: window commands flow down
+	// cmd, completions flow back on done. The channel operations give the
+	// barrier happens-before edges over everything a shard's processes did
+	// during the window (including outbox appends).
+	for _, s := range g.shards {
+		go func(s *Shard) {
+			for h := range s.cmd {
+				s.done <- s.clock.RunWindow(h)
+			}
+		}(s)
+	}
+	defer func() {
+		for _, s := range g.shards {
+			close(s.cmd)
+		}
+	}()
+
+	running := make([]*Shard, 0, len(g.shards))
+	var inbox []xmsg
+	for {
+		// Termination: all non-daemon processes everywhere are done and no
+		// messages await delivery. Daemon-only pending events (heartbeat
+		// loops) do not keep the group alive, matching Clock.Run.
+		live := 0
+		for _, s := range g.shards {
+			live += s.clock.liveProcs()
+		}
+		if live == 0 {
+			for _, s := range g.shards {
+				s.clock.finishWindowed(nil)
+			}
+			return nil
+		}
+
+		// Next window: the edge strictly after the globally earliest
+		// pending event. Shards with nothing due before it stay parked.
+		earliest, any := time.Duration(0), false
+		for _, s := range g.shards {
+			if t, ok := s.clock.pendingMin(); ok && (!any || t < earliest) {
+				earliest, any = t, true
+			}
+		}
+		if !any {
+			err := fmt.Errorf("sim: cross-shard deadlock: %d process(es) blocked with no pending events on any shard", live)
+			for _, s := range g.shards {
+				s.clock.finishWindowed(err)
+			}
+			return err
+		}
+		horizon := (earliest/g.window + 1) * g.window
+
+		running = running[:0]
+		for _, s := range g.shards {
+			if t, ok := s.clock.pendingMin(); ok && t < horizon {
+				running = append(running, s)
+			}
+		}
+		for _, s := range running {
+			s.cmd <- horizon
+		}
+		var windowErr error
+		for _, s := range running {
+			if err := <-s.done; err != nil && windowErr == nil {
+				windowErr = err
+			}
+		}
+		if windowErr != nil {
+			for _, s := range g.shards {
+				s.clock.finishWindowed(windowErr)
+			}
+			return windowErr
+		}
+
+		// Barrier: merge all outboxes in deterministic order and inject.
+		// deliverAt is rounded up to the just-completed edge so a message
+		// can never land inside a window that already ran.
+		inbox = inbox[:0]
+		for _, s := range running {
+			for _, m := range s.outbox {
+				if m.at < horizon {
+					m.at = horizon
+				}
+				inbox = append(inbox, m)
+			}
+			s.outbox = s.outbox[:0]
+		}
+		sort.Slice(inbox, func(i, j int) bool {
+			a, b := &inbox[i], &inbox[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		for i := range inbox {
+			m := &inbox[i]
+			if m.daemon {
+				g.shards[m.dst].clock.InjectDaemonAt(m.at, m.name, m.fn)
+			} else {
+				g.shards[m.dst].clock.InjectAt(m.at, m.name, m.fn)
+			}
+			m.fn = nil
+		}
+	}
+}
