@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +29,83 @@ import (
 
 	"pie/internal/benchfmt"
 )
+
+// tolConfig is the optional -tol-config document: per-experiment and
+// per-metric overrides layered over the -tol flag. Resolution order for a
+// headline metric is metric override > experiment override > document
+// default > -tol; event-count checks stop at the experiment level. An
+// override names exactly the metrics whose physics justify extra slack, so
+// loosening one noisy ratio never loosens the whole suite.
+type tolConfig struct {
+	Default     float64            `json:"default,omitempty"`
+	Experiments map[string]expTols `json:"experiments,omitempty"`
+}
+
+type expTols struct {
+	Tol     *float64           `json:"tol,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func loadTolConfig(path string) (*tolConfig, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c tolConfig
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// checkIDs fails on overrides that name experiments absent from the
+// baseline: a typo there would silently gate nothing.
+func (c *tolConfig) checkIDs(base benchfmt.Report) error {
+	known := map[string]bool{}
+	for _, b := range base.Experiments {
+		known[b.ID] = true
+	}
+	ids := make([]string, 0, len(c.Experiments))
+	for id := range c.Experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if !known[id] {
+			return fmt.Errorf("tol-config names unknown experiment %q (baseline has none)", id)
+		}
+	}
+	return nil
+}
+
+// forExperiment resolves the tolerance for an experiment-level check.
+func (c *tolConfig) forExperiment(id string, flagTol float64) float64 {
+	if c == nil {
+		return flagTol
+	}
+	if e, ok := c.Experiments[id]; ok && e.Tol != nil {
+		return *e.Tol
+	}
+	if c.Default > 0 {
+		return c.Default
+	}
+	return flagTol
+}
+
+// forMetric resolves the tolerance for one headline metric.
+func (c *tolConfig) forMetric(id, metric string, flagTol float64) float64 {
+	if c == nil {
+		return flagTol
+	}
+	if e, ok := c.Experiments[id]; ok {
+		if t, ok := e.Metrics[metric]; ok {
+			return t
+		}
+	}
+	return c.forExperiment(id, flagTol)
+}
 
 func load(path string) (benchfmt.Report, error) {
 	var r benchfmt.Report
@@ -58,6 +136,7 @@ func main() {
 	freshPath := flag.String("fresh", "fresh_bench.json", "freshly generated report")
 	tol := flag.Float64("tol", 0.20, "tolerance for deterministic metrics (headlines, event counts)")
 	perfTol := flag.Float64("perf-tol", 0.20, "allowed events/sec regression (faster is always fine)")
+	tolConfigPath := flag.String("tol-config", "", "optional JSON file with per-experiment/per-metric tolerance overrides")
 	flag.Parse()
 
 	base, err := load(*basePath)
@@ -69,6 +148,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench-gate:", err)
 		os.Exit(2)
+	}
+	var tols *tolConfig
+	if *tolConfigPath != "" {
+		tols, err = loadTolConfig(*tolConfigPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-gate:", err)
+			os.Exit(2)
+		}
+		if err := tols.checkIDs(base); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-gate:", err)
+			os.Exit(2)
+		}
 	}
 	if base.Seed != fresh.Seed || base.Quick != fresh.Quick {
 		fmt.Fprintf(os.Stderr, "bench-gate: incomparable reports: baseline seed=%d quick=%v, fresh seed=%d quick=%v\n",
@@ -90,9 +181,10 @@ func main() {
 				fmt.Sprintf("%s: experiment missing from fresh report", b.ID))
 			continue
 		}
-		if d := relDiff(float64(f.Events), float64(b.Events)); d > *tol {
+		if et := tols.forExperiment(b.ID, *tol); relDiff(float64(f.Events), float64(b.Events)) > et {
 			violations = append(violations,
-				fmt.Sprintf("%s: event count drifted %.1f%% (%d -> %d)", b.ID, d*100, b.Events, f.Events))
+				fmt.Sprintf("%s: event count drifted %.1f%% (%d -> %d, tol %.0f%%)",
+					b.ID, relDiff(float64(f.Events), float64(b.Events))*100, b.Events, f.Events, et*100))
 		}
 		keys := make([]string, 0, len(b.Headline))
 		for k := range b.Headline {
@@ -108,9 +200,10 @@ func main() {
 				continue
 			}
 			checked++
-			if d := relDiff(fv, bv); d > *tol {
+			mt := tols.forMetric(b.ID, k, *tol)
+			if d := relDiff(fv, bv); d > mt {
 				violations = append(violations,
-					fmt.Sprintf("%s/%s: drifted %.1f%% (%.4g -> %.4g)", b.ID, k, d*100, bv, fv))
+					fmt.Sprintf("%s/%s: drifted %.1f%% (%.4g -> %.4g, tol %.0f%%)", b.ID, k, d*100, bv, fv, mt*100))
 			}
 		}
 	}
@@ -167,7 +260,7 @@ func main() {
 			fmt.Println("  -", v)
 		}
 		fmt.Println("(intentional behavior changes must regenerate BENCH_sim.json in the same PR:" +
-			" GOMAXPROCS=1 go run ./cmd/pie-bench -quick -cluster -offload -coldstart -faults -slo -json-out BENCH_sim.json)")
+			" GOMAXPROCS=1 go run ./cmd/pie-bench -quick -cluster -offload -coldstart -faults -slo -pd -shard -fleet -json-out BENCH_sim.json)")
 		os.Exit(1)
 	}
 	fmt.Println("bench-gate: OK")

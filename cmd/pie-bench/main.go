@@ -35,7 +35,7 @@ const defaultJSONPath = "BENCH_sim.json"
 func main() {
 	quick := flag.Bool("quick", false, "run CI-sized workloads")
 	seed := flag.Uint64("seed", 42, "deterministic seed for every experiment")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster,offload,coldstart,faults,slo,pd,shard)")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (table2,fig6,fig7,fig8,fig9,fig10,fig11,table3,table4,table5,cluster,offload,coldstart,faults,slo,pd,shard,fleet)")
 	clusterExp := flag.Bool("cluster", false, "also run the replica-scaling cluster sweep (experiment id: cluster)")
 	offloadExp := flag.Bool("offload", false, "also run the tiered-KV host-offload oversubscription sweep (experiment id: offload)")
 	coldstartExp := flag.Bool("coldstart", false, "also run the deployable-artifact cold/warm launch sweep (experiment id: coldstart)")
@@ -43,6 +43,7 @@ func main() {
 	sloExp := flag.Bool("slo", false, "also run the SLO-aware service-class scaling experiment (experiment id: slo)")
 	pdExp := flag.Bool("pd", false, "also run the prefill/decode disaggregation sweep (experiment id: pd)")
 	shardExp := flag.Bool("shard", false, "also run the sharded-core fleet scaling sweep, 1 to 128 replicas (experiment id: shard)")
+	fleetExp := flag.Bool("fleet", false, "also run the fleet-manifest rolling-upgrade and hot-reload experiment (experiment id: fleet)")
 	jsonOut := flag.Bool("json", false, "write BENCH_sim.json with wall time and events/sec per experiment")
 	jsonPath := flag.String("json-out", defaultJSONPath, "path for the -json report (implies -json)")
 	flag.Parse()
@@ -79,6 +80,9 @@ func main() {
 	}
 	if *shardExp {
 		want["shard"] = true
+	}
+	if *fleetExp {
+		want["fleet"] = true
 	}
 	all := want["all"]
 
@@ -228,6 +232,9 @@ func main() {
 	}
 	if want["shard"] {
 		run("shard", shardRun(o))
+	}
+	if want["fleet"] {
+		run("fleet", fleetRun(o))
 	}
 
 	if len(rep.Experiments) == 0 {
@@ -385,6 +392,37 @@ func shardRun(o eval.Options) func() (string, map[string]float64) {
 		last := r.Sweep[len(r.Sweep)-1]
 		h["fleet-max-requeues"] = float64(last.Requeues)
 		h["fleet-max-avg-lat-ms"] = float64(last.AvgLatency) / float64(time.Millisecond)
+		return r.Table(), h
+	}
+}
+
+// fleetRun adapts the fleet-manifest experiment to the harness: a rolling
+// pinned-program upgrade vs a naive restart under identical load, plus a
+// pool-count hot reload, all driven by the reconciling controller.
+func fleetRun(o eval.Options) func() (string, map[string]float64) {
+	return func() (string, map[string]float64) {
+		r := eval.FleetSweep(o)
+		h := map[string]float64{
+			"steady-window-p95-ms":  float64(r.Steady.WindowP95) / float64(time.Millisecond),
+			"rolling-window-p95-ms": float64(r.Rolling.WindowP95) / float64(time.Millisecond),
+			"naive-window-p95-ms":   float64(r.Naive.WindowP95) / float64(time.Millisecond),
+			"rolling-vs-steady-x":   r.RollingRatio,
+			"naive-vs-steady-x":     r.NaiveRatio,
+			"rolling-done":          float64(r.Rolling.Done),
+			"rolling-failed":        float64(r.Rolling.Failed),
+			"rolling-requeues":      float64(r.Rolling.UpgradeRequeues),
+			"naive-requeues":        float64(r.Naive.UpgradeRequeues),
+			"rolling-prewarms":      float64(r.Rolling.Prewarms),
+			"reload-final-serving":  float64(r.Reload.FinalServing),
+			"reload-dropped":        float64(r.Reload.Dropped),
+			"reload-done":           float64(r.Reload.Done),
+		}
+		if r.Deterministic {
+			h["deterministic"] = 1
+		}
+		if r.Rolling.Converged && r.Naive.Converged && r.Reload.Converged {
+			h["converged"] = 1
+		}
 		return r.Table(), h
 	}
 }

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pie"
+)
+
+// testManifest is the boot document the fleet-surface tests run on.
+const testManifest = `{
+  "schema": 1,
+  "seed": 7,
+  "placement": "least-loaded",
+  "pools": [{"name": "main", "count": 2, "max": 4}],
+  "classes": [{"name": "interactive", "ttft": "250ms", "priority": 10}],
+  "programs": [{"name": "text_completion", "version": "1.0.0", "class": "interactive"}],
+  "kv": {"host_ratio": 2.0},
+  "reconcile": {"interval": "2ms"}
+}`
+
+func writeManifest(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBuildConfigManifestPrecedence is the flag/manifest precedence
+// regression: explicitly set flags override manifest values; flags left
+// at their defaults never do.
+func TestBuildConfigManifestPrecedence(t *testing.T) {
+	fs := func() *flag.FlagSet { return flag.NewFlagSet("test", flag.ContinueOnError) }
+	path := writeManifest(t, testManifest)
+
+	// Manifest alone: every value comes from the document, including the
+	// seed — the -seed flag's default (42) must NOT clobber manifest seed 7.
+	opts, err := buildConfig(fs(), []string{"-config", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opts.Cfg
+	if cfg.Fleet == nil || cfg.Seed != 7 || cfg.Replicas != 2 {
+		t.Fatalf("manifest boot: seed=%d replicas=%d fleet=%v", cfg.Seed, cfg.Replicas, cfg.Fleet)
+	}
+	if cfg.Placement != pie.PlaceLeastLoaded || cfg.HostKVRatio != 2.0 {
+		t.Fatalf("manifest policies lost: placement=%v kv=%v", cfg.Placement, cfg.HostKVRatio)
+	}
+	if len(cfg.Classes) != 1 || cfg.Classes[0].Name != "interactive" {
+		t.Fatalf("manifest classes lost: %+v", cfg.Classes)
+	}
+
+	// Explicitly set scalar flags win over the manifest.
+	opts, err = buildConfig(fs(), []string{"-config", path, "-seed", "99", "-placement", "rr", "-host-kv-ratio", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = opts.Cfg
+	if cfg.Seed != 99 || cfg.Placement != pie.PlaceRoundRobin || cfg.HostKVRatio != 3 {
+		t.Fatalf("explicit flags must override the manifest: seed=%d placement=%v kv=%v",
+			cfg.Seed, cfg.Placement, cfg.HostKVRatio)
+	}
+	// The manifest snapshot keeps its own values: the flag override is a
+	// runtime layer, not a rewrite of desired state.
+	if cfg.Fleet.Seed != 7 {
+		t.Fatalf("flag override mutated the manifest: %+v", cfg.Fleet)
+	}
+
+	// Topology flags conflict with -config outright.
+	for _, args := range [][]string{
+		{"-config", path, "-replicas", "4"},
+		{"-config", path, "-variants", "l4:cost=1"},
+		{"-config", path, "-roles", "prefill:count=1;decode"},
+		{"-config", path, "-classes", "gold:prio=1"},
+		{"-config", path, "-scaler-max", "4"},
+		{"-config", path, "-autoscale-max", "4"},
+	} {
+		if _, err := buildConfig(fs(), args); err == nil || !strings.Contains(err.Error(), "conflicts with -config") {
+			t.Fatalf("%v: err = %v, want topology conflict", args, err)
+		}
+	}
+
+	// Unknown flags surface the flag package's own error.
+	badFS := flag.NewFlagSet("test", flag.ContinueOnError)
+	badFS.SetOutput(io.Discard)
+	if _, err := buildConfig(badFS, []string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+
+	// Bad documents fail typed at build time.
+	bad := writeManifest(t, `{"schema": 1, "pools": []}`)
+	if _, err := buildConfig(fs(), []string{"-config", bad}); err == nil {
+		t.Fatal("invalid manifest accepted")
+	}
+	if _, err := buildConfig(fs(), []string{"-config", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Fatal("missing manifest file accepted")
+	}
+
+	// -validate is carried through for main to act on.
+	opts, err = buildConfig(fs(), []string{"-config", path, "-validate"})
+	if err != nil || !opts.Validate || opts.ConfigPath != path {
+		t.Fatalf("validate mode: %+v, %v", opts, err)
+	}
+}
+
+// TestFleetEndpoint drives GET and POST /v1/fleet against a
+// manifest-booted server: status reads, a hot count change, and the typed
+// rejection ladder.
+func TestFleetEndpoint(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	path := writeManifest(t, testManifest)
+	opts, err := buildConfig(fs, []string{"-config", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startTestServer(t, opts.Cfg)
+
+	var got struct {
+		Fleet   map[string]interface{} `json:"fleet"`
+		Desired map[string]interface{} `json:"desired"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/fleet", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/fleet: %d", resp.StatusCode)
+	}
+	if got.Fleet["generation"] != float64(0) || got.Desired["schema"] != float64(1) {
+		t.Fatalf("fleet status = %+v", got)
+	}
+
+	post := func(doc string) (*http.Response, map[string]interface{}) {
+		resp, err := http.Post(ts.URL+"/v1/fleet", "application/json", bytes.NewReader([]byte(doc)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var body map[string]interface{}
+		_ = json.Unmarshal(raw, &body)
+		return resp, body
+	}
+
+	// A count change applies and bumps the generation.
+	grown := strings.Replace(testManifest, `"count": 2`, `"count": 4`, 1)
+	resp, body := post(grown)
+	if resp.StatusCode != http.StatusOK || body["status"] != "applied" {
+		t.Fatalf("grow: %d %v", resp.StatusCode, body)
+	}
+	if fl, ok := body["fleet"].(map[string]interface{}); !ok || fl["generation"] != float64(1) {
+		t.Fatalf("grow status: %v", body)
+	}
+
+	// The typed rejection ladder.
+	cases := []struct {
+		doc    string
+		status int
+		code   string
+	}{
+		{strings.Replace(testManifest, `"main"`, `"other"`, 1), http.StatusConflict, "immutable_field"},
+		{strings.Replace(testManifest, `"1.0.0"`, `"latest"`, 1), http.StatusBadRequest, "bad_version"},
+		{strings.Replace(testManifest, `"least-loaded"`, `"warmest"`, 1), http.StatusBadRequest, "unknown_reference"},
+		{`{"schema": 1, "pools": []}`, http.StatusBadRequest, "ambiguous_pool"},
+		{`{not json`, http.StatusBadRequest, "invalid_manifest"},
+	}
+	for _, tc := range cases {
+		resp, body := post(tc.doc)
+		errObj, _ := body["error"].(map[string]interface{})
+		if resp.StatusCode != tc.status || errObj["code"] != tc.code {
+			t.Fatalf("POST %q: %d %v, want %d %s", tc.doc[:24], resp.StatusCode, body, tc.status, tc.code)
+		}
+	}
+
+	// Other methods are refused.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fleet", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /v1/fleet: %v %v", resp, err)
+	}
+}
+
+// TestFleetEndpointNotManaged: a flag-booted server answers 404 typed.
+func TestFleetEndpointNotManaged(t *testing.T) {
+	_, ts := startTestServer(t, pie.Config{Seed: 1, Replicas: 1})
+	resp := getJSON(t, ts.URL+"/v1/fleet", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/fleet on flag-booted server: %d, want 404", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/v1/fleet", "application/json", strings.NewReader(testManifest))
+	if err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /v1/fleet on flag-booted server: %v %v", resp, err)
+	}
+}
+
+// TestReloadFleet is the SIGHUP path: re-read the boot manifest from disk
+// and hot-apply it.
+func TestReloadFleet(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	path := writeManifest(t, testManifest)
+	opts, err := buildConfig(fs, []string{"-config", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := startTestServer(t, opts.Cfg)
+	_ = ts
+
+	// Rewrite the file with a new count, then reload.
+	if err := os.WriteFile(path, []byte(strings.Replace(testManifest, `"count": 2`, `"count": 3`, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.reloadFleet(path); err != nil {
+		t.Fatalf("reloadFleet: %v", err)
+	}
+	var st struct {
+		Fleet map[string]interface{} `json:"fleet"`
+	}
+	getJSON(t, ts.URL+"/v1/fleet", &st)
+	if st.Fleet["generation"] != float64(1) {
+		t.Fatalf("generation after reload = %v", st.Fleet["generation"])
+	}
+
+	// A broken file fails without touching the running fleet.
+	if err := os.WriteFile(path, []byte(`{broken`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.reloadFleet(path); err == nil {
+		t.Fatal("reloadFleet accepted a broken document")
+	}
+	getJSON(t, ts.URL+"/v1/fleet", &st)
+	if st.Fleet["generation"] != float64(1) {
+		t.Fatalf("failed reload changed generation: %v", st.Fleet["generation"])
+	}
+}

@@ -33,15 +33,18 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"pie"
 	"pie/apps"
 	"pie/internal/cluster"
 	"pie/internal/core"
+	"pie/internal/fleet"
 	"pie/internal/metrics"
 )
 
@@ -88,6 +91,7 @@ func (s *server) mux() *http.ServeMux {
 		"/stream":   s.stream,
 		"/stats":    s.stats,
 		"/programs": s.programs,
+		"/fleet":    s.fleet,
 	}
 	for path, h := range routes {
 		mux.HandleFunc("/v1"+path, h)
@@ -105,12 +109,39 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// serverOptions is everything buildConfig decides: the engine config plus
+// the server-level knobs (listen address, fleet-manifest path, validate
+// mode).
+type serverOptions struct {
+	Addr       string
+	Cfg        pie.Config
+	ConfigPath string // fleet manifest the engine was built from ("" = flags only)
+	Validate   bool   // parse/validate the manifest and exit
+}
+
+// topologyFlags shape the replica fleet. With -config, topology belongs
+// to the manifest; setting any of these explicitly alongside it is a
+// conflict, not an override.
+var topologyFlags = []string{
+	"replicas", "variants", "roles", "classes",
+	"scaler-max", "scaler-min", "scale-to-zero",
+	"autoscale-max", "autoscale-min",
+}
+
 // buildConfig defines the CLI surface on fs, parses args, and assembles
 // the engine config. Split from main so tests can drive the same flag
 // wiring (notably the fault-injection, health, shedding, and retry knobs)
 // without exec'ing the binary.
-func buildConfig(fs *flag.FlagSet, args []string) (addr string, cfg pie.Config, err error) {
+//
+// Precedence with -config: the manifest is the base, and only flags
+// explicitly present on the command line override it — a flag left at
+// its default does not (fs.Visit distinguishes the two). Topology flags
+// conflict with -config outright (topologyFlags above).
+func buildConfig(fs *flag.FlagSet, args []string) (serverOptions, error) {
+	fail := func(err error) (serverOptions, error) { return serverOptions{}, err }
 	addrFlag := fs.String("addr", ":8080", "listen address")
+	configPath := fs.String("config", "", "fleet manifest path (declarative pools, pins, policies); explicitly set flags override manifest values, defaults do not")
+	validate := fs.Bool("validate", false, "with -config: parse and validate the manifest, report, and exit")
 	seed := fs.Uint64("seed", 42, "deterministic seed")
 	replicas := fs.Int("replicas", 1, "backend replicas behind the cluster router")
 	placement := fs.String("placement", "round-robin", "placement policy: round-robin | least-outstanding-tokens | kv-affinity | program-affinity")
@@ -136,43 +167,86 @@ func buildConfig(fs *flag.FlagSet, args []string) (addr string, cfg pie.Config, 
 	retryAttempts := fs.Int("retry-attempts", 0, "default launch retry attempts, including the first (<=1 disables retries)")
 	retryBudget := fs.Duration("retry-budget", 0, "default cumulative backoff budget per launch (0: unlimited)")
 	if err := fs.Parse(args); err != nil {
-		return "", pie.Config{}, err
+		return fail(err)
 	}
 
-	pol, err := cluster.ParsePlacement(*placement)
-	if err != nil {
-		return "", pie.Config{}, err
-	}
-	evict, err := core.ParseEviction(*kvEvict)
-	if err != nil {
-		return "", pie.Config{}, err
-	}
-	cfg = pie.Config{Seed: *seed, Replicas: *replicas, Placement: pol,
-		HostKVRatio: *hostKV, KVEviction: evict, ArtifactCacheBytes: *artCache}
-	if *autoMax > 0 {
-		cfg.Autoscale = pie.AutoscaleConfig{Enabled: true, Min: *autoMin, Max: *autoMax}
-	}
-	if *classes != "" {
-		cfg.Classes, err = pie.ParseServiceClasses(*classes)
+	// Which flags the command line actually set: the precedence boundary.
+	// Explicitly set flags override the manifest; defaults never do.
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	var cfg pie.Config
+	fromManifest := *configPath != ""
+	if fromManifest {
+		for _, name := range topologyFlags {
+			if set[name] {
+				return fail(fmt.Errorf("-%s conflicts with -config: declare fleet topology in the manifest", name))
+			}
+		}
+		m, err := fleet.ParseFile(*configPath)
 		if err != nil {
-			return "", pie.Config{}, err
+			return fail(err)
+		}
+		cfg, err = pie.ConfigFromManifest(m)
+		if err != nil {
+			return fail(err)
 		}
 	}
-	if *variants != "" {
-		cfg.Variants, err = pie.ParseReplicaVariants(*variants)
-		if err != nil {
-			return "", pie.Config{}, err
-		}
+	// useFlag: apply the flag's value when it may speak — always without a
+	// manifest, only when explicitly set with one.
+	useFlag := func(name string) bool { return !fromManifest || set[name] }
+
+	if useFlag("seed") {
+		cfg.Seed = *seed
 	}
-	if *roles != "" {
-		cfg.Roles, err = pie.ParseRoles(*roles)
+	if useFlag("placement") {
+		pol, err := cluster.ParsePlacement(*placement)
 		if err != nil {
-			return "", pie.Config{}, err
+			return fail(err)
 		}
-		cfg.HandoffBudget = *handoffBudget
+		cfg.Placement = pol
 	}
-	if *scalerMax > 0 {
-		cfg.Scaler = pie.ScalerConfig{Enabled: true, Min: *scalerMin, Max: *scalerMax, ScaleToZero: *scaleToZero}
+	if useFlag("host-kv-ratio") {
+		cfg.HostKVRatio = *hostKV
+	}
+	if useFlag("kv-evict") {
+		evict, err := core.ParseEviction(*kvEvict)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.KVEviction = evict
+	}
+	cfg.ArtifactCacheBytes = *artCache
+	if !fromManifest {
+		cfg.Replicas = *replicas
+		if *autoMax > 0 {
+			cfg.Autoscale = pie.AutoscaleConfig{Enabled: true, Min: *autoMin, Max: *autoMax}
+		}
+		if *classes != "" {
+			var err error
+			cfg.Classes, err = pie.ParseServiceClasses(*classes)
+			if err != nil {
+				return fail(err)
+			}
+		}
+		if *variants != "" {
+			var err error
+			cfg.Variants, err = pie.ParseReplicaVariants(*variants)
+			if err != nil {
+				return fail(err)
+			}
+		}
+		if *roles != "" {
+			var err error
+			cfg.Roles, err = pie.ParseRoles(*roles)
+			if err != nil {
+				return fail(err)
+			}
+			cfg.HandoffBudget = *handoffBudget
+		}
+		if *scalerMax > 0 {
+			cfg.Scaler = pie.ScalerConfig{Enabled: true, Min: *scalerMin, Max: *scalerMax, ScaleToZero: *scaleToZero}
+		}
 	}
 	if *healthEvery > 0 {
 		cfg.Health = pie.HealthConfig{Enabled: true, Interval: *healthEvery, HangTimeout: *hangTimeout}
@@ -183,29 +257,65 @@ func buildConfig(fs *flag.FlagSet, args []string) (addr string, cfg pie.Config, 
 	if *faultPlan != "" || *faultRate > 0 {
 		plan, perr := pie.ParseFaultPlan(*faultPlan)
 		if perr != nil {
-			return "", pie.Config{}, perr
+			return fail(perr)
 		}
 		plan.CallFailRate = *faultRate
 		plan.Seed = *faultSeed
 		if plan.Seed == 0 {
-			plan.Seed = *seed
+			plan.Seed = cfg.Seed
 		}
 		cfg.Faults = plan
 	}
 	if *retryAttempts > 1 {
 		cfg.DefaultRetry = pie.RetryPolicy{MaxAttempts: *retryAttempts, Budget: *retryBudget}
 	}
-	return *addrFlag, cfg, nil
+	return serverOptions{Addr: *addrFlag, Cfg: cfg, ConfigPath: *configPath, Validate: *validate}, nil
 }
 
 func main() {
-	addr, cfg, err := buildConfig(flag.CommandLine, os.Args[1:])
+	opts, err := buildConfig(flag.CommandLine, os.Args[1:])
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := newServer(newEngine(cfg))
-	log.Printf("pie-server listening on %s (%v)", addr, s.engine)
-	log.Fatal(http.ListenAndServe(addr, s.mux()))
+	if opts.Validate {
+		// buildConfig already parsed and validated the manifest (and
+		// would have log.Fatal'd above on any typed error).
+		if opts.ConfigPath == "" {
+			log.Fatal("-validate requires -config")
+		}
+		fmt.Printf("%s: ok\n", opts.ConfigPath)
+		return
+	}
+	s := newServer(newEngine(opts.Cfg))
+	if opts.ConfigPath != "" {
+		// SIGHUP re-reads the manifest and hot-applies it, the classic
+		// daemon reload contract. POST /v1/fleet is the remote equivalent.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := s.reloadFleet(opts.ConfigPath); err != nil {
+					log.Printf("fleet reload %s: %v", opts.ConfigPath, err)
+				} else {
+					log.Printf("fleet reload %s: applied", opts.ConfigPath)
+				}
+			}
+		}()
+	}
+	log.Printf("pie-server listening on %s (%v)", opts.Addr, s.engine)
+	log.Fatal(http.ListenAndServe(opts.Addr, s.mux()))
+}
+
+// reloadFleet re-reads the boot manifest and applies it to the running
+// engine (the SIGHUP path; tests drive it directly).
+func (s *server) reloadFleet(path string) error {
+	m, err := fleet.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	var applyErr error
+	s.inject("http:fleet-reload", func() { applyErr = s.engine.ApplyFleet(m) })
+	return applyErr
 }
 
 // inject runs fn as a sim process and blocks the HTTP handler until done.
@@ -567,6 +677,74 @@ func (s *server) programs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, out)
+}
+
+// fleetErrStatus maps a manifest/apply error to an HTTP status and the
+// machine-readable code clients branch on.
+func fleetErrStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, pie.ErrNotFleetManaged):
+		return http.StatusNotFound, "not_fleet_managed"
+	case errors.Is(err, fleet.ErrImmutable):
+		return http.StatusConflict, "immutable_field"
+	case errors.Is(err, fleet.ErrUnknownReference):
+		return http.StatusBadRequest, "unknown_reference"
+	case errors.Is(err, fleet.ErrBadVersion):
+		return http.StatusBadRequest, "bad_version"
+	case errors.Is(err, fleet.ErrAmbiguousPool):
+		return http.StatusBadRequest, "ambiguous_pool"
+	default:
+		return http.StatusBadRequest, "invalid_manifest"
+	}
+}
+
+// fleet is the declarative-management surface: GET reports the
+// controller's desired-vs-actual reconciliation status; POST hot-applies
+// a new manifest (the remote equivalent of SIGHUP). Topology changes are
+// refused 409 typed immutable_field; a server started without -config
+// answers 404 not_fleet_managed.
+func (s *server) fleet(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid_argument", "unreadable body")
+			return
+		}
+		m, err := fleet.Parse(body)
+		if err != nil {
+			status, code := fleetErrStatus(err)
+			writeErr(w, status, code, err.Error())
+			return
+		}
+		var applyErr error
+		s.inject("http:fleet-apply", func() { applyErr = s.engine.ApplyFleet(m) })
+		if applyErr != nil {
+			status, code := fleetErrStatus(applyErr)
+			writeErr(w, status, code, applyErr.Error())
+			return
+		}
+		var st fleet.Status
+		s.inject("http:fleet-status", func() { st, _ = s.engine.FleetStatus() })
+		writeJSON(w, map[string]interface{}{"status": "applied", "fleet": st})
+	case http.MethodGet:
+		var st fleet.Status
+		var desired *fleet.Manifest
+		var ok bool
+		s.inject("http:fleet-status", func() {
+			if st, ok = s.engine.FleetStatus(); ok {
+				desired = s.engine.FleetController().Desired()
+			}
+		})
+		if !ok {
+			writeErr(w, http.StatusNotFound, "not_fleet_managed",
+				"server was not started from a fleet manifest (-config)")
+			return
+		}
+		writeJSON(w, map[string]interface{}{"fleet": st, "desired": desired})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET or POST")
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -684,6 +684,8 @@ func TestErrCodeClassification(t *testing.T) {
 	for want, err := range map[string]error{
 		"no_such_program":        pie.ErrNoSuchProgram,
 		"unsatisfied_manifest":   pie.ErrUnsatisfiedManifest,
+		"no_such_class":          pie.ErrNoSuchClass,
+		"no_decode_capacity":     pie.ErrNoDecodeCapacity,
 		"overloaded":             fmt.Errorf("wrapped: %w", pie.ErrOverloaded),
 		"retry_budget_exhausted": fmt.Errorf("%w: %w", pie.ErrRetryBudgetExhausted, pie.ErrReplicaLost),
 		"replica_lost":           pie.ErrReplicaLost,
@@ -829,16 +831,17 @@ func TestDisaggregatedStatsReportRoles(t *testing.T) {
 func TestBuildConfig(t *testing.T) {
 	fs := func() *flag.FlagSet { return flag.NewFlagSet("test", flag.ContinueOnError) }
 
-	addr, cfg, err := buildConfig(fs(), nil)
-	if err != nil || addr != ":8080" {
-		t.Fatalf("defaults: addr=%q err=%v", addr, err)
+	opts, err := buildConfig(fs(), nil)
+	if err != nil || opts.Addr != ":8080" {
+		t.Fatalf("defaults: addr=%q err=%v", opts.Addr, err)
 	}
+	cfg := opts.Cfg
 	if cfg.Seed != 42 || cfg.Replicas != 1 || cfg.Health.Enabled || cfg.Shed.Enabled ||
 		!cfg.Faults.Empty() || cfg.DefaultRetry.Enabled() {
 		t.Fatalf("default config armed fault machinery: %+v", cfg)
 	}
 
-	_, cfg, err = buildConfig(fs(), []string{
+	opts, err = buildConfig(fs(), []string{
 		"-addr", ":0", "-seed", "7", "-replicas", "8",
 		"-autoscale-max", "12", "-autoscale-min", "2",
 		"-health-interval", "5ms", "-hang-timeout", "80ms",
@@ -849,6 +852,7 @@ func TestBuildConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg = opts.Cfg
 	if !cfg.Health.Enabled || cfg.Health.Interval != 5*time.Millisecond || cfg.Health.HangTimeout != 80*time.Millisecond {
 		t.Fatalf("health wiring: %+v", cfg.Health)
 	}
@@ -866,13 +870,14 @@ func TestBuildConfig(t *testing.T) {
 	}
 
 	// An explicit fault seed overrides the engine seed.
-	_, cfg, err = buildConfig(fs(), []string{"-fault-rate", "0.5", "-fault-seed", "99"})
+	opts, err = buildConfig(fs(), []string{"-fault-rate", "0.5", "-fault-seed", "99"})
+	cfg = opts.Cfg
 	if err != nil || cfg.Faults.Seed != 99 {
 		t.Fatalf("fault-seed override: %+v, %v", cfg.Faults, err)
 	}
 
 	// SLO surface: classes, heterogeneous variants, and the scaler.
-	_, cfg, err = buildConfig(fs(), []string{
+	opts, err = buildConfig(fs(), []string{
 		"-classes", "interactive:ttft=250ms,prio=10;batch:degradable",
 		"-variants", "l4:cost=1,count=2;l4e:cost=0.6,slow=1.4",
 		"-scaler-max", "6", "-scaler-min", "2", "-scale-to-zero",
@@ -880,6 +885,7 @@ func TestBuildConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg = opts.Cfg
 	if len(cfg.Classes) != 2 || cfg.Classes[0].TTFTTarget != 250*time.Millisecond || !cfg.Classes[1].Degradable {
 		t.Fatalf("class wiring: %+v", cfg.Classes)
 	}
@@ -892,12 +898,13 @@ func TestBuildConfig(t *testing.T) {
 
 	// Disaggregation surface: the roles spec piggybacks the -variants
 	// syntax, and the transfer budget rides along with it.
-	_, cfg, err = buildConfig(fs(), []string{
+	opts, err = buildConfig(fs(), []string{
 		"-replicas", "4", "-roles", "prefill:count=1;decode", "-handoff-budget", "3",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg = opts.Cfg
 	if len(cfg.Roles) != 2 || cfg.Roles[0].Role != pie.RolePrefill || cfg.Roles[0].Count != 1 ||
 		cfg.Roles[1].Role != pie.RoleDecode || cfg.HandoffBudget != 3 {
 		t.Fatalf("roles wiring: %+v budget=%d", cfg.Roles, cfg.HandoffBudget)
@@ -912,7 +919,7 @@ func TestBuildConfig(t *testing.T) {
 		{"-roles", "frontend"},
 		{"-roles", "prefill:shards=2"},
 	} {
-		if _, _, err := buildConfig(fs(), bad); err == nil {
+		if _, err := buildConfig(fs(), bad); err == nil {
 			t.Errorf("buildConfig(%v) accepted malformed flags", bad)
 		}
 	}

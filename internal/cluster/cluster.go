@@ -197,6 +197,11 @@ type Cluster struct {
 	// with the chosen replica.
 	OnPlace func(r *Replica)
 
+	// OnFleetOp, when set, observes every fleet-controller mutation
+	// (fleetops.go): op is "activate", "drain", or "deactivate". It runs
+	// synchronously in the mutating process.
+	OnFleetOp func(op string, r *Replica)
+
 	// Scaling stats.
 	ScaleUps   int // replicas activated (or un-drained) by the autoscaler
 	DrainStart int // drains initiated
@@ -543,6 +548,7 @@ func (c *Cluster) finishDrains() {
 			}
 			c.markInactive(r)
 			c.DrainDone++
+			c.fleetOp("drain-done", r)
 		}
 	}
 }

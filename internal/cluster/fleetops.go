@@ -1,0 +1,74 @@
+package cluster
+
+// Fleet-controller hooks: the exported mutation surface the declarative
+// fleet controller (internal/fleet) converges the cluster through. These
+// wrap the scaler's private active-set transitions with the same
+// invariants the autoscaler honors — activation only of healthy
+// replicas, retirement only through the two-phase drain — so declarative
+// convergence and reactive scaling cannot diverge on replica state.
+
+func (c *Cluster) fleetOp(op string, r *Replica) {
+	if c.OnFleetOp != nil {
+		c.OnFleetOp(op, r)
+	}
+}
+
+// Activate brings a replica into the serving set, or cancels its drain if
+// one is in progress. It refuses unhealthy or crashed replicas. Reports
+// whether the replica's state changed.
+func (c *Cluster) Activate(r *Replica) bool {
+	if r.health != HealthHealthy || r.crashed {
+		return false
+	}
+	if r.active && !r.draining {
+		return false
+	}
+	if r.active && r.draining {
+		// Cancel the drain: the replica never left the serving set.
+		r.draining = false
+		c.fleetOp("activate", r)
+		return true
+	}
+	c.markActive(r)
+	c.fleetOp("activate", r)
+	return true
+}
+
+// BeginDrain starts phase one of a two-phase drain: the replica stops
+// receiving placements but keeps serving its in-flight sessions. Phase
+// two (CompleteDrains) migrates its KV exports and retires it once idle.
+// Reports whether a drain was started.
+func (c *Cluster) BeginDrain(r *Replica) bool {
+	if !r.active || r.draining {
+		return false
+	}
+	r.draining = true
+	c.DrainStart++
+	c.fleetOp("drain", r)
+	return true
+}
+
+// CompleteDrains runs phase two for every draining replica that has gone
+// idle: migrate its KV exports to a serving peer over the modeled
+// interconnect, then retire it. The fleet controller calls this each
+// reconcile tick; the autoscaler calls the same path on its own ticks.
+func (c *Cluster) CompleteDrains() { c.finishDrains() }
+
+// Deactivate retires an idle replica immediately, without the drain
+// phase. The fleet controller uses it only for initial alignment, before
+// any traffic exists; a loaded replica is refused (use BeginDrain).
+// Reports whether the replica was retired.
+func (c *Cluster) Deactivate(r *Replica) bool {
+	if !r.active || r.Ctl.Instances() > 0 || r.Ctl.OutstandingCalls() > 0 {
+		return false
+	}
+	c.markInactive(r)
+	c.fleetOp("deactivate", r)
+	return true
+}
+
+// SetPlacement swaps the routing policy live (manifest hot reload).
+func (c *Cluster) SetPlacement(p PlacementPolicy) { c.policy = p }
+
+// Placement reports the routing policy in effect.
+func (c *Cluster) Placement() PlacementPolicy { return c.policy }

@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFleetSweepQuick pins the fleet experiment's acceptance criteria at
+// CI scale: a rolling upgrade under sustained interactive load sheds
+// nothing and holds post-apply TTFT p95 within 1.5x steady state (the
+// naive restart baseline violates the same bound — the contrast is the
+// point), the same-seed replay is byte-identical, and pool-count hot
+// reloads converge without dropping in-flight sessions.
+func TestFleetSweepQuick(t *testing.T) {
+	r := FleetSweep(Options{Quick: true})
+
+	// Conservation on every upgrade leg: all tasks complete, none fail.
+	for name, leg := range map[string]FleetLeg{
+		"steady": r.Steady, "rolling": r.Rolling, "naive": r.Naive,
+	} {
+		if leg.Done != r.Tasks || leg.Failed != 0 {
+			t.Fatalf("%s: done %d failed %d, want %d/0", name, leg.Done, leg.Failed, r.Tasks)
+		}
+		if leg.WindowN == 0 {
+			t.Fatalf("%s: no post-apply window samples", name)
+		}
+	}
+
+	// The headline: the rolling upgrade is inside the SLO bound, the
+	// naive restart is not.
+	if r.RollingRatio > 1.5 {
+		t.Fatalf("rolling window p95 %.2fx steady, want <= 1.5x", r.RollingRatio)
+	}
+	if r.NaiveRatio <= 1.5 {
+		t.Fatalf("naive window p95 %.2fx steady: baseline inside the bound, no contrast", r.NaiveRatio)
+	}
+
+	// Both upgrade legs converge on the new pin; the rolling leg prewarms
+	// every serving replica, the naive leg none.
+	for name, leg := range map[string]FleetLeg{"rolling": r.Rolling, "naive": r.Naive} {
+		if !leg.Converged || leg.FinalPin != "2.0.0" || leg.Generation != 1 {
+			t.Fatalf("%s: converged=%v pin=%s gen=%d", name, leg.Converged, leg.FinalPin, leg.Generation)
+		}
+	}
+	if r.Rolling.Prewarms != r.Desired {
+		t.Fatalf("rolling prewarms %d, want one per serving replica (%d)", r.Rolling.Prewarms, r.Desired)
+	}
+	if r.Naive.Prewarms != 0 {
+		t.Fatalf("naive leg prewarmed %d times", r.Naive.Prewarms)
+	}
+	// The naive leg's mass requeue is what creates the herd.
+	if r.Naive.UpgradeRequeues == 0 {
+		t.Fatal("naive leg never requeued: the baseline is not exercising the restart path")
+	}
+	if !r.Steady.Converged || r.Steady.FinalPin != "1.0.0" || r.Steady.Generation != 0 {
+		t.Fatalf("steady leg drifted: %+v", r.Steady)
+	}
+
+	// Same seed, same transcript: samples plus the controller op log.
+	if !r.Deterministic {
+		t.Fatal("same-seed rolling replay diverged")
+	}
+
+	// Hot reload: 2 -> 5 -> 3 converges, nothing dropped.
+	if r.Reload.Dropped != 0 || !r.Reload.Converged {
+		t.Fatalf("reload: dropped %d converged %v", r.Reload.Dropped, r.Reload.Converged)
+	}
+	if r.Reload.FinalServing != 3 || r.Reload.Applies != 2 {
+		t.Fatalf("reload: serving %d applies %d, want 3/2", r.Reload.FinalServing, r.Reload.Applies)
+	}
+	if r.Reload.Activations == 0 || r.Reload.Drains == 0 {
+		t.Fatalf("reload never moved replicas: %+v", r.Reload)
+	}
+
+	// The artifact surfaces: table renders, JSON round-trips.
+	tbl := r.Table()
+	for _, want := range []string{"rolling upgrade", "naive restart", "hot reload"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back FleetResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Rolling.Done != r.Rolling.Done || back.Reload.FinalServing != r.Reload.FinalServing {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}

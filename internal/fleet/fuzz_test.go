@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzParse holds the parser to its contract on arbitrary input: it never
+// panics, every rejection is one of the typed errors, and every accepted
+// document survives a marshal/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(validDoc))
+	f.Add([]byte(`{"schema": 1, "pools": [{"name": "main", "count": 2}]}`))
+	f.Add([]byte(`{"schema": 1, "pools": [{"name": "a", "count": 1, "max": 3}], "scaler": {"min": 1, "max": 2}}`))
+	f.Add([]byte(`{"schema": 1, "pools": [{"name": "a", "count": 1}], "programs": [{"name": "p", "version": "1.2"}]}`))
+	f.Add([]byte(`{"schema": 1, "pools": [{"name": "a", "count": 1}], "reconcile": {"drain_deadline": "-1ms", "upgrade_batch": -1, "prewarm": false}}`))
+	f.Add([]byte(`{"schema": 2}`))
+	f.Add([]byte(`{"schema": 1, "pools": []}`))
+	f.Add([]byte(`{"schema": 1, "pools": [{"name": "a", "count": 1}], "kv": {"eviction": "random"}}`))
+	f.Add([]byte(`{"schema": 1, "pools": [{"name": "a", "count": 1}]} trailing`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			for _, typed := range []error{ErrSyntax, ErrUnknownReference, ErrBadVersion, ErrAmbiguousPool} {
+				if errors.Is(err, typed) {
+					return
+				}
+			}
+			t.Fatalf("untyped parse error: %v", err)
+		}
+		blob, merr := json.Marshal(m)
+		if merr != nil {
+			t.Fatalf("accepted manifest does not marshal: %v", merr)
+		}
+		if _, rerr := Parse(blob); rerr != nil {
+			t.Fatalf("accepted manifest does not re-parse: %v\n%s", rerr, blob)
+		}
+		if m.Clone().TotalBuilt() != m.TotalBuilt() {
+			t.Fatal("clone disagrees on built capacity")
+		}
+	})
+}

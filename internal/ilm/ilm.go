@@ -24,6 +24,7 @@ package ilm
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -140,6 +141,8 @@ type ILM struct {
 	models   []api.ModelInfo              // catalog view for manifest validation
 	programs map[string]map[string]*entry // name -> version -> artifact
 	latest   map[string]string            // name -> highest registered version
+	pins     map[string]string            // name -> pinned version (upgrade.go)
+	running  map[uint64]*Handle           // live handles by ID (upgrade.go)
 	launchQ  *sim.Mailbox[*launchReq]
 	topics   map[string]map[*subscription]struct{}
 	live     int
@@ -156,6 +159,11 @@ type ILM struct {
 	Aborts       int // instances cancelled via Handle.Abort (incl. deadline)
 	Requeues     int // attempts re-placed after their replica died mid-run
 	Retries      int // attempts retried before placement stuck (incl. transients)
+
+	// UpgradeRequeues counts instances restarted onto a new pinned
+	// version by a rolling upgrade (upgrade.go) — operator actions, kept
+	// apart from failure Requeues and client Aborts.
+	UpgradeRequeues int
 }
 
 // SetDefaultRetry installs the retry policy applied to launches whose
@@ -200,6 +208,7 @@ func New(clock *sim.Clock, place Placer, world *netsim.World, models []api.Model
 		models:   models,
 		programs: make(map[string]map[string]*entry),
 		latest:   make(map[string]string),
+		running:  make(map[uint64]*Handle),
 		launchQ:  sim.NewMailbox[*launchReq](clock),
 		topics:   make(map[string]map[*subscription]struct{}),
 	}
@@ -264,7 +273,13 @@ func (m *ILM) resolve(ref string) (*entry, error) {
 		return nil, fmt.Errorf("%w: %q", api.ErrNoSuchProgram, name)
 	}
 	if version == "" {
-		version = m.latest[name]
+		// A pin (upgrade.go) fixes what the bare name means; otherwise it
+		// floats to the highest registered version.
+		if pinned, ok := m.pins[name]; ok {
+			version = pinned
+		} else {
+			version = m.latest[name]
+		}
 	} else if parsed, err := parseVersion(version); err != nil {
 		return nil, fmt.Errorf("%w: %q has no version %q", api.ErrNoSuchProgram, name, version)
 	} else {
@@ -559,6 +574,9 @@ func (m *ILM) attempt(h *Handle) error {
 		m.handleID++
 		h.ID = m.handleID
 	}
+	// The entry may have been swapped since the last attempt (a rolling
+	// upgrade repointed the handle); the exported version follows it.
+	h.Version = e.version
 	h.ctl = ctl
 	h.killErr = nil
 	h.proc = nil
@@ -603,6 +621,7 @@ func (m *ILM) attempt(h *Handle) error {
 		m.ColdLaunches++
 	}
 	m.live++
+	m.running[h.ID] = h
 
 	sess := &session{ilm: m, handle: h, ctl: h.ctl, args: append([]string(nil), h.spec.Args...)}
 	sess.rng = sim.NewRNG(0x5EED ^ uint64(h.ID))
@@ -643,6 +662,19 @@ func (m *ILM) finishAttempt(h *Handle, sess *session, err error) {
 	sess.cancelSubscriptions()
 	h.ctl.ReleaseInstance(h.inst)
 	m.live--
+	delete(m.running, h.ID)
+	if err != nil && errors.Is(err, errUpgradeRestart) {
+		// Rolling upgrade restart (upgrade.go): relaunch on the repointed
+		// entry unconditionally — an operator action consumes no retry
+		// budget, and the client's handle stays open across the restart.
+		m.UpgradeRequeues++
+		h.requeuing = true
+		m.clock.GoDaemon("ilm:upgrade-requeue", func() {
+			m.clock.Sleep(upgradeRequeueDelay)
+			m.requeue(h)
+		})
+		return
+	}
 	if err != nil {
 		d, final := h.nextRetryDelay(err)
 		if final == nil {

@@ -113,6 +113,7 @@ type Clock struct {
 
 	external bool // keep running while idle, waiting for Inject
 	shutdown bool
+	running  bool // Run has been entered (guards against nested Run)
 
 	// Windowed (sharded) mode: RunWindow drives the clock only up to
 	// horizon, then parks the loop at the barrier instead of finishing.
@@ -440,13 +441,21 @@ func (c *Clock) finishWindowed(err error) {
 // Run drives the simulation until every process has finished (or, in
 // external mode, until Shutdown). It returns a non-nil error if the
 // simulation deadlocked. Run must be called from outside the simulation.
+// In external mode an Inject may have kicked the scheduler before Run is
+// reached (the server starts its event loop on a goroutine); that is not
+// re-entrancy — Run then skips the initial dispatch and just waits.
 func (c *Clock) Run() error {
 	c.mu.Lock()
-	if c.current != nil {
+	if c.running {
 		c.mu.Unlock()
 		panic("sim: Run called re-entrantly")
 	}
-	next, killed := c.dispatchNextLocked()
+	c.running = true
+	var next *Proc
+	var killed bool
+	if c.current == nil {
+		next, killed = c.dispatchNextLocked()
+	}
 	c.mu.Unlock()
 	if next != nil {
 		next.wake <- killed

@@ -21,6 +21,7 @@
 package pie
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"pie/inferlet"
 	"pie/internal/cluster"
 	"pie/internal/core"
+	"pie/internal/fleet"
 	"pie/internal/ilm"
 	"pie/internal/infer"
 	"pie/internal/metrics"
@@ -88,6 +90,10 @@ var (
 	ErrTransientFault       = api.ErrTransientFault
 	ErrRetryBudgetExhausted = api.ErrRetryBudgetExhausted
 )
+
+// ErrNotFleetManaged is returned by ApplyFleet on an engine that was not
+// built from a fleet manifest (Config.Fleet unset).
+var ErrNotFleetManaged = errors.New("pie: engine is not fleet-managed (start it with Config.Fleet)")
 
 // ExecutionMode selects functional fidelity (see internal/infer).
 type ExecutionMode int
@@ -327,6 +333,40 @@ type Config struct {
 	// DefaultRetry applies to launches whose LaunchSpec.Retry is zero.
 	// The zero value keeps failures final (no retries).
 	DefaultRetry RetryPolicy
+	// Fleet, when set, makes the deployment declaratively managed: the
+	// engine builds every pool's full capacity (active replicas aligned
+	// per pool), starts the reconciling fleet controller, and applies
+	// program pins. Build the rest of the Config from the same manifest
+	// with ConfigFromManifest; Engine.ApplyFleet hot-reloads it.
+	Fleet *fleet.Manifest
+}
+
+// ConfigFromManifest converts a validated fleet manifest into the engine
+// Config it declares: pool topology (variants, roles, counts), placement,
+// service classes, the SLO scaler, and KV policy, with Fleet set so New
+// starts the reconciling controller. Caller-side fields the manifest does
+// not speak to (Mode, ClientRTT, retry policy, ...) keep their zero
+// values — set them after, or let explicit server flags override.
+func ConfigFromManifest(m *fleet.Manifest) (Config, error) {
+	if err := m.Validate(); err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		Seed:      m.Seed,
+		Replicas:  m.InitialActive(),
+		Placement: m.PlacementPolicy(),
+		Variants:  m.ReplicaVariants(),
+		Roles:     m.RoleSpecs(),
+		Classes:   m.ServiceClasses(),
+		Scaler:    m.ScalerConfig(),
+		Fleet:     m,
+	}
+	if kv := m.KV; kv != nil {
+		cfg.HostKVRatio = kv.HostRatio
+		cfg.KVEviction = m.EvictionPolicy()
+		cfg.KVPagesOverride = kv.PagesOverride
+	}
+	return cfg, nil
 }
 
 func (c Config) withDefaults() Config {
@@ -359,6 +399,7 @@ type Engine struct {
 	cluster *cluster.Cluster
 	ilm     *ilm.ILM
 	world   *netsim.World
+	fleet   *fleet.Controller // nil unless Config.Fleet is set
 }
 
 // New assembles an engine. The standard catalog (llama-1b/3b/8b) is always
@@ -409,6 +450,11 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.Scaler.Enabled && cfg.Scaler.Max > total {
 		total = cfg.Scaler.Max
+	}
+	if cfg.Fleet != nil && cfg.Fleet.TotalBuilt() > total {
+		// Pools with headroom (max > count) build their full capacity;
+		// the fleet controller decides which replicas serve.
+		total = cfg.Fleet.TotalBuilt()
 	}
 	variants := cluster.ExpandVariants(cfg.Variants, total)
 	roles := cluster.ExpandRoles(cfg.Roles, total)
@@ -470,10 +516,19 @@ func New(cfg Config) *Engine {
 		lifecycle.SetDefaultRetry(cfg.DefaultRetry)
 	}
 	lifecycle.SetClasses(cfg.Classes)
-	return &Engine{
+	e := &Engine{
 		cfg: cfg, clock: clock, catalog: cat,
 		cluster: cl, ilm: lifecycle, world: world,
 	}
+	if cfg.Fleet != nil {
+		e.fleet = fleet.NewController(clock, cl, lifecycle, cfg.Fleet)
+		// cluster.New activated the first cfg.Replicas IDs; realign to the
+		// manifest's per-pool desired sets before any traffic, then start
+		// the reconcile daemon.
+		e.fleet.AlignInitial()
+		e.fleet.Start()
+	}
+	return e
 }
 
 // Register deploys an inferlet program into the versioned registry,
@@ -495,6 +550,31 @@ func (e *Engine) MustRegister(ps ...inferlet.Program) {
 // Programs lists every registered artifact with its manifest, sorted by
 // name then version.
 func (e *Engine) Programs() []ProgramInfo { return e.ilm.ProgramInfos() }
+
+// ApplyFleet hot-reloads the fleet manifest: desired state is validated,
+// checked compatible (pool counts, program pins, placement, and reconcile
+// tuning may change live; topology changes fail typed fleet.ErrImmutable),
+// and converged on subsequent reconcile ticks. Fails when the engine was
+// not built from a manifest. Must be called from a sim process.
+func (e *Engine) ApplyFleet(m *fleet.Manifest) error {
+	if e.fleet == nil {
+		return ErrNotFleetManaged
+	}
+	return e.fleet.Apply(m)
+}
+
+// FleetStatus reports the fleet controller's desired-vs-actual view; ok
+// is false when the engine is not fleet-managed.
+func (e *Engine) FleetStatus() (fleet.Status, bool) {
+	if e.fleet == nil {
+		return fleet.Status{}, false
+	}
+	return e.fleet.Status(), true
+}
+
+// FleetController exposes the reconciling controller (nil unless the
+// engine was built from a manifest) — experiment and test surface.
+func (e *Engine) FleetController() *fleet.Controller { return e.fleet }
 
 // RegisterTool installs an external service reachable from inferlets and
 // baseline clients via HTTP calls.
@@ -640,6 +720,7 @@ type Stats struct {
 	Sheds           int           // best-effort launches shed at admission
 	Requeues        int           // launches re-placed after replica death
 	Retries         int           // launch attempts retried before placement stuck
+	UpgradeRequeues int           // instances restarted onto a new pinned version
 	DetectTime      time.Duration // cumulative failure-onset -> declared-dead latency
 
 	// SLO-aware serving (zero without Classes/Scaler config).
@@ -676,6 +757,7 @@ func (e *Engine) Stats() Stats {
 		Sheds:           e.cluster.Sheds,
 		Requeues:        e.ilm.Requeues,
 		Retries:         e.ilm.Retries,
+		UpgradeRequeues: e.ilm.UpgradeRequeues,
 		DetectTime:      e.cluster.DetectTime,
 
 		Degradations:      e.cluster.Degradations,
